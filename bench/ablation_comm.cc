@@ -1,0 +1,40 @@
+// Ablation: sensitivity of the Table IV speedups to the machine model's
+// communication cost. The simulator's comm constants are a single global
+// calibration (DESIGN.md); this sweep shows which conclusions are robust to
+// it. Expected: Squeezenet flips from mild slowdown to mild speedup as comm
+// gets cheap (it is communication-bound), NASNet stays the clear winner at
+// every setting (it is structure-bound), and the overall ordering is stable
+// within each column.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ramiel;
+  bench::print_header(
+      "Ablation — LC speedup vs communication-cost scaling\n"
+      "(columns scale comm_fixed_us and comm_per_kb_us together)");
+  const double scales[] = {0.0, 0.5, 1.0, 2.0, 4.0};
+  std::printf("%-14s", "Model");
+  for (double s : scales) std::printf(" %7.1fx", s);
+  std::printf("\n");
+  for (const std::string& name : models::model_names()) {
+    auto pm = bench::prepare(name);
+    std::printf("%-14s", name.c_str());
+    for (double scale : scales) {
+      SimOptions opts;
+      opts.machine.comm_fixed_us *= scale;
+      opts.machine.comm_per_kb_us *= scale;
+      const double seq =
+          simulate_sequential_ms(pm.compiled.graph, pm.profile, 1, opts);
+      Hyperclustering hc =
+          build_hyperclusters(pm.compiled.graph, pm.compiled.clustering, 1);
+      const double par =
+          simulate_parallel(pm.compiled.graph, hc, pm.profile, opts)
+              .makespan_ms;
+      std::printf(" %7.2f", seq / par);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

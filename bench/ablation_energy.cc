@@ -1,0 +1,41 @@
+// Extension experiment (the paper's stated future work: "power and
+// resource-constrained settings"): modeled energy per inference for the
+// sequential code vs the LC-parallel code.
+//
+// Parallel execution finishes sooner but keeps k cores powered (busy or
+// idling at a cluster recv), so energy *rises* unless utilization is high —
+// the classic race-to-idle trade-off. Models whose speedup is close to
+// their worker count (NASNet) approach energy parity; communication-bound
+// models (Squeezenet) pay both time and energy.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ramiel;
+  bench::print_header(
+      "Extension — energy per inference: sequential vs LC-parallel\n"
+      "(active 9 W/core, idle 1.2 W/core; see MachineModel)");
+  std::printf("%-14s %9s %10s %10s %11s %12s %9s\n", "Model", "speedup",
+              "seq(mJ)", "par(mJ)", "energy x", "utilization", "workers");
+  for (const std::string& name : models::model_names()) {
+    auto pm = bench::prepare(name);
+    SimOptions opts;
+    const double seq =
+        simulate_sequential_ms(pm.compiled.graph, pm.profile, 1, opts);
+    Hyperclustering hc =
+        build_hyperclusters(pm.compiled.graph, pm.compiled.clustering, 1);
+    SimResult par =
+        simulate_parallel(pm.compiled.graph, hc, pm.profile, opts);
+    const double seq_mj = sequential_energy_mj(seq, opts.machine);
+    const double par_mj = par.energy_mj(opts.machine);
+    double busy = 0.0;
+    for (const auto& w : par.workers) busy += w.busy_us / 1e3;
+    const double util =
+        busy / (par.makespan_ms * static_cast<double>(par.workers.size()));
+    std::printf("%-14s %8.2fx %10.1f %10.1f %10.2fx %11.0f%% %9zu\n",
+                name.c_str(), seq / par.makespan_ms, seq_mj, par_mj,
+                par_mj / seq_mj, util * 100.0, par.workers.size());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Shared harness for the per-table/figure benchmark binaries.
+//
+// Every experiment follows the same recipe: build the model, optionally run
+// the CP+DCE / cloning stages, cluster it, measure real kernel costs on the
+// host CPU, then obtain sequential and parallel times from the
+// discrete-event simulator (see DESIGN.md: the container exposes one core,
+// so multicore timings are simulated from measured kernel profiles).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "models/zoo.h"
+#include "passes/hypercluster.h"
+#include "ramiel/pipeline.h"
+#include "sim/simulator.h"
+#include "support/env.h"
+
+namespace ramiel::bench {
+
+/// A model prepared for timing experiments.
+struct PreparedModel {
+  std::string name;
+  CompiledModel compiled;
+  CostProfile profile;
+};
+
+/// Number of profiling repeats (override with RAMIEL_BENCH_REPEATS).
+inline int profile_repeats() { return env_int("RAMIEL_BENCH_REPEATS", 3); }
+
+/// Builds + compiles + profiles one model.
+inline PreparedModel prepare(const std::string& name,
+                             const PipelineOptions& options = {}) {
+  PreparedModel pm;
+  pm.name = name;
+  PipelineOptions opts = options;
+  opts.generate_code = false;  // codegen timing measured separately
+  pm.compiled = compile_model(models::build(name), opts);
+  Rng rng(2024);
+  pm.profile = measure_costs(pm.compiled.graph, profile_repeats(), rng);
+  return pm;
+}
+
+/// Simulated sequential time for a batch (ms).
+inline double seq_ms(const PreparedModel& pm, int batch = 1, int threads = 1) {
+  SimOptions opts;
+  opts.intra_op_threads = threads;
+  return simulate_sequential_ms(pm.compiled.graph, pm.profile, batch, opts);
+}
+
+/// Simulated parallel makespan for a batch (ms).
+inline double par_ms(const PreparedModel& pm, int batch = 1, int threads = 1,
+                     bool switched = false) {
+  SimOptions opts;
+  opts.intra_op_threads = threads;
+  Hyperclustering hc =
+      switched
+          ? build_switched_hyperclusters(pm.compiled.graph,
+                                         pm.compiled.clustering, batch)
+          : build_hyperclusters(pm.compiled.graph, pm.compiled.clustering,
+                                batch);
+  return simulate_parallel(pm.compiled.graph, hc, pm.profile, opts)
+      .makespan_ms;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace ramiel::bench

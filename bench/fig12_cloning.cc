@@ -1,0 +1,30 @@
+// Reproduces Fig. 12: performance uplift of cloned vs non-cloned models
+// (restricted cloning on the smaller graphs; up to ~8% in the paper).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ramiel;
+  bench::print_header(
+      "Fig. 12 — Uplift of cloned vs non-cloned models\n"
+      "(paper reports 'moderate boost, up to 8%')");
+  std::printf("%-14s %12s %14s %12s %10s\n", "Model", "S_LC", "S_LC+Clone",
+              "Uplift", "#Clones");
+  for (const std::string name :
+       {"squeezenet", "googlenet", "inception_v3", "inception_v4", "bert",
+        "retinanet"}) {
+    auto plain = bench::prepare(name);
+    PipelineOptions o;
+    o.cloning = true;
+    auto cloned = bench::prepare(name, o);
+    const double base_seq = bench::seq_ms(plain);
+    const double s_lc = base_seq / bench::par_ms(plain);
+    const double s_clone = base_seq / bench::par_ms(cloned);
+    std::printf("%-14s %11.2fx %13.2fx %+10.1f%% %10d\n", name.c_str(), s_lc,
+                s_clone, (s_clone / s_lc - 1.0) * 100.0,
+                cloned.compiled.clone_stats.clones_created);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Fig. 13: hyperclustering speedup over the sequential code for
+// batch sizes 2, 4, 8, 12, with and without intra-op parallelism. The paper
+// reports speedup rising with batch size (up to the hardware thread limit).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ramiel;
+  bench::print_header(
+      "Fig. 13 — Hyperclustering: speedup vs sequential, batch 2/4/8/12\n"
+      "(expected shape: speedup grows with batch size)");
+  std::printf("%-14s %8s | %22s | %22s\n", "", "", "intra-op off",
+              "intra-op on (2 threads)");
+  std::printf("%-14s %8s | %10s %10s | %10s %10s\n", "Model", "Batch",
+              "Seq(ms)", "Speedup", "Seq(ms)", "Speedup");
+  for (const std::string name : {"squeezenet", "googlenet", "inception_v3"}) {
+    auto pm = bench::prepare(name);
+    for (int batch : {2, 4, 8, 12}) {
+      const double seq1 = bench::seq_ms(pm, batch, 1);
+      const double par1 = bench::par_ms(pm, batch, 1);
+      const double seq2 = bench::seq_ms(pm, batch, 2);
+      const double par2 = bench::par_ms(pm, batch, 2);
+      std::printf("%-14s %8d | %10.1f %9.2fx | %10.1f %9.2fx\n", name.c_str(),
+                  batch, seq1, seq1 / par1, seq2, seq2 / par2);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Fig. 14: switched hyperclustering vs plain hyperclustering on
+// Squeezenet for batch sizes 2, 3, 4, with and without intra-op threads.
+// The paper reports up to ~30% uplift from switching in the best cases.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ramiel;
+  bench::print_header(
+      "Fig. 14 — Switched vs plain hyperclustering (Squeezenet)\n"
+      "(paper: switching adds up to ~30% in the best cases)");
+  auto pm = bench::prepare("squeezenet");
+  std::printf("%6s | %28s | %28s\n", "", "intra-op off", "intra-op on (2)");
+  std::printf("%6s | %9s %9s %7s | %9s %9s %7s\n", "Batch", "HYC", "SHYC",
+              "Uplift", "HYC", "SHYC", "Uplift");
+  for (int batch : {2, 3, 4}) {
+    const double seq1 = bench::seq_ms(pm, batch, 1);
+    const double plain1 = seq1 / bench::par_ms(pm, batch, 1, false);
+    const double switched1 = seq1 / bench::par_ms(pm, batch, 1, true);
+    const double seq2 = bench::seq_ms(pm, batch, 2);
+    const double plain2 = seq2 / bench::par_ms(pm, batch, 2, false);
+    const double switched2 = seq2 / bench::par_ms(pm, batch, 2, true);
+    std::printf("%6d | %8.2fx %8.2fx %+5.1f%% | %8.2fx %8.2fx %+5.1f%%\n",
+                batch, plain1, switched1, (switched1 / plain1 - 1.0) * 100.0,
+                plain2, switched2, (switched2 / plain2 - 1.0) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Google-benchmark microbenchmarks for the tensor kernels that dominate
+// the cost profiles (conv2d, matmul, pooling) plus the channel primitives
+// the cluster runtime is built on. Useful for spotting kernel regressions
+// that would silently skew every simulated table.
+#include <benchmark/benchmark.h>
+
+#include "rt/mailbox.h"
+#include "support/rng.h"
+#include "tensor/ops.h"
+
+namespace ramiel {
+namespace {
+
+void BM_Conv2d3x3(benchmark::State& state) {
+  const auto ch = state.range(0);
+  Rng rng(1);
+  Tensor x = Tensor::random(Shape{1, ch, 16, 16}, rng);
+  Tensor w = Tensor::random(Shape{ch, ch, 3, 3}, rng);
+  Conv2dParams p;
+  p.pad_h = p.pad_w = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d(x, w, std::nullopt, p));
+  }
+}
+BENCHMARK(BM_Conv2d3x3)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dDepthwise(benchmark::State& state) {
+  const auto ch = state.range(0);
+  Rng rng(2);
+  Tensor x = Tensor::random(Shape{1, ch, 16, 16}, rng);
+  Tensor w = Tensor::random(Shape{ch, 1, 3, 3}, rng);
+  Conv2dParams p;
+  p.pad_h = p.pad_w = 1;
+  p.groups = static_cast<int>(ch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d(x, w, std::nullopt, p));
+  }
+}
+BENCHMARK(BM_Conv2dDepthwise)->Arg(16)->Arg(64);
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(3);
+  Tensor a = Tensor::random(Shape{n, n}, rng);
+  Tensor b = Tensor::random(Shape{n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulIntraOp(benchmark::State& state) {
+  Rng rng(4);
+  Tensor a = Tensor::random(Shape{128, 128}, rng);
+  Tensor b = Tensor::random(Shape{128, 128}, rng);
+  ThreadPool pool(static_cast<int>(state.range(0)) - 1);
+  OpContext ctx{static_cast<int>(state.range(0)), &pool};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b, ctx));
+  }
+}
+BENCHMARK(BM_MatMulIntraOp)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MaxPool(benchmark::State& state) {
+  Rng rng(5);
+  Tensor x = Tensor::random(Shape{1, 32, 32, 32}, rng);
+  Pool2dParams p;
+  p.kernel_h = p.kernel_w = 3;
+  p.stride_h = p.stride_w = 2;
+  p.pad_h = p.pad_w = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_pool2d(x, p));
+  }
+}
+BENCHMARK(BM_MaxPool);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(6);
+  Tensor x = Tensor::random(Shape{4, 96, 96}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(softmax(x, -1));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_InboxPutGet(benchmark::State& state) {
+  Inbox box;
+  Tensor payload = Tensor::zeros(Shape{64, 64});
+  std::int64_t wait = 0;
+  int key = 0;
+  for (auto _ : state) {
+    box.put({key, 0}, payload);
+    benchmark::DoNotOptimize(box.get({key, 0}, &wait));
+    ++key;
+  }
+}
+BENCHMARK(BM_InboxPutGet);
+
+}  // namespace
+}  // namespace ramiel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Reproduces Table IV: sequential vs parallel execution time under plain
+// Linear Clustering + merging (no CP/DCE, no cloning, batch 1).
+//
+// Sequential and parallel times are simulated multicore makespans seeded by
+// kernel costs measured on this host (DESIGN.md); absolute milliseconds are
+// therefore scaled relative to the paper's testbed, while the speedup
+// column is directly comparable.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ramiel;
+  using bench::prepare;
+  bench::print_header(
+      "Table IV — Performance of Linear Clustering (LC)\n"
+      "(paper speedups in parentheses)");
+  const std::map<std::string, double> paper = {
+      {"squeezenet", 0.83}, {"googlenet", 1.2},  {"inception_v3", 1.32},
+      {"inception_v4", 1.44}, {"yolo_v5", 0.96}, {"bert", 1.07},
+      {"retinanet", 1.3},     {"nasnet", 1.7}};
+  std::printf("%-14s %12s %10s %12s %14s %16s\n", "Model", "Parallelism",
+              "#Clusters", "Seq(ms)", "Parallel(ms)", "Speedup");
+  for (const std::string& name : models::model_names()) {
+    auto pm = prepare(name);
+    const double seq = bench::seq_ms(pm);
+    const double par = bench::par_ms(pm);
+    std::printf("%-14s %11.2fx %10d %12.1f %14.1f %8.2fx (%.2fx)\n",
+                name.c_str(), pm.compiled.analysis.parallelism,
+                pm.compiled.clustering.size(), seq, par, seq / par,
+                paper.at(name));
+  }
+  return 0;
+}

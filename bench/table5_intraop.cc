@@ -1,0 +1,41 @@
+// Reproduces Table V: LC combined with downstream intra-op parallelism.
+// Both the parallel and the sequential baseline run with intra-op threads
+// enabled (the paper compares LC+intra-op against *pure* intra-op).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ramiel;
+  bench::print_header(
+      "Table V — LC + downstream intra-op parallelism\n"
+      "(both Par and Seq use intra-op; paper speedups in parentheses)");
+  const std::map<std::string, std::pair<double, double>> paper = {
+      {"squeezenet", {0.78, 0.67}},   {"googlenet", {1.14, 1.00}},
+      {"inception_v3", {1.27, 1.23}}, {"inception_v4", {1.45, 1.18}},
+      {"retinanet", {1.23, 1.12}},    {"nasnet", {1.3, -1.0}}};
+  std::printf("%-14s | %28s | %28s\n", "Model", "NUM_THREADS=2",
+              "NUM_THREADS=4");
+  std::printf("%-14s | %9s %9s %8s | %9s %9s %8s\n", "", "Par(ms)", "Seq(ms)",
+              "Speedup", "Par(ms)", "Seq(ms)", "Speedup");
+  for (const auto& [name, expected] : paper) {
+    auto pm = bench::prepare(name);
+    double row[2][3];
+    int col = 0;
+    for (int threads : {2, 4}) {
+      const double seq = bench::seq_ms(pm, 1, threads);
+      const double par = bench::par_ms(pm, 1, threads);
+      row[col][0] = par;
+      row[col][1] = seq;
+      row[col][2] = seq / par;
+      ++col;
+    }
+    std::printf(
+        "%-14s | %9.1f %9.1f %5.2fx(%5.2f) | %9.1f %9.1f %5.2fx(%5.2f)\n",
+        name.c_str(), row[0][0], row[0][1], row[0][2], expected.first,
+        row[1][0], row[1][1], row[1][2],
+        expected.second < 0 ? row[1][2] : expected.second);
+  }
+  return 0;
+}

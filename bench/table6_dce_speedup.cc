@@ -1,0 +1,33 @@
+// Reproduces Table VI: LC speedup with and without constant propagation +
+// dead-code elimination for the three prunable models.
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ramiel;
+  bench::print_header(
+      "Table VI — LC augmented with CP + DCE\n"
+      "(paper values in parentheses)");
+  const std::map<std::string, std::pair<double, double>> paper = {
+      {"yolo_v5", {0.96, 1.06}}, {"bert", {1.07, 1.15}},
+      {"nasnet", {1.7, 1.91}}};
+  std::printf("%-10s %18s %18s\n", "Model", "S_LC", "S_LC+DCE");
+  for (const std::string name : {"yolo_v5", "bert", "nasnet"}) {
+    auto plain = bench::prepare(name);
+    PipelineOptions folded_opts;
+    folded_opts.constant_folding = true;
+    auto folded = bench::prepare(name, folded_opts);
+
+    // Both speedups are against the *unoptimized* sequential baseline, as
+    // in the paper (the optimization must pay for itself end to end).
+    const double base_seq = bench::seq_ms(plain);
+    const double s_lc = base_seq / bench::par_ms(plain);
+    const double s_dce = base_seq / bench::par_ms(folded);
+    const auto& p = paper.at(name);
+    std::printf("%-10s %10.2fx (%4.2f) %10.2fx (%4.2f)\n", name.c_str(), s_lc,
+                p.first, s_dce, p.second);
+  }
+  return 0;
+}

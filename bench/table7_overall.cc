@@ -1,0 +1,79 @@
+// Reproduces Table VII: overall impact of LC + CP/DCE + cloning per model.
+// Following the paper: CP+DCE is applied to Yolo/BERT/NASNet (the models
+// with constants); cloning to the smaller graphs (not NASNet/Yolo).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ramiel;
+  bench::print_header(
+      "Table VII — LC + CP/DCE + Cloning, overall speedups\n"
+      "(paper values in parentheses; '-' = not applied, as in the paper)");
+  // Paper: S_LC, S_LC+DCE, S_LC+Cloning, S_Overall.
+  const std::map<std::string, std::array<double, 4>> paper = {
+      {"squeezenet", {0.83, -1, 0.95, 0.95}},
+      {"googlenet", {1.2, -1, 1.33, 1.33}},
+      {"inception_v3", {1.32, -1, 1.42, 1.42}},
+      {"inception_v4", {1.44, -1, 1.55, 1.55}},
+      {"bert", {1.07, 1.15, 1.1, 1.18}},
+      {"yolo_v5", {0.96, 1.06, -1, 1.06}},
+      {"retinanet", {1.3, -1, 1.4, 1.4}},
+      {"nasnet", {1.7, 1.91, -1, 1.91}},
+  };
+  const std::set<std::string> dce_models = {"yolo_v5", "bert", "nasnet"};
+  const std::set<std::string> clone_models = {"squeezenet", "googlenet",
+                                              "inception_v3", "inception_v4",
+                                              "bert", "retinanet"};
+  std::printf("%-14s %15s %15s %18s %15s\n", "Model", "S_LC", "S_LC+DCE",
+              "S_LC+Cloning", "S_Overall");
+  for (const std::string& name : models::model_names()) {
+    auto plain = bench::prepare(name);
+    const double base_seq = bench::seq_ms(plain);
+    const double s_lc = base_seq / bench::par_ms(plain);
+
+    double s_dce = -1.0;
+    if (dce_models.count(name)) {
+      PipelineOptions o;
+      o.constant_folding = true;
+      auto pm = bench::prepare(name, o);
+      s_dce = base_seq / bench::par_ms(pm);
+    }
+    double s_clone = -1.0;
+    if (clone_models.count(name)) {
+      PipelineOptions o;
+      o.cloning = true;
+      auto pm = bench::prepare(name, o);
+      s_clone = base_seq / bench::par_ms(pm);
+    }
+    double overall = std::max({s_lc, s_dce, s_clone});
+    // "Overall" combines the applicable optimizations.
+    {
+      PipelineOptions o;
+      o.constant_folding = dce_models.count(name) > 0;
+      o.cloning = clone_models.count(name) > 0;
+      auto pm = bench::prepare(name, o);
+      overall = std::max(overall, base_seq / bench::par_ms(pm));
+    }
+    const auto& p = paper.at(name);
+    auto cell = [](double mine, double theirs, char* buf, std::size_t size) {
+      if (mine < 0) {
+        std::snprintf(buf, size, "      -");
+      } else if (theirs < 0) {
+        std::snprintf(buf, size, "%5.2fx (  - )", mine);
+      } else {
+        std::snprintf(buf, size, "%5.2fx (%4.2f)", mine, theirs);
+      }
+    };
+    char c1[32], c2[32], c3[32], c4[32];
+    cell(s_lc, p[0], c1, sizeof(c1));
+    cell(s_dce, p[1], c2, sizeof(c2));
+    cell(s_clone, p[2], c3, sizeof(c3));
+    cell(overall, p[3], c4, sizeof(c4));
+    std::printf("%-14s %15s %15s %18s %15s\n", name.c_str(), c1, c2, c3, c4);
+  }
+  return 0;
+}

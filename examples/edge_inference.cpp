@@ -1,0 +1,61 @@
+// Scenario: batch-1 CPU inference on a power-constrained device — the
+// paper's motivating use case (§I). Compares, per model, the simulated
+// latency of the sequential code against the LC-parallel code with each
+// optimization stage enabled, and reports the compile cost of each
+// configuration (cheap enough to run on-device, unlike search-based
+// compilers).
+//
+// Run:  ./build/examples/edge_inference [model]
+#include <cstdio>
+#include <string>
+
+#include "models/zoo.h"
+#include "ramiel/pipeline.h"
+#include "sim/simulator.h"
+
+namespace {
+
+struct Config {
+  const char* label;
+  bool fold;
+  bool clone;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ramiel;
+  const std::vector<std::string> chosen =
+      argc > 1 ? std::vector<std::string>{argv[1]} : models::model_names();
+
+  static constexpr Config kConfigs[] = {
+      {"LC only", false, false},
+      {"LC + CP/DCE", true, false},
+      {"LC + cloning", false, true},
+      {"LC + both", true, true},
+  };
+
+  for (const std::string& name : chosen) {
+    std::printf("\n=== %s (batch 1, edge CPU) ===\n", name.c_str());
+    std::printf("%-14s %10s %12s %10s %12s\n", "config", "seq(ms)", "par(ms)",
+                "speedup", "compile(ms)");
+    for (const Config& cfg : kConfigs) {
+      PipelineOptions opts;
+      opts.constant_folding = cfg.fold;
+      opts.cloning = cfg.clone;
+      CompiledModel cm = compile_model(models::build(name), opts);
+      Rng rng(1);
+      CostProfile profile = measure_costs(cm.graph, 2, rng);
+      SimOptions sim;
+      const double seq = simulate_sequential_ms(cm.graph, profile, 1, sim);
+      const double par =
+          simulate_parallel(cm.graph,
+                            build_hyperclusters(cm.graph, cm.clustering, 1),
+                            profile, sim)
+              .makespan_ms;
+      std::printf("%-14s %10.1f %12.1f %9.2fx %12.1f\n", cfg.label, seq, par,
+                  seq / par, cm.compile_seconds * 1e3);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Parallel PyTorch+Python code generation (paper §IV, Algorithm 4, Fig. 11).
+//
+// Every cluster becomes one Python function; cross-cluster tensor
+// dependences become tagged queue.put()/recv() pairs over per-pair
+// multiprocessing queues (tagging makes delivery robust to out-of-order
+// produce/consume positions). A main() spawns one Python process per
+// cluster — processes rather than threads because of the GIL, as the paper
+// notes. A single-function sequential version is also emitted, mirroring
+// Ramiel's "single core non-parallel version" used as the baseline.
+#pragma once
+
+#include <string>
+
+#include "passes/clustering.h"
+#include "passes/hypercluster.h"
+
+namespace ramiel {
+
+struct CodegenOptions {
+  /// Emitted into the module docstring.
+  std::string model_name = "model";
+  /// Path comment for the weights file the code expects.
+  std::string weights_path = "model.rmb";
+};
+
+struct CodegenResult {
+  std::string parallel_source;    // one function per cluster + main()
+  std::string sequential_source;  // single-function reference version
+  /// Filled by the pipeline when batch > 1: the hyperclustered variant.
+  std::string hypercluster_source;
+  int num_queues = 0;             // directed cluster pairs that communicate
+  int num_messages = 0;           // put()/recv() pairs generated
+};
+
+/// Runs Algorithm 4 over the clustering. Requires cluster node lists in
+/// topological order (as produced by merge_clusters / finalize passes).
+CodegenResult generate_python(const Graph& graph, const Clustering& clustering,
+                              const CodegenOptions& options = {});
+
+/// Batch > 1 variant: one Python function per *hypercluster* worker whose
+/// body interleaves the per-sample op streams exactly as the worker task
+/// list does (§III-E). SSA names and message tags carry the sample index;
+/// inputs/outputs are lists indexed by sample.
+std::string generate_python_hyper(const Graph& graph,
+                                  const Hyperclustering& hc,
+                                  const CodegenOptions& options = {});
+
+/// Renders the PyTorch expression for one node given Python expressions for
+/// its inputs (exposed for tests).
+std::string torch_expression(const Node& node,
+                             const std::vector<std::string>& inputs);
+
+}  // namespace ramiel

@@ -1,0 +1,85 @@
+// Node attributes: a small ordered map from string keys to typed values.
+// Attribute types cover what the ONNX subset needs: int, float, string and
+// int-list. Access is checked — asking for a missing or mistyped attribute is a
+// caller error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace ramiel {
+
+using AttrValue =
+    std::variant<std::int64_t, double, std::string, std::vector<std::int64_t>>;
+
+/// Ordered attribute map (ordered so serialization is deterministic).
+class Attrs {
+ public:
+  Attrs() = default;
+
+  Attrs& set(const std::string& key, std::int64_t v) {
+    map_[key] = v;
+    return *this;
+  }
+  Attrs& set(const std::string& key, int v) {
+    return set(key, static_cast<std::int64_t>(v));
+  }
+  Attrs& set(const std::string& key, double v) {
+    map_[key] = v;
+    return *this;
+  }
+  Attrs& set(const std::string& key, std::string v) {
+    map_[key] = std::move(v);
+    return *this;
+  }
+  Attrs& set(const std::string& key, std::vector<std::int64_t> v) {
+    map_[key] = std::move(v);
+    return *this;
+  }
+
+  bool has(const std::string& key) const { return map_.count(key) != 0; }
+
+  std::int64_t get_int(const std::string& key) const {
+    return get<std::int64_t>(key);
+  }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return fallback;
+    return std::get<std::int64_t>(it->second);
+  }
+  double get_float(const std::string& key) const { return get<double>(key); }
+  double get_float(const std::string& key, double fallback) const {
+    auto it = map_.find(key);
+    if (it == map_.end()) return fallback;
+    return std::get<double>(it->second);
+  }
+  const std::string& get_str(const std::string& key) const {
+    return get<std::string>(key);
+  }
+  const std::vector<std::int64_t>& get_ints(const std::string& key) const {
+    return get<std::vector<std::int64_t>>(key);
+  }
+
+  const std::map<std::string, AttrValue>& entries() const { return map_; }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  template <typename T>
+  const T& get(const std::string& key) const {
+    auto it = map_.find(key);
+    RAMIEL_CHECK(it != map_.end(), str_cat("missing attribute '", key, "'"));
+    const T* v = std::get_if<T>(&it->second);
+    RAMIEL_CHECK(v != nullptr, str_cat("attribute '", key, "' has wrong type"));
+    return *v;
+  }
+
+  std::map<std::string, AttrValue> map_;
+};
+
+}  // namespace ramiel

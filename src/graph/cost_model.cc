@@ -1,0 +1,49 @@
+#include "graph/cost_model.h"
+
+namespace ramiel {
+
+std::int64_t CostModel::node_weight(const Node& node) const {
+  switch (node.kind) {
+    case OpKind::kConv2d: {
+      // Kernel size comes from the "kernel" attribute when present (set by
+      // all builders/importers); fall back to 3x3 cost otherwise.
+      const std::int64_t k = node.attrs.get_int("kernel", 3);
+      if (k >= 7) return conv_7x7;
+      if (k >= 5) return conv_5x5;
+      if (k >= 2) return conv_3x3;
+      return conv_1x1;
+    }
+    case OpKind::kMatMul:
+      return matmul;
+    case OpKind::kGemm:
+      return gemm;
+    case OpKind::kMaxPool:
+    case OpKind::kAvgPool:
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kResize:
+      return pool;
+    case OpKind::kBatchNorm:
+    case OpKind::kLayerNorm:
+    case OpKind::kSoftmax:
+      return norm;
+    case OpKind::kReduceMean:
+      return reduce;
+    case OpKind::kEmbedding:
+      return embedding;
+    case OpKind::kConstant:
+      return 0;
+    default:
+      if (op_is_data_movement(node.kind)) return data_movement;
+      return elementwise;
+  }
+}
+
+std::int64_t CostModel::total_weight(const Graph& graph) const {
+  std::int64_t total = 0;
+  for (const Node& n : graph.nodes()) {
+    if (!n.dead) total += node_weight(n);
+  }
+  return total;
+}
+
+}  // namespace ramiel

@@ -1,0 +1,42 @@
+// Static cost model from the paper (§III-A):
+//
+//   "heavy DL operations like Conv, Matmul etc. having higher cost than
+//    simpler ones. Also a Conv using a bigger kernel of size 7x7 or 5x5 is
+//    assigned a higher cost compared to those of size 3x3 or 1x1.
+//    Elementwise operations like Relu are assigned a cost of 1. [...]
+//    We also add a unit cost for each graph edge when computing the CP."
+//
+// Weights are integers so Table-I-style summaries are deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ramiel {
+
+/// Tunable static weights. Defaults are calibrated so the Table I
+/// parallelism factors of the eight evaluation models land near the paper's.
+struct CostModel {
+  std::int64_t conv_7x7 = 14;
+  std::int64_t conv_5x5 = 10;
+  std::int64_t conv_3x3 = 6;
+  std::int64_t conv_1x1 = 2;
+  std::int64_t matmul = 200;     // transformer-scale matmuls (BERT)
+  std::int64_t gemm = 12;        // classifier-head style GEMMs
+  std::int64_t pool = 2;
+  std::int64_t norm = 2;         // batch/layer norm, softmax
+  std::int64_t reduce = 2;
+  std::int64_t embedding = 4;
+  std::int64_t data_movement = 1;
+  std::int64_t elementwise = 1;
+  std::int64_t edge = 1;         // per-edge overhead on the critical path
+
+  /// Static weight of one node.
+  std::int64_t node_weight(const Node& node) const;
+
+  /// Sum of node_weight over live nodes ("Wt. Cost of Nodes" in Table I).
+  std::int64_t total_weight(const Graph& graph) const;
+};
+
+}  // namespace ramiel

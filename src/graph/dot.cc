@@ -1,0 +1,37 @@
+#include "graph/dot.h"
+
+#include <array>
+#include <sstream>
+
+namespace ramiel {
+
+std::string to_dot(const Graph& graph, const std::vector<int>& cluster_of) {
+  static constexpr std::array<const char*, 10> kPalette = {
+      "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6",
+      "#ffff99", "#1f78b4", "#33a02c", "#e31a1c", "#ff7f00"};
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, style=filled, fillcolor=white];\n";
+  for (const Node& n : graph.nodes()) {
+    if (n.dead) continue;
+    os << "  n" << n.id << " [label=\"" << op_kind_name(n.kind) << "\\n"
+       << n.name << "\"";
+    if (n.id < static_cast<NodeId>(cluster_of.size()) &&
+        cluster_of[static_cast<std::size_t>(n.id)] >= 0) {
+      const int c = cluster_of[static_cast<std::size_t>(n.id)];
+      os << ", fillcolor=\"" << kPalette[static_cast<std::size_t>(c) % kPalette.size()]
+         << "\", xlabel=\"C" << c << "\"";
+    }
+    os << "];\n";
+  }
+  for (const Node& n : graph.nodes()) {
+    if (n.dead) continue;
+    for (NodeId s : graph.successors(n.id)) {
+      os << "  n" << n.id << " -> n" << s << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ramiel

@@ -1,0 +1,17 @@
+// Graphviz DOT export for visual inspection of dataflow graphs and cluster
+// assignments (the paper's Figs. 1-9 are exactly such renderings).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ramiel {
+
+/// Renders the graph in DOT format. When `cluster_of` is non-empty it must
+/// map node id -> cluster index; nodes are then colored per cluster.
+std::string to_dot(const Graph& graph,
+                   const std::vector<int>& cluster_of = {});
+
+}  // namespace ramiel

@@ -1,0 +1,292 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace ramiel {
+
+ValueId Graph::add_value(const std::string& name, Shape shape) {
+  RAMIEL_CHECK(!name.empty(), "value name must be non-empty");
+  RAMIEL_CHECK(value_by_name_.count(name) == 0,
+               str_cat("duplicate value name '", name, "'"));
+  Value v;
+  v.id = static_cast<ValueId>(values_.size());
+  v.name = name;
+  v.shape = std::move(shape);
+  values_.push_back(std::move(v));
+  value_by_name_.emplace(name, values_.back().id);
+  return values_.back().id;
+}
+
+ValueId Graph::add_initializer(const std::string& name, Tensor data) {
+  ValueId id = add_value(name, data.shape());
+  values_[static_cast<std::size_t>(id)].const_data = std::move(data);
+  return id;
+}
+
+NodeId Graph::add_node(OpKind kind, const std::string& name,
+                       const std::vector<ValueId>& inputs, int num_outputs,
+                       Attrs attrs) {
+  RAMIEL_CHECK(num_outputs >= 1, "node must produce at least one output");
+  Node n;
+  n.id = static_cast<NodeId>(nodes_.size());
+  n.kind = kind;
+  n.name = name.empty() ? str_cat(op_kind_name(kind), "_", n.id) : name;
+  n.attrs = std::move(attrs);
+  for (ValueId in : inputs) {
+    RAMIEL_CHECK(in >= 0 && in < static_cast<ValueId>(values_.size()),
+                 str_cat("node '", n.name, "' references invalid value ", in));
+    n.inputs.push_back(in);
+    values_[static_cast<std::size_t>(in)].consumers.push_back(n.id);
+  }
+  for (int i = 0; i < num_outputs; ++i) {
+    const std::string out_name =
+        num_outputs == 1 ? str_cat(n.name, "_out") : str_cat(n.name, "_out", i);
+    ValueId out = add_value(out_name);
+    values_[static_cast<std::size_t>(out)].producer = n.id;
+    n.outputs.push_back(out);
+  }
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+NodeId Graph::add_node_named_outputs(OpKind kind, const std::string& name,
+                                     const std::vector<ValueId>& inputs,
+                                     const std::vector<std::string>& output_names,
+                                     Attrs attrs) {
+  RAMIEL_CHECK(!output_names.empty(), "node must produce at least one output");
+  NodeId id = add_node(kind, name, inputs,
+                       static_cast<int>(output_names.size()), std::move(attrs));
+  Node& n = nodes_[static_cast<std::size_t>(id)];
+  for (std::size_t i = 0; i < output_names.size(); ++i) {
+    Value& v = values_[static_cast<std::size_t>(n.outputs[i])];
+    if (v.name == output_names[i]) continue;  // placeholder already matches
+    RAMIEL_CHECK(value_by_name_.count(output_names[i]) == 0,
+                 str_cat("duplicate value name '", output_names[i], "'"));
+    value_by_name_.erase(v.name);
+    v.name = output_names[i];
+    value_by_name_.emplace(v.name, v.id);
+  }
+  return id;
+}
+
+void Graph::mark_input(ValueId v) {
+  RAMIEL_CHECK(v >= 0 && v < static_cast<ValueId>(values_.size()),
+               "mark_input: invalid value id");
+  RAMIEL_CHECK(values_[static_cast<std::size_t>(v)].producer == kNoNode,
+               "graph input cannot have a producer");
+  inputs_.push_back(v);
+}
+
+void Graph::mark_output(ValueId v) {
+  RAMIEL_CHECK(v >= 0 && v < static_cast<ValueId>(values_.size()),
+               "mark_output: invalid value id");
+  outputs_.push_back(v);
+}
+
+Node& Graph::node(NodeId id) {
+  RAMIEL_CHECK(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+               str_cat("invalid node id ", id));
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& Graph::node(NodeId id) const {
+  return const_cast<Graph*>(this)->node(id);
+}
+
+Value& Graph::value(ValueId id) {
+  RAMIEL_CHECK(id >= 0 && id < static_cast<ValueId>(values_.size()),
+               str_cat("invalid value id ", id));
+  return values_[static_cast<std::size_t>(id)];
+}
+
+const Value& Graph::value(ValueId id) const {
+  return const_cast<Graph*>(this)->value(id);
+}
+
+ValueId Graph::find_value(const std::string& name) const {
+  auto it = value_by_name_.find(name);
+  return it == value_by_name_.end() ? -1 : it->second;
+}
+
+int Graph::live_node_count() const {
+  int n = 0;
+  for (const Node& node : nodes_) {
+    if (!node.dead) ++n;
+  }
+  return n;
+}
+
+std::vector<NodeId> Graph::predecessors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (ValueId in : node(id).inputs) {
+    const NodeId p = value(in).producer;
+    if (p != kNoNode && !node(p).dead &&
+        std::find(out.begin(), out.end(), p) == out.end()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::successors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (ValueId ov : node(id).outputs) {
+    for (NodeId c : value(ov).consumers) {
+      if (!node(c).dead && std::find(out.begin(), out.end(), c) == out.end()) {
+        out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::topo_order() const {
+  std::vector<int> indegree(nodes_.size(), 0);
+  std::deque<NodeId> ready;
+  int live = 0;
+  for (const Node& n : nodes_) {
+    if (n.dead) continue;
+    ++live;
+    indegree[static_cast<std::size_t>(n.id)] =
+        static_cast<int>(predecessors(n.id).size());
+    if (indegree[static_cast<std::size_t>(n.id)] == 0) ready.push_back(n.id);
+  }
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(live));
+  while (!ready.empty()) {
+    const NodeId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (NodeId s : successors(id)) {
+      if (--indegree[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  }
+  if (static_cast<int>(order.size()) != live) {
+    throw ValidationError(str_cat("graph '", name_, "' contains a cycle"));
+  }
+  return order;
+}
+
+void Graph::validate() const {
+  for (const Node& n : nodes_) {
+    if (n.dead) continue;
+    for (ValueId in : n.inputs) {
+      RAMIEL_CHECK(in >= 0 && in < static_cast<ValueId>(values_.size()),
+                   str_cat("node '", n.name, "' has invalid input id"));
+      const Value& v = values_[static_cast<std::size_t>(in)];
+      const bool is_graph_input =
+          std::find(inputs_.begin(), inputs_.end(), in) != inputs_.end();
+      const bool produced = v.producer != kNoNode &&
+                            !nodes_[static_cast<std::size_t>(v.producer)].dead;
+      if (!is_graph_input && !produced && !v.is_constant()) {
+        throw ValidationError(str_cat("node '", n.name, "' reads value '",
+                                      v.name,
+                                      "' which is neither a graph input, a "
+                                      "constant, nor produced by a live node"));
+      }
+    }
+    for (ValueId out : n.outputs) {
+      RAMIEL_CHECK(out >= 0 && out < static_cast<ValueId>(values_.size()),
+                   str_cat("node '", n.name, "' has invalid output id"));
+      RAMIEL_CHECK(values_[static_cast<std::size_t>(out)].producer == n.id,
+                   str_cat("value '", values_[static_cast<std::size_t>(out)].name,
+                           "' does not point back to its producer"));
+    }
+  }
+  for (ValueId out : outputs_) {
+    const Value& v = values_[static_cast<std::size_t>(out)];
+    const bool produced = v.producer != kNoNode &&
+                          !nodes_[static_cast<std::size_t>(v.producer)].dead;
+    if (!produced && !v.is_constant() &&
+        std::find(inputs_.begin(), inputs_.end(), out) == inputs_.end()) {
+      throw ValidationError(
+          str_cat("graph output '", v.name, "' has no live producer"));
+    }
+  }
+  (void)topo_order();  // throws on cycles
+}
+
+void Graph::replace_value_uses(ValueId from, ValueId to) {
+  RAMIEL_CHECK(from != to, "replace_value_uses: from == to");
+  Value& vf = value(from);
+  Value& vt = value(to);
+  for (NodeId c : vf.consumers) {
+    Node& n = node(c);
+    for (ValueId& in : n.inputs) {
+      if (in == from) in = to;
+    }
+    vt.consumers.push_back(c);
+  }
+  vf.consumers.clear();
+  for (ValueId& out : outputs_) {
+    if (out == from) out = to;
+  }
+}
+
+void Graph::kill_node(NodeId id) {
+  Node& n = node(id);
+  if (n.dead) return;
+  n.dead = true;
+  for (ValueId in : n.inputs) {
+    auto& cons = value(in).consumers;
+    cons.erase(std::remove(cons.begin(), cons.end(), id), cons.end());
+  }
+}
+
+Graph Graph::compacted() const {
+  Graph out(name_);
+  std::vector<ValueId> value_map(values_.size(), -1);
+
+  // A value survives if it is a graph input/output, or referenced by any
+  // live node, or (constant) consumed by a live node.
+  std::vector<bool> keep(values_.size(), false);
+  for (ValueId in : inputs_) keep[static_cast<std::size_t>(in)] = true;
+  for (ValueId o : outputs_) keep[static_cast<std::size_t>(o)] = true;
+  for (const Node& n : nodes_) {
+    if (n.dead) continue;
+    for (ValueId v : n.inputs) keep[static_cast<std::size_t>(v)] = true;
+    for (ValueId v : n.outputs) keep[static_cast<std::size_t>(v)] = true;
+  }
+  for (const Value& v : values_) {
+    if (!keep[static_cast<std::size_t>(v.id)]) continue;
+    ValueId nv = out.add_value(v.name, v.shape);
+    out.values()[static_cast<std::size_t>(nv)].const_data = v.const_data;
+    value_map[static_cast<std::size_t>(v.id)] = nv;
+  }
+  for (const Node& n : nodes_) {
+    if (n.dead) continue;
+    // Build the node directly (bypassing add_node, which would generate
+    // placeholder outputs whose names collide with the kept originals).
+    Node copy;
+    copy.id = static_cast<NodeId>(out.nodes_.size());
+    copy.kind = n.kind;
+    copy.name = n.name;
+    copy.attrs = n.attrs;
+    for (ValueId v : n.inputs) {
+      const ValueId mapped = value_map[static_cast<std::size_t>(v)];
+      RAMIEL_CHECK(mapped >= 0, "live node input value was not kept");
+      copy.inputs.push_back(mapped);
+      out.values_[static_cast<std::size_t>(mapped)].consumers.push_back(copy.id);
+    }
+    for (ValueId v : n.outputs) {
+      const ValueId mapped = value_map[static_cast<std::size_t>(v)];
+      RAMIEL_CHECK(mapped >= 0, "live node output value was not kept");
+      copy.outputs.push_back(mapped);
+      out.values_[static_cast<std::size_t>(mapped)].producer = copy.id;
+    }
+    out.nodes_.push_back(std::move(copy));
+  }
+  for (ValueId in : inputs_) {
+    out.mark_input(value_map[static_cast<std::size_t>(in)]);
+  }
+  for (ValueId o : outputs_) {
+    out.mark_output(value_map[static_cast<std::size_t>(o)]);
+  }
+  return out;
+}
+
+}  // namespace ramiel

@@ -1,0 +1,140 @@
+// The dataflow graph IR at the heart of the system.
+//
+// A Graph owns Nodes (operators) and Values (tensors flowing between them).
+// Initializers (weights) are Values carrying constant data with no producer.
+// Node-level edges are derived from value producer/consumer relationships.
+//
+// Passes may mark nodes dead (DCE, constant folding); `compacted()` produces
+// a fresh graph without tombstones so downstream passes see dense ids.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/attr.h"
+#include "graph/op_kind.h"
+#include "tensor/tensor.h"
+
+namespace ramiel {
+
+using NodeId = std::int32_t;
+using ValueId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// A tensor flowing through the graph (graph input, initializer or an
+/// operator result).
+struct Value {
+  ValueId id = -1;
+  std::string name;
+  Shape shape;                       // filled by shape inference (or builder)
+  NodeId producer = kNoNode;         // kNoNode for graph inputs/initializers
+  std::vector<NodeId> consumers;     // nodes reading this value
+  std::optional<Tensor> const_data;  // set for initializers / folded constants
+
+  bool is_constant() const { return const_data.has_value(); }
+};
+
+/// One operator instance.
+struct Node {
+  NodeId id = -1;
+  OpKind kind = OpKind::kIdentity;
+  std::string name;
+  std::vector<ValueId> inputs;
+  std::vector<ValueId> outputs;
+  Attrs attrs;
+  bool dead = false;  // tombstone set by DCE / folding
+};
+
+/// Dataflow graph. Stable ids; nodes/values are never erased in place, only
+/// tombstoned and later dropped by compacted().
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // -- construction ---------------------------------------------------------
+
+  /// Adds a value; returns its id. Names must be unique and non-empty.
+  ValueId add_value(const std::string& name, Shape shape = Shape{});
+
+  /// Adds an initializer (constant value with data).
+  ValueId add_initializer(const std::string& name, Tensor data);
+
+  /// Adds a node reading `inputs`, producing fresh output values named
+  /// `<name>_out<i>`. Returns the node id.
+  NodeId add_node(OpKind kind, const std::string& name,
+                  const std::vector<ValueId>& inputs, int num_outputs = 1,
+                  Attrs attrs = {});
+
+  /// Adds a node whose output values get the given explicit names (used by
+  /// deserialization, where value names are fixed by the file).
+  NodeId add_node_named_outputs(OpKind kind, const std::string& name,
+                                const std::vector<ValueId>& inputs,
+                                const std::vector<std::string>& output_names,
+                                Attrs attrs = {});
+
+  /// Marks a value as a graph input / graph output.
+  void mark_input(ValueId v);
+  void mark_output(ValueId v);
+
+  // -- access ---------------------------------------------------------------
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  Value& value(ValueId id);
+  const Value& value(ValueId id) const;
+
+  /// Looks up a value by name; kNoNode-like -1 when missing.
+  ValueId find_value(const std::string& name) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  std::vector<Node>& nodes() { return nodes_; }
+  const std::vector<Value>& values() const { return values_; }
+  std::vector<Value>& values() { return values_; }
+  const std::vector<ValueId>& inputs() const { return inputs_; }
+  const std::vector<ValueId>& outputs() const { return outputs_; }
+
+  /// Number of live (non-tombstoned) nodes.
+  int live_node_count() const;
+
+  /// Node ids of the (unique) predecessors / successors of `id` among live
+  /// nodes, derived from value dataflow.
+  std::vector<NodeId> predecessors(NodeId id) const;
+  std::vector<NodeId> successors(NodeId id) const;
+
+  /// Live nodes in a topological order. Throws ValidationError on cycles.
+  std::vector<NodeId> topo_order() const;
+
+  /// Checks structural invariants (referenced ids valid, no cycles, every
+  /// node input produced or constant/graph-input). Throws ValidationError.
+  void validate() const;
+
+  /// Returns a copy without dead nodes and without unreferenced values.
+  /// Graph input values are kept even when unused.
+  Graph compacted() const;
+
+  // -- mutation helpers for passes -------------------------------------------
+
+  /// Reroutes all consumers of value `from` to read value `to` instead, and
+  /// transfers graph-output status.
+  void replace_value_uses(ValueId from, ValueId to);
+
+  /// Tombstones a node and detaches it from its values' consumer lists.
+  void kill_node(NodeId id);
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Value> values_;
+  std::vector<ValueId> inputs_;
+  std::vector<ValueId> outputs_;
+  std::unordered_map<std::string, ValueId> value_by_name_;
+};
+
+}  // namespace ramiel

@@ -1,0 +1,20 @@
+// Single-node evaluation: maps an IR node + input tensors to the tensor
+// kernels. This is the one place attribute conventions are interpreted for
+// execution; the sequential executor, the cluster runtime and the constant
+// folder all call through here, so they cannot diverge.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/ops.h"
+
+namespace ramiel {
+
+/// Evaluates `node` on `inputs` (one tensor per node input, in order).
+/// Returns one tensor per node output. Throws Error on arity/shape problems.
+std::vector<Tensor> eval_node(const Node& node,
+                              const std::vector<Tensor>& inputs,
+                              const OpContext& ctx = OpContext::serial());
+
+}  // namespace ramiel

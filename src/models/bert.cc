@@ -1,0 +1,134 @@
+// BERT-base encoder (Devlin et al.), 12 layers. Mirrors the HuggingFace
+// ONNX export: LayerNorm and GELU appear *decomposed* into their primitive
+// arithmetic (ReduceMean/Sub/Pow/Sqrt/Div/Mul/Add and Div/Erf/Add/Mul/Mul),
+// and every attention reshape goes through a Shape->Gather->Concat->Reshape
+// chain. Those chains plus the scalar Constant nodes are what constant
+// propagation folds in Table III. The multi-headed-attention fan-out
+// (Q | K | V) is the repeated structure of the paper's Fig. 3.
+#include <cmath>
+
+#include "models/net_builder.h"
+#include "models/zoo.h"
+
+namespace ramiel::models {
+namespace {
+
+struct BertCfg {
+  std::int64_t seq = 96;
+  std::int64_t hidden = 128;
+  std::int64_t heads = 4;
+  std::int64_t ff = 512;
+  std::int64_t vocab = 1000;
+  int layers = 12;
+};
+
+/// Decomposed LayerNorm as exported by ONNX (9 graph nodes; the scalar
+/// operands are initializers, matching how the exporter lifts them).
+ValueId layer_norm_decomposed(NetBuilder& b, ValueId x, std::int64_t features) {
+  ValueId mean = b.graph()
+                     .node(b.graph().add_node(OpKind::kReduceMean, "", {x}, 1,
+                                              Attrs{}.set(
+                                                  "axes",
+                                                  std::vector<std::int64_t>{-1})))
+                     .outputs[0];
+  ValueId centered = b.sub(x, mean);
+  ValueId two = b.init(b.graph().name() + "_ln_two_" +
+                           std::to_string(b.graph().nodes().size()),
+                       Tensor::scalar(2.0f));
+  ValueId sq = b.pow(centered, two);
+  ValueId var = b.graph()
+                    .node(b.graph().add_node(OpKind::kReduceMean, "", {sq}, 1,
+                                             Attrs{}.set(
+                                                 "axes",
+                                                 std::vector<std::int64_t>{-1})))
+                    .outputs[0];
+  ValueId eps = b.init(b.graph().name() + "_ln_eps_" +
+                           std::to_string(b.graph().nodes().size()),
+                       Tensor::scalar(1e-5f));
+  ValueId std_dev = b.sqrt(b.add(var, eps));
+  ValueId normed = b.div(centered, std_dev);
+  ValueId scale = b.init(b.graph().name() + "_ln_scale_" +
+                             std::to_string(b.graph().nodes().size()),
+                         Tensor::full(Shape{features}, 1.0f));
+  ValueId bias = b.init(b.graph().name() + "_ln_bias_" +
+                            std::to_string(b.graph().nodes().size()),
+                        Tensor::zeros(Shape{features}));
+  return b.add(b.mul(normed, scale), bias);
+}
+
+/// Decomposed erf-GELU (5 graph nodes; scalar operands are initializers).
+ValueId gelu_decomposed(NetBuilder& b, ValueId x) {
+  const std::string tag = std::to_string(b.graph().nodes().size());
+  ValueId sqrt2 =
+      b.init(b.graph().name() + "_gelu_sqrt2_" + tag, Tensor::scalar(1.41421356f));
+  ValueId scaled = b.div(x, sqrt2);
+  NodeId erf_node = b.graph().add_node(OpKind::kErf, "", {scaled});
+  ValueId erf = b.graph().node(erf_node).outputs[0];
+  ValueId one = b.init(b.graph().name() + "_gelu_one_" + tag, Tensor::scalar(1.0f));
+  ValueId shifted = b.add(erf, one);
+  ValueId prod = b.mul(x, shifted);
+  ValueId half = b.init(b.graph().name() + "_gelu_half_" + tag, Tensor::scalar(0.5f));
+  return b.mul(prod, half);
+}
+
+/// Projects hidden states into per-head layout:
+/// matmul + bias + foldable reshape [1,S,h,d] + transpose to [1,h,S,d].
+ValueId qkv_proj(NetBuilder& b, ValueId x, const BertCfg& c) {
+  ValueId y = b.matmul_w(x, c.hidden, c.hidden);
+  y = b.bias_add(y, c.hidden);
+  y = b.foldable_reshape(y, {1, c.seq, c.heads, c.hidden / c.heads});
+  return b.transpose(y, {0, 2, 1, 3});
+}
+
+ValueId encoder_layer(NetBuilder& b, ValueId x, const BertCfg& c) {
+  // Multi-headed attention.
+  ValueId q = qkv_proj(b, x, c);
+  ValueId k = qkv_proj(b, x, c);
+  ValueId v = qkv_proj(b, x, c);
+  ValueId kt = b.transpose(k, {0, 1, 3, 2});
+  ValueId scores = b.matmul(q, kt);
+  ValueId scale = b.init(
+      b.graph().name() + "_attn_scale_" +
+          std::to_string(b.graph().nodes().size()),
+      Tensor::scalar(std::sqrt(static_cast<float>(c.hidden / c.heads))));
+  scores = b.div(scores, scale);
+  ValueId probs = b.softmax(scores, -1);
+  ValueId ctx = b.matmul(probs, v);
+  ctx = b.transpose(ctx, {0, 2, 1, 3});
+  ctx = b.foldable_reshape(ctx, {1, c.seq, c.hidden});
+  ValueId attn = b.bias_add(b.matmul_w(ctx, c.hidden, c.hidden), c.hidden);
+  x = layer_norm_decomposed(b, b.add(x, attn), c.hidden);
+
+  // Feed-forward.
+  ValueId h = b.bias_add(b.matmul_w(x, c.hidden, c.ff), c.ff);
+  h = gelu_decomposed(b, h);
+  h = b.bias_add(b.matmul_w(h, c.ff, c.hidden), c.hidden);
+  return layer_norm_decomposed(b, b.add(x, h), c.hidden);
+}
+
+}  // namespace
+
+Graph bert() {
+  BertCfg c;
+  NetBuilder b("bert");
+  ValueId ids = b.input("input_ids", Shape{1, c.seq});
+  ValueId type_ids = b.input("token_type_ids", Shape{1, c.seq});
+
+  ValueId word = b.embedding(ids, c.vocab, c.hidden);
+  ValueId type = b.embedding(type_ids, 2, c.hidden);
+  ValueId pos = b.init("position_embeddings",
+                       Tensor::random(Shape{1, c.seq, c.hidden}, b.rng(),
+                                      -0.1f, 0.1f));
+  ValueId x = b.add(b.add(word, type), pos);
+  x = layer_norm_decomposed(b, x, c.hidden);
+
+  for (int i = 0; i < c.layers; ++i) x = encoder_layer(b, x, c);
+
+  // Pooler: first token -> dense -> tanh.
+  ValueId first = b.slice(x, 1, 0, 1);
+  ValueId pooled = b.reshape(first, {1, c.hidden});
+  pooled = b.tanh(b.linear(pooled, c.hidden, c.hidden));
+  return b.finish({x, pooled});
+}
+
+}  // namespace ramiel::models

@@ -1,0 +1,68 @@
+// GoogLeNet / Inception v1 (Szegedy et al.). Nine 4-branch inception modules
+// (1x1 | 1x1->3x3 | 1x1->5x5 | pool->1x1) with stage pools between them.
+// The 4-way fan-out per module is the source of its 1.4x potential
+// parallelism in Table I.
+#include "models/net_builder.h"
+#include "models/zoo.h"
+
+namespace ramiel::models {
+namespace {
+
+struct InceptionSpec {
+  std::int64_t b1;        // 1x1 branch
+  std::int64_t b2a, b2b;  // 1x1 -> 3x3 branch
+  std::int64_t b3a, b3b;  // 1x1 -> 5x5 branch
+  std::int64_t b4;        // pool -> 1x1 branch
+};
+
+/// Classic inception module: 14 nodes.
+ValueId inception(NetBuilder& b, ValueId x, const InceptionSpec& s) {
+  ValueId br1 = b.relu(b.conv(x, s.b1, 1));
+  ValueId br2 = b.relu(b.conv(b.relu(b.conv(x, s.b2a, 1)), s.b2b, 3));
+  ValueId br3 = b.relu(b.conv(b.relu(b.conv(x, s.b3a, 1)), s.b3b, 5));
+  ValueId br4 = b.relu(b.conv(b.max_pool(x, 3, 1, 1), s.b4, 1));
+  return b.concat({br1, br2, br3, br4}, 1);
+}
+
+}  // namespace
+
+Graph googlenet() {
+  NetBuilder b("googlenet");
+  ValueId x = b.input("data", Shape{1, 3, 64, 64});
+
+  // Stem (the original uses LRN; we keep the BN stand-ins the ONNX zoo
+  // export carries at the same positions).
+  x = b.relu(b.conv(x, 16, 7, /*stride=*/2, /*pad=*/3));
+  x = b.max_pool(x, 3, 2, 1);
+  x = b.bn(x);
+  x = b.relu(b.conv(x, 16, 1));
+  x = b.relu(b.conv(x, 48, 3, 1, 1));
+  x = b.bn(x);
+  x = b.max_pool(x, 3, 2, 1);
+
+  // Stage 3 (channel specs are the published ones scaled by 1/4).
+  x = inception(b, x, {16, 24, 32, 4, 8, 8});    // 3a
+  x = inception(b, x, {32, 32, 48, 8, 24, 16});  // 3b
+  x = b.max_pool(x, 3, 2, 1);
+
+  // Stage 4
+  x = inception(b, x, {48, 24, 52, 4, 12, 16});  // 4a
+  x = inception(b, x, {40, 28, 56, 6, 16, 16});  // 4b
+  x = inception(b, x, {32, 32, 64, 6, 16, 16});  // 4c
+  x = inception(b, x, {28, 36, 72, 8, 16, 16});  // 4d
+  x = inception(b, x, {64, 40, 80, 8, 32, 32});  // 4e
+  x = b.max_pool(x, 3, 2, 1);
+
+  // Stage 5
+  x = inception(b, x, {64, 40, 80, 8, 32, 32});    // 5a
+  x = inception(b, x, {96, 48, 96, 12, 32, 32});   // 5b
+
+  const std::int64_t feat = b.channels(x);  // 256 after 5b's concat
+  x = b.global_avg_pool(x);
+  x = b.flatten(x, 1);
+  x = b.linear(x, feat, 100);
+  x = b.softmax(x, -1);
+  return b.finish({x});
+}
+
+}  // namespace ramiel::models

@@ -1,0 +1,86 @@
+// Inception V3 and V4 (Szegedy et al.). Both are stacks of inception-A
+// (1x1 | 1x1->5x5 | 1x1->3x3->3x3 | pool->1x1) and inception-B (factorized
+// 7x7) modules with reduction modules between stages. Convs are
+// conv+bn+relu triples as in the ONNX exports. V4 is the deeper stack.
+// Some branches (pool->1x1) have very low computational intensity — the
+// paper's Fig. 2 observation motivating cloning and hyperclustering.
+#include "models/net_builder.h"
+#include "models/zoo.h"
+
+namespace ramiel::models {
+namespace {
+
+/// Inception-A: 4 branches, 23 nodes.
+ValueId inception_a(NetBuilder& b, ValueId x, std::int64_t pool_ch) {
+  ValueId br1 = b.conv_bn_relu(x, 16, 1);
+  ValueId br2 = b.conv_bn_relu(b.conv_bn_relu(x, 12, 1), 16, 5);
+  ValueId br3 = b.conv_bn_relu(
+      b.conv_bn_relu(b.conv_bn_relu(x, 16, 1), 24, 3), 24, 3);
+  ValueId br4 = b.conv_bn_relu(b.avg_pool(x, 3, 1, 1), pool_ch, 1);
+  return b.concat({br1, br2, br3, br4}, 1);
+}
+
+/// Reduction-A: 3 branches, 14 nodes; halves spatial dims.
+ValueId reduction_a(NetBuilder& b, ValueId x) {
+  ValueId br1 = b.conv_bn_relu(x, 48, 3, /*stride=*/2, /*pad=*/1);
+  ValueId br2 = b.conv_bn_relu(
+      b.conv_bn_relu(b.conv_bn_relu(x, 16, 1), 24, 3),
+      32, 3, /*stride=*/2, /*pad=*/1);
+  ValueId br3 = b.max_pool(x, 3, 2, 1);
+  return b.concat({br1, br2, br3}, 1);
+}
+
+/// Inception-B: factorized 7x7 branches (we model the 1x7/7x1 pairs with
+/// 7-wide square kernels at matching cost class), 4 branches, 32 nodes.
+ValueId inception_b(NetBuilder& b, ValueId x, std::int64_t ch) {
+  ValueId br1 = b.conv_bn_relu(x, 24, 1);
+  ValueId br2 = b.conv_bn_relu(b.conv_bn_relu(b.conv_bn_relu(x, ch, 1), ch, 7),
+                               24, 7);
+  ValueId br3 = b.conv_bn_relu(
+      b.conv_bn_relu(
+          b.conv_bn_relu(b.conv_bn_relu(b.conv_bn_relu(x, ch, 1), ch, 7), ch, 7),
+          ch, 7),
+      24, 7);
+  ValueId br4 = b.conv_bn_relu(b.avg_pool(x, 3, 1, 1), 24, 1);
+  return b.concat({br1, br2, br3, br4}, 1);
+}
+
+/// Shared stem: 6 conv triples + 2 pools = 20 nodes.
+ValueId stem(NetBuilder& b, ValueId x) {
+  x = b.conv_bn_relu(x, 8, 3, /*stride=*/2, /*pad=*/1);
+  x = b.conv_bn_relu(x, 8, 3, 1, 0);
+  x = b.conv_bn_relu(x, 16, 3, 1, 1);
+  x = b.max_pool(x, 3, 2, 1);
+  x = b.conv_bn_relu(x, 20, 1);
+  x = b.conv_bn_relu(x, 48, 3, 1, 0);
+  x = b.max_pool(x, 3, 2, 1);
+  return x;
+}
+
+Graph inception(const std::string& name, int num_a, int num_b,
+                std::int64_t b_ch, std::int64_t hw) {
+  NetBuilder b(name);
+  ValueId x = b.input("data", Shape(std::vector<std::int64_t>{1, 3, hw, hw}));
+  x = stem(b, x);
+  for (int i = 0; i < num_a; ++i) {
+    x = inception_a(b, x, i == 0 ? 8 : 16);
+  }
+  x = reduction_a(b, x);
+  for (int i = 0; i < num_b; ++i) {
+    x = inception_b(b, x, b_ch);
+  }
+  const std::int64_t feat = b.channels(x);
+  x = b.global_avg_pool(x);
+  x = b.flatten(x, 1);
+  x = b.linear(x, feat, 100);
+  x = b.softmax(x, -1);
+  return b.finish({x});
+}
+
+}  // namespace
+
+Graph inception_v3() { return inception("inception_v3", 3, 4, 16, 96); }
+
+Graph inception_v4() { return inception("inception_v4", 4, 7, 16, 128); }
+
+}  // namespace ramiel::models

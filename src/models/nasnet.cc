@@ -1,0 +1,111 @@
+// NASNet-A (Zoph et al.). A stack of searched "normal" and "reduction"
+// cells; every cell runs five blocks in parallel, each block combining two
+// of {adjusted prev output, adjusted prev-prev output} with separable
+// convolutions or pooling. This is the paper's largest graph (Fig. 4) with
+// the widest fan-out and the highest potential parallelism (3.7x), and —
+// via the per-cell shape-computation chains and constant side-branches its
+// ONNX export carries — the biggest constant-propagation win (Table III:
+// 67 -> 9 clusters).
+#include "models/net_builder.h"
+#include "models/zoo.h"
+#include "support/check.h"
+
+namespace ramiel::models {
+namespace {
+
+/// Separable conv as NASNet defines it — applied twice, as in the paper's
+/// architecture: (relu -> depthwise -> pointwise -> bn) x 2 (10 nodes).
+ValueId sep_conv(NetBuilder& b, ValueId x, std::int64_t ch, int kernel,
+                 int stride) {
+  ValueId y = x;
+  for (int rep = 0; rep < 2; ++rep) {
+    y = b.relu(y);
+    y = b.conv(y, b.channels(y), kernel, rep == 0 ? stride : 1, kernel / 2,
+               static_cast<int>(b.channels(y)), /*bias=*/false);
+    y = b.bn(b.conv(y, ch, 1, 1, 0, 1, /*bias=*/false));
+  }
+  return y;
+}
+
+struct CellState {
+  ValueId value;
+  int hw;  // spatial extent (square feature maps)
+};
+
+/// Aligns a cell input to (ch, hw) with a relu->1x1 conv->bn adjust path,
+/// striding when the source is spatially larger.
+ValueId adjust(NetBuilder& b, const CellState& s, std::int64_t ch, int hw) {
+  const int stride = s.hw / hw;
+  RAMIEL_CHECK(stride >= 1, "cell input smaller than target");
+  return b.bn(b.conv(b.relu(s.value), ch, 1, stride, 0, 1, /*bias=*/false));
+}
+
+/// One NASNet-A cell (normal: stride 1, reduction: stride 2 on the first
+/// ops of every block). Returns the concat of the five block outputs.
+CellState cell(NetBuilder& b, const CellState& prev, const CellState& prev_prev,
+               std::int64_t ch, bool reduce) {
+  const int out_hw = reduce ? prev.hw / 2 : prev.hw;
+  const int s = reduce ? 2 : 1;
+  ValueId h1 = adjust(b, prev, ch, prev.hw);
+  ValueId h0 = adjust(b, prev_prev, ch, prev.hw);
+
+  // Five blocks in the published NASNet-A pattern (op pairs vary by block).
+  ValueId b1 = b.add(sep_conv(b, h1, ch, 5, s), sep_conv(b, h0, ch, 3, s));
+  ValueId b2 = b.add(sep_conv(b, h0, ch, 5, s), sep_conv(b, h0, ch, 3, s));
+  ValueId b3 = b.add(b.avg_pool(h1, 3, s, 1), sep_conv(b, h0, ch, 7, s));
+  ValueId b4 = b.add(b.avg_pool(h0, 3, s, 1), b.avg_pool(h0, 3, s, 1));
+  ValueId b5 = b.add(sep_conv(b, h1, ch, 3, s), sep_conv(b, h1, ch, 7, s));
+
+  ValueId out = b.concat({b1, b2, b3, b4, b5}, 1);
+  const std::int64_t out_ch = b.channels(out);
+
+  // Shape-computation chain (Shape -> Gather -> Concat -> Reshape) as the
+  // export emits around pad/slice handling; folds to a constant reshape.
+  out = b.foldable_reshape(out, {1, out_ch, out_hw, out_hw});
+  b.declare_channels(out, out_ch);
+
+  // Constant side-branch: a Constant scalar chain folded away by CP+DCE
+  // (the export's pad-value computations look like this).
+  ValueId base = b.scalar(0.01f);
+  ValueId scaled = b.mul(base, b.scalar(2.0f));
+  ValueId biasv = b.exp(scaled);
+  out = b.add(out, biasv);
+
+  return {out, out_hw};
+}
+
+}  // namespace
+
+Graph nasnet() {
+  NetBuilder b("nasnet");
+  ValueId x = b.input("data", Shape{1, 3, 48, 48});
+  x = b.bn(b.conv(x, 8, 3, 1, 1, 1, /*bias=*/false));
+
+  CellState prev{x, 48};
+  CellState prev_prev{x, 48};
+  std::int64_t ch = 4;
+  const int cells_per_stage = 5;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int i = 0; i < cells_per_stage; ++i) {
+      CellState next = cell(b, prev, prev_prev, ch, /*reduce=*/false);
+      prev_prev = prev;
+      prev = next;
+    }
+    if (stage < 2) {
+      ch *= 2;
+      CellState next = cell(b, prev, prev_prev, ch, /*reduce=*/true);
+      prev_prev = prev;
+      prev = next;
+    }
+  }
+
+  ValueId out = b.relu(prev.value);
+  const std::int64_t feat = b.channels(out);
+  out = b.global_avg_pool(out);
+  out = b.flatten(out, 1);
+  out = b.linear(out, feat, 100);
+  out = b.softmax(out, -1);
+  return b.finish({out});
+}
+
+}  // namespace ramiel::models

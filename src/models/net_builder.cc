@@ -1,0 +1,351 @@
+#include "models/net_builder.h"
+
+#include <cmath>
+
+#include "graph/shape_inference.h"
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace ramiel {
+
+NetBuilder::NetBuilder(std::string model_name, std::uint64_t seed)
+    : g_(std::move(model_name)), rng_(seed) {}
+
+std::string NetBuilder::fresh(const std::string& prefix) {
+  const int n = name_counters_[prefix]++;
+  return str_cat(prefix, "_", n);
+}
+
+Tensor NetBuilder::rand_tensor(Shape shape, float scale) {
+  return Tensor::random(std::move(shape), rng_, -scale, scale);
+}
+
+void NetBuilder::set_channels(ValueId v, std::int64_t ch) { channels_[v] = ch; }
+
+std::int64_t NetBuilder::channels(ValueId x) const {
+  auto it = channels_.find(x);
+  return it == channels_.end() ? -1 : it->second;
+}
+
+ValueId NetBuilder::input(const std::string& name, Shape shape) {
+  ValueId v = g_.add_value(name, shape);
+  g_.mark_input(v);
+  if (shape.rank() == 4) set_channels(v, shape.dim(1));
+  return v;
+}
+
+Graph NetBuilder::finish(const std::vector<ValueId>& outputs) {
+  for (ValueId o : outputs) g_.mark_output(o);
+  infer_shapes(g_);
+  g_.validate();
+  return std::move(g_);
+}
+
+ValueId NetBuilder::conv(ValueId x, std::int64_t out_ch, int kernel, int stride,
+                         int pad, int groups, bool bias) {
+  const std::int64_t in_ch = channels(x);
+  RAMIEL_CHECK(in_ch > 0, "conv input has unknown channel count");
+  RAMIEL_CHECK(in_ch % groups == 0 && out_ch % groups == 0,
+               "conv groups must divide channels");
+  if (pad < 0) pad = kernel / 2;
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(in_ch / groups * kernel * kernel));
+  const std::string name = fresh("conv");
+  ValueId w = init(name + "_w",
+                   rand_tensor(Shape{out_ch, in_ch / groups, kernel, kernel},
+                               scale));
+  std::vector<ValueId> inputs{x, w};
+  if (bias) {
+    inputs.push_back(init(name + "_b", rand_tensor(Shape{out_ch}, scale)));
+  }
+  Attrs attrs;
+  attrs.set("kernel", kernel)
+      .set("stride", stride)
+      .set("pad", pad)
+      .set("groups", groups);
+  NodeId n = g_.add_node(OpKind::kConv2d, name, inputs, 1, std::move(attrs));
+  ValueId out = g_.node(n).outputs[0];
+  set_channels(out, out_ch);
+  return out;
+}
+
+ValueId NetBuilder::depthwise_conv(ValueId x, int kernel, int stride, int pad) {
+  const std::int64_t ch = channels(x);
+  RAMIEL_CHECK(ch > 0, "depthwise conv input has unknown channel count");
+  return conv(x, ch, kernel, stride, pad, static_cast<int>(ch));
+}
+
+ValueId NetBuilder::bn(ValueId x) {
+  const std::int64_t ch = channels(x);
+  RAMIEL_CHECK(ch > 0, "bn input has unknown channel count");
+  const std::string name = fresh("bn");
+  ValueId scale = init(name + "_scale", Tensor::full(Shape{ch}, 1.0f));
+  ValueId bias = init(name + "_bias", rand_tensor(Shape{ch}, 0.1f));
+  ValueId mean = init(name + "_mean", rand_tensor(Shape{ch}, 0.1f));
+  ValueId var = init(name + "_var", Tensor::full(Shape{ch}, 1.0f));
+  NodeId n = g_.add_node(OpKind::kBatchNorm, name, {x, scale, bias, mean, var},
+                         1, Attrs{}.set("epsilon", 1e-5));
+  ValueId out = g_.node(n).outputs[0];
+  set_channels(out, ch);
+  return out;
+}
+
+namespace {
+Attrs pool_attrs(int kernel, int stride, int pad) {
+  Attrs a;
+  a.set("kernel", kernel).set("stride", stride).set("pad", pad);
+  return a;
+}
+}  // namespace
+
+ValueId NetBuilder::max_pool(ValueId x, int kernel, int stride, int pad) {
+  NodeId n = g_.add_node(OpKind::kMaxPool, fresh("maxpool"), {x}, 1,
+                         pool_attrs(kernel, stride, pad));
+  ValueId out = g_.node(n).outputs[0];
+  set_channels(out, channels(x));
+  return out;
+}
+
+ValueId NetBuilder::avg_pool(ValueId x, int kernel, int stride, int pad) {
+  NodeId n = g_.add_node(OpKind::kAvgPool, fresh("avgpool"), {x}, 1,
+                         pool_attrs(kernel, stride, pad));
+  ValueId out = g_.node(n).outputs[0];
+  set_channels(out, channels(x));
+  return out;
+}
+
+ValueId NetBuilder::global_avg_pool(ValueId x) {
+  NodeId n = g_.add_node(OpKind::kGlobalAvgPool, fresh("gap"), {x});
+  ValueId out = g_.node(n).outputs[0];
+  set_channels(out, channels(x));
+  return out;
+}
+
+ValueId NetBuilder::upsample(ValueId x, int scale) {
+  NodeId n = g_.add_node(OpKind::kResize, fresh("upsample"), {x}, 1,
+                         Attrs{}.set("scale", scale));
+  ValueId out = g_.node(n).outputs[0];
+  set_channels(out, channels(x));
+  return out;
+}
+
+// One-input ops that preserve channel counts.
+#define RAMIEL_UNARY(method, kind, prefix)                    \
+  ValueId NetBuilder::method(ValueId x) {                     \
+    NodeId n = g_.add_node(OpKind::kind, fresh(prefix), {x}); \
+    ValueId out = g_.node(n).outputs[0];                      \
+    set_channels(out, channels(x));                           \
+    return out;                                               \
+  }
+
+RAMIEL_UNARY(relu, kRelu, "relu")
+RAMIEL_UNARY(sigmoid, kSigmoid, "sigmoid")
+RAMIEL_UNARY(silu, kSilu, "silu")
+RAMIEL_UNARY(gelu, kGelu, "gelu")
+RAMIEL_UNARY(tanh, kTanh, "tanh")
+RAMIEL_UNARY(exp, kExp, "exp")
+RAMIEL_UNARY(sqrt, kSqrt, "sqrt")
+#undef RAMIEL_UNARY
+
+ValueId NetBuilder::leaky_relu(ValueId x, double alpha) {
+  NodeId n = g_.add_node(OpKind::kLeakyRelu, fresh("lrelu"), {x}, 1,
+                         Attrs{}.set("alpha", alpha));
+  ValueId out = g_.node(n).outputs[0];
+  set_channels(out, channels(x));
+  return out;
+}
+
+// Two-input elementwise ops; channel count taken from the first operand.
+#define RAMIEL_BINARY(method, kind, prefix)                          \
+  ValueId NetBuilder::method(ValueId a, ValueId b) {                 \
+    NodeId n = g_.add_node(OpKind::kind, fresh(prefix), {a, b});     \
+    ValueId out = g_.node(n).outputs[0];                             \
+    set_channels(out, channels(a) > 0 ? channels(a) : channels(b));  \
+    return out;                                                      \
+  }
+
+RAMIEL_BINARY(add, kAdd, "add")
+RAMIEL_BINARY(sub, kSub, "sub")
+RAMIEL_BINARY(mul, kMul, "mul")
+RAMIEL_BINARY(div, kDiv, "div")
+RAMIEL_BINARY(pow, kPow, "pow")
+#undef RAMIEL_BINARY
+
+ValueId NetBuilder::matmul_w(ValueId x, std::int64_t in_features,
+                             std::int64_t out_features) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(in_features));
+  const std::string name = fresh("matmul");
+  ValueId w = init(name + "_w", rand_tensor(Shape{in_features, out_features},
+                                            scale));
+  NodeId n = g_.add_node(OpKind::kMatMul, name, {x, w});
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::matmul(ValueId a, ValueId b) {
+  NodeId n = g_.add_node(OpKind::kMatMul, fresh("matmul"), {a, b});
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::linear(ValueId x, std::int64_t in_features,
+                           std::int64_t out_features) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(in_features));
+  const std::string name = fresh("linear");
+  ValueId w = init(name + "_w", rand_tensor(Shape{in_features, out_features},
+                                            scale));
+  ValueId b = init(name + "_b", rand_tensor(Shape{out_features}, scale));
+  NodeId n = g_.add_node(OpKind::kGemm, name, {x, w, b});
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::bias_add(ValueId x, std::int64_t features) {
+  const std::string name = fresh("bias");
+  ValueId b = init(name + "_b", rand_tensor(Shape{features}, 0.1f));
+  NodeId n = g_.add_node(OpKind::kAdd, name, {x, b});
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::layer_norm(ValueId x, std::int64_t features) {
+  const std::string name = fresh("ln");
+  ValueId scale = init(name + "_scale", Tensor::full(Shape{features}, 1.0f));
+  ValueId bias = init(name + "_bias", Tensor::zeros(Shape{features}));
+  NodeId n = g_.add_node(OpKind::kLayerNorm, name, {x, scale, bias}, 1,
+                         Attrs{}.set("epsilon", 1e-5));
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::softmax(ValueId x, int axis) {
+  NodeId n = g_.add_node(OpKind::kSoftmax, fresh("softmax"), {x}, 1,
+                         Attrs{}.set("axis", axis));
+  ValueId out = g_.node(n).outputs[0];
+  set_channels(out, channels(x));
+  return out;
+}
+
+ValueId NetBuilder::embedding(ValueId ids, std::int64_t vocab, std::int64_t dim) {
+  const std::string name = fresh("embed");
+  ValueId table = init(name + "_table",
+                       rand_tensor(Shape{vocab, dim},
+                                   1.0f / std::sqrt(static_cast<float>(dim))));
+  NodeId n = g_.add_node(OpKind::kEmbedding, name, {table, ids});
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::concat(const std::vector<ValueId>& xs, int axis) {
+  NodeId n = g_.add_node(OpKind::kConcat, fresh("concat"), xs, 1,
+                         Attrs{}.set("axis", axis));
+  ValueId out = g_.node(n).outputs[0];
+  if (axis == 1) {
+    std::int64_t total = 0;
+    for (ValueId x : xs) {
+      const std::int64_t c = channels(x);
+      if (c < 0) {
+        total = -1;
+        break;
+      }
+      total += c;
+    }
+    set_channels(out, total);
+  } else {
+    set_channels(out, channels(xs[0]));
+  }
+  return out;
+}
+
+ValueId NetBuilder::reshape(ValueId x, std::vector<std::int64_t> dims) {
+  NodeId n = g_.add_node(OpKind::kReshape, fresh("reshape"), {x}, 1,
+                         Attrs{}.set("shape", std::move(dims)));
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::reshape_dyn(ValueId x, ValueId shape_tensor) {
+  NodeId n = g_.add_node(OpKind::kReshape, fresh("reshape"), {x, shape_tensor});
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::transpose(ValueId x, std::vector<std::int64_t> perm) {
+  NodeId n = g_.add_node(OpKind::kTranspose, fresh("transpose"), {x}, 1,
+                         Attrs{}.set("perm", std::move(perm)));
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::slice(ValueId x, int axis, std::int64_t begin,
+                          std::int64_t end, std::int64_t step) {
+  NodeId n = g_.add_node(OpKind::kSlice, fresh("slice"), {x}, 1,
+                         Attrs{}
+                             .set("axis", axis)
+                             .set("begin", begin)
+                             .set("end", end)
+                             .set("step", step));
+  ValueId out = g_.node(n).outputs[0];
+  if (axis != 1) set_channels(out, channels(x));
+  return out;
+}
+
+ValueId NetBuilder::flatten(ValueId x, int axis) {
+  NodeId n = g_.add_node(OpKind::kFlatten, fresh("flatten"), {x}, 1,
+                         Attrs{}.set("axis", axis));
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::shape_of(ValueId x) {
+  NodeId n = g_.add_node(OpKind::kShape, fresh("shape"), {x});
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::gather(ValueId x, ValueId indices, int axis) {
+  NodeId n = g_.add_node(OpKind::kGather, fresh("gather"), {x, indices}, 1,
+                         Attrs{}.set("axis", axis));
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::gather_const(ValueId x, std::vector<float> indices,
+                                 int axis) {
+  ValueId idx = constant(Tensor::vec(std::move(indices)));
+  return gather(x, idx, axis);
+}
+
+ValueId NetBuilder::unsqueeze(ValueId x, std::vector<std::int64_t> axes) {
+  NodeId n = g_.add_node(OpKind::kUnsqueeze, fresh("unsqueeze"), {x}, 1,
+                         Attrs{}.set("axes", std::move(axes)));
+  return g_.node(n).outputs[0];
+}
+
+ValueId NetBuilder::init(const std::string& name, Tensor data) {
+  return g_.add_initializer(name, std::move(data));
+}
+
+ValueId NetBuilder::constant(Tensor data) {
+  NodeId n = g_.add_node(OpKind::kConstant, fresh("const"), {});
+  ValueId out = g_.node(n).outputs[0];
+  g_.value(out).shape = data.shape();
+  g_.value(out).const_data = std::move(data);
+  return out;
+}
+
+ValueId NetBuilder::conv_bn_relu(ValueId x, std::int64_t out_ch, int kernel,
+                                 int stride, int pad, int groups) {
+  return relu(bn(conv(x, out_ch, kernel, stride, pad, groups, /*bias=*/false)));
+}
+
+ValueId NetBuilder::conv_bn_silu(ValueId x, std::int64_t out_ch, int kernel,
+                                 int stride, int pad) {
+  return silu(bn(conv(x, out_ch, kernel, stride, pad, 1, /*bias=*/false)));
+}
+
+ValueId NetBuilder::foldable_reshape(ValueId x,
+                                     const std::vector<std::int64_t>& dims) {
+  // Shape(x) -> Gather([0]) -> Unsqueeze -> Concat with constant tail ->
+  // Reshape(x, ·). Everything between Shape and Reshape folds to a constant
+  // once shapes are static.
+  ValueId shp = shape_of(x);
+  ValueId batch = gather_const(shp, {0.0f}, 0);  // 1-D, one element
+  std::vector<float> tail;
+  for (std::size_t i = 1; i < dims.size(); ++i) {
+    tail.push_back(static_cast<float>(dims[i]));
+  }
+  ValueId rest = constant(Tensor::vec(std::move(tail)));
+  ValueId target = concat({batch, rest}, 0);
+  return reshape_dyn(x, target);
+}
+
+}  // namespace ramiel

@@ -1,0 +1,152 @@
+// Fluent builder for constructing the evaluation models' dataflow graphs.
+//
+// The paper extracts its eight models from the PyTorch 2.0 repo, HuggingFace
+// and the ONNX model zoo. Offline we reconstruct them programmatically with
+// structure faithful to the originals (module composition, fan-out patterns,
+// op mixes and Table I weighted costs); tensor extents are scaled down so the
+// benchmark suite runs in seconds. Weight initializers are deterministic
+// pseudo-random with fan-in scaling, so repeated builds are identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace ramiel {
+
+/// Graph construction helper tracking per-value channel counts so conv /
+/// linear layers can derive their weight shapes.
+class NetBuilder {
+ public:
+  explicit NetBuilder(std::string model_name, std::uint64_t seed = 7);
+
+  // -- graph I/O -------------------------------------------------------------
+
+  /// Declares a graph input. For NCHW inputs the channel count is recorded.
+  ValueId input(const std::string& name, Shape shape);
+
+  /// Finalizes: marks outputs, runs shape inference, validates, returns graph.
+  Graph finish(const std::vector<ValueId>& outputs);
+
+  // -- convolutional blocks --------------------------------------------------
+
+  /// Conv2d with fresh weight (+bias) initializers. pad == -1 means "same"
+  /// (kernel/2). Updates the channel map.
+  ValueId conv(ValueId x, std::int64_t out_ch, int kernel, int stride = 1,
+               int pad = -1, int groups = 1, bool bias = true);
+
+  /// Depthwise conv (groups == channels).
+  ValueId depthwise_conv(ValueId x, int kernel, int stride = 1, int pad = -1);
+
+  /// Inference-mode BatchNormalization with identity-like parameters.
+  ValueId bn(ValueId x);
+
+  ValueId max_pool(ValueId x, int kernel, int stride, int pad = 0);
+  ValueId avg_pool(ValueId x, int kernel, int stride, int pad = 0);
+  ValueId global_avg_pool(ValueId x);
+  ValueId upsample(ValueId x, int scale);
+
+  // -- activations / elementwise ---------------------------------------------
+
+  ValueId relu(ValueId x);
+  ValueId leaky_relu(ValueId x, double alpha = 0.1);
+  ValueId sigmoid(ValueId x);
+  ValueId silu(ValueId x);
+  ValueId gelu(ValueId x);
+  ValueId tanh(ValueId x);
+  ValueId add(ValueId a, ValueId b);
+  ValueId sub(ValueId a, ValueId b);
+  ValueId mul(ValueId a, ValueId b);
+  ValueId div(ValueId a, ValueId b);
+  ValueId pow(ValueId a, ValueId b);
+  ValueId exp(ValueId x);
+  ValueId sqrt(ValueId x);
+
+  // -- dense / transformer ----------------------------------------------------
+
+  /// x [.., K] times a fresh [K, N] weight via MatMul (transformer style).
+  ValueId matmul_w(ValueId x, std::int64_t in_features, std::int64_t out_features);
+
+  /// Raw MatMul between two existing values.
+  ValueId matmul(ValueId a, ValueId b);
+
+  /// Gemm with fresh weight/bias (classifier-head style); input must be 2-D.
+  ValueId linear(ValueId x, std::int64_t in_features, std::int64_t out_features);
+
+  /// Bias add with a fresh [N] initializer broadcast over rows.
+  ValueId bias_add(ValueId x, std::int64_t features);
+
+  ValueId layer_norm(ValueId x, std::int64_t features);
+  ValueId softmax(ValueId x, int axis = -1);
+  ValueId embedding(ValueId ids, std::int64_t vocab, std::int64_t dim);
+
+  // -- shape / data movement ---------------------------------------------------
+
+  ValueId concat(const std::vector<ValueId>& xs, int axis);
+  ValueId reshape(ValueId x, std::vector<std::int64_t> dims);       // static
+  ValueId reshape_dyn(ValueId x, ValueId shape_tensor);             // dynamic
+  ValueId transpose(ValueId x, std::vector<std::int64_t> perm);
+  ValueId slice(ValueId x, int axis, std::int64_t begin, std::int64_t end,
+                std::int64_t step = 1);
+  ValueId flatten(ValueId x, int axis = 1);
+  ValueId shape_of(ValueId x);
+  ValueId gather(ValueId x, ValueId indices, int axis = 0);
+  ValueId gather_const(ValueId x, std::vector<float> indices, int axis = 0);
+  ValueId unsqueeze(ValueId x, std::vector<std::int64_t> axes);
+
+  // -- constants ---------------------------------------------------------------
+
+  /// Plain initializer value (no node).
+  ValueId init(const std::string& name, Tensor data);
+
+  /// Constant *node* whose output carries `data` (fodder for constant
+  /// propagation — these show up as graph nodes before folding).
+  ValueId constant(Tensor data);
+
+  /// Scalar constant node.
+  ValueId scalar(float v) { return constant(Tensor::scalar(v)); }
+
+  // -- composite idioms used by several models ---------------------------------
+
+  /// conv -> bn -> relu.
+  ValueId conv_bn_relu(ValueId x, std::int64_t out_ch, int kernel,
+                       int stride = 1, int pad = -1, int groups = 1);
+
+  /// conv -> bn -> silu (Yolo V5's basic block).
+  ValueId conv_bn_silu(ValueId x, std::int64_t out_ch, int kernel,
+                       int stride = 1, int pad = -1);
+
+  /// Attaches a data-dependent-looking but statically foldable shape-
+  /// computation chain to `x` and reshapes `x` with it:
+  ///   Shape(x) -> Gather(axes) -> Unsqueeze -> Concat(with consts) -> Reshape
+  /// Real ONNX exports of BERT/Yolo/NASNet are full of exactly this pattern;
+  /// constant propagation collapses the chain (Table III).
+  ValueId foldable_reshape(ValueId x, const std::vector<std::int64_t>& dims);
+
+  /// Channel count recorded for a value (NCHW models). -1 when unknown.
+  std::int64_t channels(ValueId x) const;
+
+  /// Declares the channel count of a value the builder could not track
+  /// (e.g. the result of a dynamic reshape that preserves NCHW layout).
+  void declare_channels(ValueId x, std::int64_t ch) { set_channels(x, ch); }
+
+  /// Direct access for unusual constructions.
+  Graph& graph() { return g_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  std::string fresh(const std::string& prefix);
+  Tensor rand_tensor(Shape shape, float scale);
+  void set_channels(ValueId v, std::int64_t ch);
+
+  Graph g_;
+  Rng rng_;
+  std::unordered_map<ValueId, std::int64_t> channels_;
+  std::unordered_map<std::string, int> name_counters_;
+};
+
+}  // namespace ramiel

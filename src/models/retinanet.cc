@@ -1,0 +1,84 @@
+// RetinaNet (Lin et al.): ResNet bottleneck backbone + FPN + per-level
+// classification and box-regression subnets. The five FPN levels each carry
+// their own unrolled head subnets, which is where the graph's task
+// parallelism comes from (ten independent subnets hanging off the pyramid).
+#include "models/net_builder.h"
+#include "models/zoo.h"
+
+namespace ramiel::models {
+namespace {
+
+/// ResNet bottleneck: 1x1 -> 3x3 -> 1x1 with residual (12-14 nodes).
+ValueId bottleneck_block(NetBuilder& b, ValueId x, std::int64_t ch,
+                         int stride, bool downsample) {
+  ValueId identity = x;
+  ValueId y = b.conv_bn_relu(x, ch, 1);
+  y = b.conv_bn_relu(y, ch, 3, stride, 1);
+  y = b.bn(b.conv(y, ch * 4, 1, 1, 0, 1, /*bias=*/false));
+  if (downsample) {
+    identity = b.bn(b.conv(x, ch * 4, 1, stride, 0, 1, /*bias=*/false));
+  }
+  return b.relu(b.add(y, identity));
+}
+
+/// One ResNet stage.
+ValueId stage(NetBuilder& b, ValueId x, std::int64_t ch, int blocks,
+              int stride) {
+  x = bottleneck_block(b, x, ch, stride, /*downsample=*/true);
+  for (int i = 1; i < blocks; ++i) {
+    x = bottleneck_block(b, x, ch, 1, /*downsample=*/false);
+  }
+  return x;
+}
+
+/// Head subnet: 4 conv+relu pairs and a final prediction conv, then the
+/// foldable reshape + transpose the ONNX export emits per level.
+ValueId head_subnet(NetBuilder& b, ValueId x, std::int64_t ch,
+                    std::int64_t out_ch, bool sigmoid_out) {
+  ValueId y = x;
+  for (int i = 0; i < 4; ++i) y = b.relu(b.conv(y, ch, 3, 1, 1));
+  y = b.conv(y, out_ch, 3, 1, 1);
+  y = b.foldable_reshape(y, {1, out_ch, -1});
+  y = b.transpose(y, {0, 2, 1});
+  if (sigmoid_out) y = b.sigmoid(y);
+  return y;
+}
+
+}  // namespace
+
+Graph retinanet() {
+  NetBuilder b("retinanet");
+  ValueId x = b.input("images", Shape{1, 3, 128, 128});
+
+  // ResNet-50-style backbone (channels scaled down 8x).
+  x = b.conv_bn_relu(x, 8, 7, /*stride=*/2, /*pad=*/3);
+  x = b.max_pool(x, 3, 2, 1);
+  ValueId c2 = stage(b, x, 8, 3, 1);     // 32 out
+  ValueId c3 = stage(b, c2, 16, 4, 2);   // 64 out
+  ValueId c4 = stage(b, c3, 32, 10, 2);  // 128 out
+  ValueId c5 = stage(b, c4, 64, 5, 2);   // 256 out
+
+  // FPN.
+  const std::int64_t f = 40;  // pyramid width
+  ValueId p5 = b.conv(c5, f, 1);
+  ValueId p4 = b.add(b.upsample(p5, 2), b.conv(c4, f, 1));
+  ValueId p3 = b.add(b.upsample(p4, 2), b.conv(c3, f, 1));
+  p3 = b.conv(p3, f, 3, 1, 1);
+  p4 = b.conv(p4, f, 3, 1, 1);
+  p5 = b.conv(p5, f, 3, 1, 1);
+  ValueId p6 = b.conv(c5, f, 3, 2, 1);
+  ValueId p7 = b.conv(b.relu(p6), f, 3, 2, 1);
+
+  // Class + box subnets on every pyramid level (unrolled, as exported).
+  const std::int64_t na = 9, ncls = 10;
+  std::vector<ValueId> cls_outs, box_outs;
+  for (ValueId level : {p3, p4, p5, p6, p7}) {
+    cls_outs.push_back(head_subnet(b, level, f, na * ncls, /*sigmoid=*/true));
+    box_outs.push_back(head_subnet(b, level, f, na * 4, /*sigmoid=*/false));
+  }
+  ValueId cls = b.concat(cls_outs, 1);
+  ValueId box = b.concat(box_outs, 1);
+  return b.finish({cls, box});
+}
+
+}  // namespace ramiel::models

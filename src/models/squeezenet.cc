@@ -1,0 +1,49 @@
+// SqueezeNet 1.1 (Iandola et al.). 66 nodes: conv1 + 3 max-pools + 8 fire
+// modules (squeeze 1x1 -> expand 1x1 || expand 3x3 -> concat) + conv10 head.
+// The two expand branches give the shallow fork-join parallelism of the
+// paper's Fig. 1; the potential-parallelism factor lands below 1 (Table I).
+#include "models/net_builder.h"
+#include "models/zoo.h"
+
+namespace ramiel::models {
+namespace {
+
+/// Fire module: 7 nodes (squeeze conv+relu, two expand conv+relu, concat).
+ValueId fire(NetBuilder& b, ValueId x, std::int64_t squeeze_ch,
+             std::int64_t expand_ch) {
+  ValueId s = b.relu(b.conv(x, squeeze_ch, 1));
+  ValueId e1 = b.relu(b.conv(s, expand_ch, 1));
+  ValueId e3 = b.relu(b.conv(s, expand_ch, 3));
+  return b.concat({e1, e3}, 1);
+}
+
+}  // namespace
+
+Graph squeezenet() {
+  NetBuilder b("squeezenet");
+  ValueId x = b.input("data", Shape{1, 3, 80, 80});
+
+  x = b.relu(b.conv(x, 16, 3, /*stride=*/2, /*pad=*/1));
+  x = b.max_pool(x, 3, 2);
+
+  x = fire(b, x, 4, 16);
+  x = fire(b, x, 4, 16);
+  x = b.max_pool(x, 3, 2);
+
+  x = fire(b, x, 8, 32);
+  x = fire(b, x, 8, 32);
+  x = b.max_pool(x, 3, 2);
+
+  x = fire(b, x, 12, 48);
+  x = fire(b, x, 12, 48);
+  x = fire(b, x, 16, 64);
+  x = fire(b, x, 16, 64);
+
+  x = b.relu(b.conv(x, 100, 1));  // conv10: class map
+  x = b.global_avg_pool(x);
+  x = b.flatten(x, 1);
+  x = b.softmax(x, -1);
+  return b.finish({x});
+}
+
+}  // namespace ramiel::models

@@ -1,0 +1,144 @@
+// Yolo V5 (Ultralytics, small config), as deployed: the export fuses
+// BatchNorm into the convolutions (conv+SiLU pairs), keeps the CSP
+// backbone + SPPF + PAN neck, and unrolls per-anchor box-decode chains at
+// the three detect heads. Those decode chains — shape-computation
+// (Shape/Gather/Concat/Reshape) plus constant grids/anchors feeding
+// elementwise math — are wide, parallel and largely constant-foldable,
+// which is why Yolo is one of the paper's three CP+DCE winners (Table III,
+// Fig. 6) and why its Table I parallelism sits above 1.
+#include "models/net_builder.h"
+#include "models/zoo.h"
+
+namespace ramiel::models {
+namespace {
+
+/// Fused conv + SiLU (2 nodes).
+ValueId cbs(NetBuilder& b, ValueId x, std::int64_t ch, int kernel,
+            int stride = 1, int pad = -1) {
+  return b.silu(b.conv(x, ch, kernel, stride, pad));
+}
+
+/// Bottleneck: 1x1 -> 3x3 with residual add (5 nodes).
+ValueId bottleneck(NetBuilder& b, ValueId x, std::int64_t ch) {
+  ValueId y = cbs(b, x, ch, 1);
+  y = cbs(b, y, ch, 3);
+  return b.add(x, y);
+}
+
+/// C3 / CSP block: split into two 1x1 paths, n bottlenecks on one, concat,
+/// fuse (7 + 5n nodes).
+ValueId c3(NetBuilder& b, ValueId x, std::int64_t ch, int n) {
+  ValueId a = cbs(b, x, ch / 2, 1);
+  ValueId c = cbs(b, x, ch / 2, 1);
+  for (int i = 0; i < n; ++i) a = bottleneck(b, a, ch / 2);
+  ValueId y = b.concat({a, c}, 1);
+  return cbs(b, y, ch, 1);
+}
+
+/// Focus: space-to-depth via 4 pairs of strided slices + concat + conv.
+ValueId focus(NetBuilder& b, ValueId x, std::int64_t ch) {
+  std::vector<ValueId> parts;
+  for (int dh = 0; dh < 2; ++dh) {
+    for (int dw = 0; dw < 2; ++dw) {
+      ValueId s = b.slice(x, 2, dh, 1 << 30, 2);
+      s = b.slice(s, 3, dw, 1 << 30, 2);
+      parts.push_back(s);
+    }
+  }
+  ValueId y = b.concat(parts, 1);
+  return cbs(b, y, ch, 3);
+}
+
+/// SPPF: conv + three chained 5x5 max-pools + concat + conv.
+ValueId sppf(NetBuilder& b, ValueId x, std::int64_t ch) {
+  ValueId c = cbs(b, x, ch / 2, 1);
+  ValueId p1 = b.max_pool(c, 5, 1, 2);
+  ValueId p2 = b.max_pool(p1, 5, 1, 2);
+  ValueId p3 = b.max_pool(p2, 5, 1, 2);
+  ValueId y = b.concat({c, p1, p2, p3}, 1);
+  return cbs(b, y, ch, 1);
+}
+
+/// Detect head for one level: 1x1 prediction conv, foldable reshape to
+/// [1, HW, na*no], sigmoid, then the three parallel decode chains (xy / wh /
+/// confidence) the export unrolls, fed by constant grid / anchor / stride
+/// tensors plus a foldable grid-offset side chain.
+ValueId detect_head(NetBuilder& b, ValueId x, std::int64_t no) {
+  const int na = 3;
+  ValueId raw = b.conv(x, na * no, 1);
+  ValueId flat = b.foldable_reshape(raw, {1, na * no, -1});
+  ValueId t = b.transpose(flat, {0, 2, 1});  // [1, HW, na*no]
+  ValueId y = b.sigmoid(t);
+
+  // Grid offsets are themselves computed from constants in the export
+  // (meshgrid -> stack -> add 0.5 -> scale); the whole side chain folds.
+  ValueId grid = b.constant(Tensor::full(Shape{2}, 3.0f));
+  grid = b.add(grid, b.scalar(0.5f));
+  grid = b.mul(grid, b.scalar(1.0f));
+
+  // xy chain: xy = ((s*2 - 0.5) + grid) * stride, then a clip-style min/max
+  // pair the exporter lowers to arithmetic.
+  ValueId xy = b.slice(y, 2, 0, 2);
+  xy = b.mul(xy, b.scalar(2.0f));
+  xy = b.sub(xy, b.scalar(0.5f));
+  xy = b.add(xy, grid);
+  xy = b.mul(xy, b.scalar(8.0f)); // stride
+  xy = b.add(xy, b.scalar(0.0f)); // offset term kept by the exporter
+
+  // wh chain: wh = (s*2)^2 * anchor_wh.
+  ValueId wh = b.slice(y, 2, 2, 4);
+  wh = b.mul(wh, b.scalar(2.0f));
+  wh = b.mul(wh, wh);
+  wh = b.mul(wh, b.constant(Tensor::full(Shape{2}, 4.0f)));  // anchors
+  wh = b.mul(wh, b.scalar(1.0f)); // gain term
+
+  ValueId conf = b.slice(y, 2, 4, no);
+  return b.concat({xy, wh, conf}, 2);
+}
+
+}  // namespace
+
+Graph yolo_v5() {
+  NetBuilder b("yolo_v5");
+  ValueId x = b.input("images", Shape{1, 3, 96, 96});
+
+  // Backbone.
+  x = focus(b, x, 16);
+  x = cbs(b, x, 32, 3, 2, 1);
+  ValueId c2 = c3(b, x, 32, 1);
+  x = cbs(b, c2, 64, 3, 2, 1);
+  ValueId c3v = c3(b, x, 64, 2);
+  x = cbs(b, c3v, 128, 3, 2, 1);
+  ValueId c4 = c3(b, x, 128, 3);
+  x = cbs(b, c4, 128, 3, 2, 1);
+  x = c3(b, x, 128, 1);
+  ValueId c5 = sppf(b, x, 128);
+
+  // PAN neck.
+  ValueId p5 = cbs(b, c5, 64, 1);
+  ValueId up1 = b.upsample(p5, 2);
+  ValueId cat1 = b.concat({up1, c4}, 1);
+  ValueId n1 = c3(b, cat1, 64, 1);
+
+  ValueId p4 = cbs(b, n1, 32, 1);
+  ValueId up2 = b.upsample(p4, 2);
+  ValueId cat2 = b.concat({up2, c3v}, 1);
+  ValueId n2 = c3(b, cat2, 32, 1);  // small-object level
+
+  ValueId d1 = cbs(b, n2, 32, 3, 2, 1);
+  ValueId cat3 = b.concat({d1, p4}, 1);
+  ValueId n3 = c3(b, cat3, 64, 1);  // medium level
+
+  ValueId d2 = cbs(b, n3, 64, 3, 2, 1);
+  ValueId cat4 = b.concat({d2, p5}, 1);
+  ValueId n4 = c3(b, cat4, 128, 1);  // large level
+
+  const std::int64_t no = 11;  // 4 box + 1 obj + classes
+  ValueId h1 = detect_head(b, n2, no);
+  ValueId h2 = detect_head(b, n3, no);
+  ValueId h3 = detect_head(b, n4, no);
+  ValueId out = b.concat({h1, h2, h3}, 1);
+  return b.finish({out});
+}
+
+}  // namespace ramiel::models

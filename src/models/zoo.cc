@@ -1,0 +1,25 @@
+#include "models/zoo.h"
+
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace ramiel::models {
+
+std::vector<std::string> model_names() {
+  return {"squeezenet", "googlenet", "inception_v3", "inception_v4",
+          "yolo_v5",    "retinanet", "bert",         "nasnet"};
+}
+
+Graph build(const std::string& name) {
+  if (name == "squeezenet") return squeezenet();
+  if (name == "googlenet") return googlenet();
+  if (name == "inception_v3") return inception_v3();
+  if (name == "inception_v4") return inception_v4();
+  if (name == "yolo_v5") return yolo_v5();
+  if (name == "retinanet") return retinanet();
+  if (name == "bert") return bert();
+  if (name == "nasnet") return nasnet();
+  throw Error(str_cat("unknown model '", name, "'"));
+}
+
+}  // namespace ramiel::models

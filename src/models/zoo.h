@@ -1,0 +1,31 @@
+// The evaluation model zoo: programmatic builders for the eight models of
+// the paper's Table I. Structures follow the published architectures
+// (module composition, fan-out, op mix); tensor extents are scaled down so
+// the full benchmark suite runs in seconds on a laptop-class CPU. See
+// DESIGN.md ("Substitutions") for why this preserves the experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ramiel::models {
+
+Graph squeezenet();    // 8 fire modules; fork-join, limited parallelism
+Graph googlenet();     // 9 inception modules, 4-way fan-out each
+Graph inception_v3();  // inception-A/B + reduction modules
+Graph inception_v4();  // deeper inception stack
+Graph yolo_v5();       // CSP backbone + PAN neck + detect heads (foldable)
+Graph retinanet();     // ResNet backbone + FPN + class/box subnets
+Graph bert();          // 12-layer transformer encoder, decomposed LN/GELU
+Graph nasnet();        // NASNet-A style cells, wide fan-out, prunable paths
+
+/// Names accepted by build(): squeezenet, googlenet, inception_v3,
+/// inception_v4, yolo_v5, retinanet, bert, nasnet.
+std::vector<std::string> model_names();
+
+/// Builds a model by name. Throws Error for unknown names.
+Graph build(const std::string& name);
+
+}  // namespace ramiel::models

@@ -1,0 +1,48 @@
+#include <fstream>
+
+#include "onnx/model_io.h"
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace ramiel {
+namespace {
+
+bool has_suffix(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+void save_model_file(const Graph& graph, const std::string& path) {
+  if (has_suffix(path, ".rmb")) {
+    std::ofstream os(path, std::ios::binary);
+    RAMIEL_CHECK(os.good(), str_cat("cannot open '", path, "' for writing"));
+    save_model_binary(graph, os);
+    RAMIEL_CHECK(os.good(), str_cat("write to '", path, "' failed"));
+    return;
+  }
+  RAMIEL_CHECK(has_suffix(path, ".rml"),
+               str_cat("unknown model extension for '", path,
+                       "' (expected .rml or .rmb)"));
+  std::ofstream os(path);
+  RAMIEL_CHECK(os.good(), str_cat("cannot open '", path, "' for writing"));
+  save_model_text(graph, os);
+  RAMIEL_CHECK(os.good(), str_cat("write to '", path, "' failed"));
+}
+
+Graph load_model_file(const std::string& path) {
+  if (has_suffix(path, ".rmb")) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good()) throw ParseError(str_cat("cannot open '", path, "'"));
+    return load_model_binary(is);
+  }
+  RAMIEL_CHECK(has_suffix(path, ".rml"),
+               str_cat("unknown model extension for '", path,
+                       "' (expected .rml or .rmb)"));
+  std::ifstream is(path);
+  if (!is.good()) throw ParseError(str_cat("cannot open '", path, "'"));
+  return load_model_text(is);
+}
+
+}  // namespace ramiel

@@ -1,0 +1,43 @@
+// onnx-lite: the model exchange format of this repository.
+//
+// The paper's Ramiel ingests ONNX protobuf files. Protobuf and the ONNX model
+// zoo are not available offline, so this module defines an ONNX-compatible
+// *subset* interchange format with two encodings:
+//
+//   * a line-oriented text encoding (.rml) — readable, diffable, used in
+//     examples and tests;
+//   * a tagged little-endian binary encoding (.rmb) — compact, used when
+//     initializer payloads matter.
+//
+// Both encodings carry exactly the information the compiler consumes: graph
+// inputs/outputs with shapes, initializer tensors, and nodes with ONNX-style
+// op names, value references and attributes. See DESIGN.md for the
+// substitution rationale.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace ramiel {
+
+/// Serializes `graph` in the text encoding.
+void save_model_text(const Graph& graph, std::ostream& os);
+std::string save_model_text(const Graph& graph);
+
+/// Parses the text encoding. Throws ParseError on malformed input.
+Graph load_model_text(std::istream& is);
+Graph load_model_text(const std::string& text);
+
+/// Serializes `graph` in the binary encoding.
+void save_model_binary(const Graph& graph, std::ostream& os);
+
+/// Parses the binary encoding. Throws ParseError on malformed input.
+Graph load_model_binary(std::istream& is);
+
+/// File helpers: dispatch on extension (.rml = text, .rmb = binary).
+void save_model_file(const Graph& graph, const std::string& path);
+Graph load_model_file(const std::string& path);
+
+}  // namespace ramiel

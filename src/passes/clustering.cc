@@ -1,0 +1,59 @@
+#include "passes/clustering.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace ramiel {
+
+void finalize_clustering(const Graph& graph, Clustering& clustering) {
+  clustering.cluster_of.assign(graph.nodes().size(), -1);
+  for (std::size_t c = 0; c < clustering.clusters.size(); ++c) {
+    for (NodeId id : clustering.clusters[c].nodes) {
+      RAMIEL_CHECK(id >= 0 && id < static_cast<NodeId>(graph.nodes().size()),
+                   "cluster references invalid node id");
+      RAMIEL_CHECK(!graph.node(id).dead, "cluster references dead node");
+      if (clustering.cluster_of[static_cast<std::size_t>(id)] != -1) {
+        throw ValidationError(
+            str_cat("node ", id, " ('", graph.node(id).name,
+                    "') appears in two clusters"));
+      }
+      clustering.cluster_of[static_cast<std::size_t>(id)] = static_cast<int>(c);
+    }
+  }
+  for (const Node& n : graph.nodes()) {
+    if (n.dead) continue;
+    if (clustering.cluster_of[static_cast<std::size_t>(n.id)] == -1) {
+      throw ValidationError(
+          str_cat("node ", n.id, " ('", n.name, "') is not in any cluster"));
+    }
+  }
+}
+
+void sort_clusters_topologically(const Graph& graph, Clustering& clustering) {
+  const std::vector<NodeId> order = graph.topo_order();
+  std::vector<int> pos(graph.nodes().size(), 0);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (Cluster& c : clustering.clusters) {
+    std::sort(c.nodes.begin(), c.nodes.end(), [&](NodeId a, NodeId b) {
+      return pos[static_cast<std::size_t>(a)] < pos[static_cast<std::size_t>(b)];
+    });
+  }
+}
+
+int cross_cluster_edges(const Graph& graph, const Clustering& clustering) {
+  int count = 0;
+  for (const Node& n : graph.nodes()) {
+    if (n.dead) continue;
+    const int cn = clustering.cluster_of[static_cast<std::size_t>(n.id)];
+    for (NodeId s : graph.successors(n.id)) {
+      if (clustering.cluster_of[static_cast<std::size_t>(s)] != cn) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace ramiel

@@ -1,0 +1,142 @@
+#include "passes/constant_folding.h"
+
+#include <vector>
+
+#include "graph/op_eval.h"
+#include "graph/shape_inference.h"
+#include "support/check.h"
+
+namespace ramiel {
+namespace {
+
+bool all_inputs_constant(const Graph& g, const Node& n) {
+  if (n.inputs.empty() && n.kind != OpKind::kConstant) return false;
+  for (ValueId in : n.inputs) {
+    if (!g.value(in).is_constant()) return false;
+  }
+  return true;
+}
+
+bool shape_statically_known(const Graph& g, ValueId v) {
+  const Value& val = g.value(v);
+  return val.shape.rank() > 0 || val.is_constant();
+}
+
+}  // namespace
+
+namespace {
+
+/// One folding sweep in topological order. Returns folds performed.
+int fold_constants_once(Graph& graph, FoldStats& stats);
+
+}  // namespace
+
+FoldStats fold_constants(Graph& graph) {
+  FoldStats stats;
+  // Iterate to a fixed point: resolving one dynamic reshape can make the
+  // *next* Shape node's input statically shaped (chained cells in NASNet).
+  while (true) {
+    infer_shapes(graph);
+    if (fold_constants_once(graph, stats) == 0) break;
+  }
+  infer_shapes(graph);
+  return stats;
+}
+
+namespace {
+
+int fold_constants_once(Graph& graph, FoldStats& stats) {
+  int folded = 0;
+  for (NodeId id : graph.topo_order()) {
+    Node& n = graph.node(id);
+    if (n.dead) continue;
+
+    if (n.kind == OpKind::kConstant) {
+      // Output already carries data; the node itself is compile-time only.
+      graph.kill_node(id);
+      ++stats.folded_nodes;
+      ++folded;
+      continue;
+    }
+
+    if (n.kind == OpKind::kShape && !n.inputs.empty() &&
+        !graph.value(n.inputs[0]).is_constant() &&
+        shape_statically_known(graph, n.inputs[0])) {
+      // Shape of a statically shaped value folds without the data.
+      const Shape& s = graph.value(n.inputs[0]).shape;
+      std::vector<float> dims;
+      for (std::int64_t d : s.dims()) dims.push_back(static_cast<float>(d));
+      Value& out = graph.value(n.outputs[0]);
+      out.const_data = Tensor::vec(std::move(dims));
+      out.shape = out.const_data->shape();
+      graph.kill_node(id);
+      ++stats.folded_nodes;
+      ++folded;
+      continue;
+    }
+
+    if (!all_inputs_constant(graph, n)) continue;
+
+    std::vector<Tensor> inputs;
+    inputs.reserve(n.inputs.size());
+    for (ValueId in : n.inputs) inputs.push_back(*graph.value(in).const_data);
+    std::vector<Tensor> outputs = eval_node(n, inputs);
+    RAMIEL_CHECK(outputs.size() == n.outputs.size(),
+                 "fold produced wrong output count");
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      Value& out = graph.value(n.outputs[i]);
+      out.shape = outputs[i].shape();
+      out.const_data = std::move(outputs[i]);
+    }
+    graph.kill_node(id);
+    ++stats.folded_nodes;
+    ++folded;
+  }
+  return folded;
+}
+
+}  // namespace
+
+int eliminate_dead_code(Graph& graph) {
+  std::vector<bool> reachable(graph.nodes().size(), false);
+  // Walk backwards from graph outputs through live producers.
+  std::vector<NodeId> stack;
+  for (ValueId out : graph.outputs()) {
+    const NodeId p = graph.value(out).producer;
+    if (p != kNoNode && !graph.node(p).dead &&
+        !reachable[static_cast<std::size_t>(p)]) {
+      reachable[static_cast<std::size_t>(p)] = true;
+      stack.push_back(p);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (ValueId in : graph.node(id).inputs) {
+      // Constant inputs cut the dependence: the folded value suffices.
+      if (graph.value(in).is_constant()) continue;
+      const NodeId p = graph.value(in).producer;
+      if (p != kNoNode && !graph.node(p).dead &&
+          !reachable[static_cast<std::size_t>(p)]) {
+        reachable[static_cast<std::size_t>(p)] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  int removed = 0;
+  for (const Node& n : graph.nodes()) {
+    if (n.dead || reachable[static_cast<std::size_t>(n.id)]) continue;
+    graph.kill_node(n.id);
+    ++removed;
+  }
+  return removed;
+}
+
+FoldStats constant_propagation_dce(Graph& graph) {
+  FoldStats stats = fold_constants(graph);
+  stats.dce_removed = eliminate_dead_code(graph);
+  graph.validate();
+  return stats;
+}
+
+}  // namespace ramiel

@@ -1,0 +1,37 @@
+// Constant propagation / folding and dead-code elimination (paper §III-C).
+//
+// The paper delegates this to onnxruntime as an input-stage plugin; here the
+// transformation is implemented directly on the IR:
+//   * a node whose inputs are all constant values is evaluated at compile
+//     time and replaced by its result;
+//   * a Shape node whose input has a statically inferred shape folds even
+//     though the input tensor itself is not constant (this is what collapses
+//     the Shape->Gather->Concat->Reshape chains in Yolo/BERT/NASNet);
+//   * dead-code elimination then removes every node that no longer reaches
+//     a graph output.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace ramiel {
+
+/// Statistics from one fold+DCE run.
+struct FoldStats {
+  int folded_nodes = 0;   // nodes evaluated at compile time
+  int dce_removed = 0;    // additional nodes removed as unreachable
+};
+
+/// Folds constants in place (marks folded nodes dead, attaches const_data to
+/// their outputs). Runs shape inference first so Shape nodes can fold.
+FoldStats fold_constants(Graph& graph);
+
+/// Removes live nodes that do not reach any graph output. Returns the
+/// number of nodes removed.
+int eliminate_dead_code(Graph& graph);
+
+/// fold_constants + eliminate_dead_code, the paper's "CP+DCE" pipeline
+/// stage. The graph keeps its ids (tombstones); call graph.compacted() if
+/// dense ids are wanted.
+FoldStats constant_propagation_dce(Graph& graph);
+
+}  // namespace ramiel

@@ -1,0 +1,24 @@
+// Conv+BatchNorm folding — the "more powerful optimizations for graph
+// reductions" the paper's conclusion leaves as future work (and the operator
+// fusion its introduction cites as the standard complementary technique).
+//
+// For an inference-mode BatchNormalization directly consuming a Conv whose
+// weights and BN statistics are all compile-time constants, the affine
+// transform folds into the convolution:
+//
+//     w' = w * scale / sqrt(var + eps)          (per output channel)
+//     b' = (b - mean) * scale / sqrt(var + eps) + bias
+//
+// The BN node disappears, shrinking the graph (fewer per-task dispatches and
+// potentially fewer cross-cluster messages) without changing outputs.
+#pragma once
+
+#include "graph/graph.h"
+
+namespace ramiel {
+
+/// Folds every eligible Conv->BatchNorm pair in place. Returns the number
+/// of BatchNorm nodes eliminated.
+int fold_batch_norms(Graph& graph);
+
+}  // namespace ramiel

@@ -1,0 +1,83 @@
+#include "passes/hypercluster.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ramiel {
+namespace {
+
+/// Round-robin interleave of per-sample op streams into one task list.
+/// streams[s] is the ordered node list sample s runs on this worker.
+std::vector<HyperTask> interleave(
+    const std::vector<std::pair<int, const std::vector<NodeId>*>>& streams) {
+  std::vector<HyperTask> tasks;
+  std::size_t remaining = 0;
+  for (const auto& [sample, nodes] : streams) remaining += nodes->size();
+  std::vector<std::size_t> pos(streams.size(), 0);
+  while (remaining > 0) {
+    for (std::size_t si = 0; si < streams.size(); ++si) {
+      const auto& [sample, nodes] = streams[si];
+      if (pos[si] < nodes->size()) {
+        tasks.push_back(HyperTask{(*nodes)[pos[si]], sample});
+        ++pos[si];
+        --remaining;
+      }
+    }
+  }
+  return tasks;
+}
+
+Hyperclustering build(const Graph& graph, const Clustering& clustering,
+                      int batch, bool switched) {
+  RAMIEL_CHECK(batch >= 1, "batch must be >= 1");
+  const int k = clustering.size();
+  Hyperclustering hc;
+  hc.batch = batch;
+  hc.num_nodes = static_cast<int>(graph.nodes().size());
+  hc.worker_of.assign(
+      static_cast<std::size_t>(batch) * static_cast<std::size_t>(hc.num_nodes),
+      -1);
+  hc.workers.resize(static_cast<std::size_t>(k));
+
+  for (int w = 0; w < k; ++w) {
+    std::vector<std::pair<int, const std::vector<NodeId>*>> streams;
+    for (int s = 0; s < batch; ++s) {
+      const int cluster = switched ? (w + s) % k : w;
+      streams.emplace_back(
+          s, &clustering.clusters[static_cast<std::size_t>(cluster)].nodes);
+    }
+    hc.workers[static_cast<std::size_t>(w)] = interleave(streams);
+    for (const HyperTask& t : hc.workers[static_cast<std::size_t>(w)]) {
+      hc.worker_of[static_cast<std::size_t>(t.sample) *
+                       static_cast<std::size_t>(hc.num_nodes) +
+                   static_cast<std::size_t>(t.node)] = w;
+    }
+  }
+  return hc;
+}
+
+}  // namespace
+
+Hyperclustering build_hyperclusters(const Graph& graph,
+                                    const Clustering& clustering, int batch) {
+  return build(graph, clustering, batch, /*switched=*/false);
+}
+
+Hyperclustering build_switched_hyperclusters(const Graph& graph,
+                                             const Clustering& clustering,
+                                             int batch) {
+  return build(graph, clustering, batch, /*switched=*/true);
+}
+
+std::pair<int, int> worker_load_bounds(const Hyperclustering& hc) {
+  int max_load = 0;
+  int min_load = hc.workers.empty() ? 0 : static_cast<int>(hc.workers[0].size());
+  for (const auto& w : hc.workers) {
+    max_load = std::max(max_load, static_cast<int>(w.size()));
+    min_load = std::min(min_load, static_cast<int>(w.size()));
+  }
+  return {max_load, min_load};
+}
+
+}  // namespace ramiel

@@ -1,0 +1,59 @@
+// Hyperclustering and switched hyperclustering (paper §III-E, Figs. 8 & 9).
+//
+// With inference batch size B > 1, B copies of the clustered program are in
+// flight at once. Each hypercluster interleaves, op by op, the work of its
+// underlying cluster across all B samples: while sample 0 waits on a
+// cross-cluster tensor, the worker advances sample 1, filling the slack the
+// profiler observes at cluster receives.
+//
+// The *switched* variant additionally rotates which cluster's ops a worker
+// runs for each sample (worker i runs cluster (i+s) mod k for sample s),
+// which balances op counts across workers when cluster sizes are skewed —
+// the paper's 5/3 vs 5/2 Squeezenet example.
+#pragma once
+
+#include <vector>
+
+#include "passes/clustering.h"
+
+namespace ramiel {
+
+/// One unit of hypercluster work: a node applied to one batch sample.
+struct HyperTask {
+  NodeId node;
+  int sample;
+};
+
+/// Batch-aware clustering: per-worker interleaved task lists plus the
+/// (node, sample) -> worker assignment the runtime needs for routing.
+struct Hyperclustering {
+  int batch = 1;
+  std::vector<std::vector<HyperTask>> workers;
+
+  /// worker_of[sample * num_nodes + node] = worker index (-1 dead).
+  std::vector<int> worker_of;
+  int num_nodes = 0;
+
+  int worker(NodeId node, int sample) const {
+    return worker_of[static_cast<std::size_t>(sample) *
+                         static_cast<std::size_t>(num_nodes) +
+                     static_cast<std::size_t>(node)];
+  }
+};
+
+/// Plain hyperclustering (Fig. 8): worker i interleaves cluster i's ops
+/// over all samples (round-robin across samples at op granularity).
+Hyperclustering build_hyperclusters(const Graph& graph,
+                                    const Clustering& clustering, int batch);
+
+/// Switched hyperclustering (Fig. 9): worker i runs cluster (i+s) mod k for
+/// sample s, interleaved round-robin at op granularity.
+Hyperclustering build_switched_hyperclusters(const Graph& graph,
+                                             const Clustering& clustering,
+                                             int batch);
+
+/// Largest / smallest per-worker task count — the load-balance measure the
+/// paper uses to argue for switching.
+std::pair<int, int> worker_load_bounds(const Hyperclustering& hc);
+
+}  // namespace ramiel

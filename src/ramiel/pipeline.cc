@@ -1,0 +1,51 @@
+#include "ramiel/pipeline.h"
+
+#include "graph/shape_inference.h"
+#include "support/stopwatch.h"
+
+namespace ramiel {
+
+CompiledModel compile_model(Graph graph, const PipelineOptions& options) {
+  Stopwatch sw;
+  CompiledModel out;
+
+  if (options.constant_folding) {
+    out.fold_stats = constant_propagation_dce(graph);
+    graph = graph.compacted();
+  }
+  if (options.fuse_batch_norms) {
+    out.batch_norms_folded = fold_batch_norms(graph);
+  }
+  if (options.cloning) {
+    out.clone_stats = clone_tasks(graph, options.cost, options.cloning_options);
+  }
+  infer_shapes(graph);
+  graph.validate();
+
+  out.analysis = analyze_parallelism(graph, options.cost);
+
+  Clustering lc = linear_clustering(graph, options.cost);
+  out.clusters_before_merge = lc.size();
+  out.clustering = merge_clusters(graph, options.cost, lc);
+
+  out.hyperclusters =
+      options.hyper_mode == HyperMode::kSwitched
+          ? build_switched_hyperclusters(graph, out.clustering, options.batch)
+          : build_hyperclusters(graph, out.clustering, options.batch);
+
+  if (options.generate_code) {
+    CodegenOptions cg;
+    cg.model_name = graph.name();
+    cg.weights_path = graph.name() + ".rmb";
+    out.code = generate_python(graph, out.clustering, cg);
+    if (options.batch > 1) {
+      out.code.hypercluster_source =
+          generate_python_hyper(graph, out.hyperclusters, cg);
+    }
+  }
+  out.graph = std::move(graph);
+  out.compile_seconds = sw.seconds();
+  return out;
+}
+
+}  // namespace ramiel

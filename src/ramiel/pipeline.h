@@ -1,0 +1,62 @@
+// The Ramiel end-to-end pipeline (paper Fig. 10):
+//
+//   ONNX model -> [constant propagation + DCE] -> Model2Graph ->
+//   [Cloning] -> Clustering (LC + merging) -> [Hyperclustering, batch > 1]
+//   -> Parallel code generation
+//
+// compile_model() runs the whole thing and measures its wall time — the
+// "CT(s)" compile-time column of Table VIII.
+#pragma once
+
+#include <string>
+
+#include "codegen/python_codegen.h"
+#include "graph/cost_model.h"
+#include "passes/analysis.h"
+#include "passes/cloning.h"
+#include "passes/cluster_merging.h"
+#include "passes/constant_folding.h"
+#include "passes/fusion.h"
+#include "passes/hypercluster.h"
+#include "passes/linear_clustering.h"
+
+namespace ramiel {
+
+/// Which hypercluster interleave to build when batch > 1.
+enum class HyperMode { kPlain, kSwitched };
+
+struct PipelineOptions {
+  /// Run constant propagation + dead-code elimination first (§III-C).
+  bool constant_folding = false;
+  /// Run restricted task cloning before clustering (§III-D).
+  bool cloning = false;
+  /// Fold Conv+BatchNorm pairs (extension: the conclusion's "more powerful
+  /// graph reductions").
+  bool fuse_batch_norms = false;
+  CloningOptions cloning_options;
+  /// Inference batch size; > 1 triggers hyperclustering (§III-E).
+  int batch = 1;
+  HyperMode hyper_mode = HyperMode::kPlain;
+  CostModel cost;
+  /// Generate the parallel + sequential Python sources (Algorithm 4).
+  bool generate_code = true;
+};
+
+/// Everything the pipeline produces for one model.
+struct CompiledModel {
+  Graph graph;  // transformed graph (folded/cloned/compacted)
+  ParallelismReport analysis;       // Table I row
+  int clusters_before_merge = 0;    // Table II "Before"
+  Clustering clustering;            // merged clusters (Table II "After")
+  Hyperclustering hyperclusters;    // batch-aware task lists
+  CodegenResult code;
+  FoldStats fold_stats;
+  CloningStats clone_stats;
+  int batch_norms_folded = 0;
+  double compile_seconds = 0.0;     // Table VIII "CT(s)"
+};
+
+/// Runs the pipeline on `graph` (consumed).
+CompiledModel compile_model(Graph graph, const PipelineOptions& options = {});
+
+}  // namespace ramiel

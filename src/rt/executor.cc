@@ -1,0 +1,326 @@
+#include "rt/executor.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "graph/op_eval.h"
+#include "rt/mailbox.h"
+#include "support/check.h"
+#include "support/stopwatch.h"
+#include "support/string_util.h"
+#include "tensor/thread_pool.h"
+
+namespace ramiel {
+namespace {
+
+/// Fetches one node input that is constant or a graph input; returns false
+/// when the value is produced by another node (caller resolves it).
+bool fetch_static_input(const Graph& g, ValueId v, const TensorMap& sample_in,
+                        Tensor* out) {
+  const Value& val = g.value(v);
+  if (val.is_constant()) {
+    *out = *val.const_data;
+    return true;
+  }
+  if (val.producer == kNoNode || g.node(val.producer).dead) {
+    auto it = sample_in.find(val.name);
+    RAMIEL_CHECK(it != sample_in.end(),
+                 str_cat("missing graph input '", val.name, "'"));
+    *out = it->second;
+    return true;
+  }
+  return false;
+}
+
+/// Collects per-sample graph outputs that are constants or graph inputs
+/// (possible after aggressive folding).
+void collect_static_outputs(const Graph& g, const TensorMap& sample_in,
+                            TensorMap* outputs) {
+  for (ValueId ov : g.outputs()) {
+    const Value& val = g.value(ov);
+    Tensor t;
+    if (fetch_static_input(g, ov, sample_in, &t)) {
+      outputs->emplace(val.name, std::move(t));
+    }
+  }
+}
+
+bool is_graph_output(const Graph& g, ValueId v) {
+  return std::find(g.outputs().begin(), g.outputs().end(), v) !=
+         g.outputs().end();
+}
+
+}  // namespace
+
+SequentialExecutor::SequentialExecutor(const Graph* graph) : graph_(graph) {
+  RAMIEL_CHECK(graph != nullptr, "graph must not be null");
+  order_ = graph->topo_order();
+}
+
+std::vector<TensorMap> SequentialExecutor::run(
+    const std::vector<TensorMap>& batch_inputs, const RunOptions& options,
+    Profile* profile) const {
+  const Graph& g = *graph_;
+  const int batch = static_cast<int>(batch_inputs.size());
+  RAMIEL_CHECK(batch >= 1, "need at least one sample");
+
+  std::unique_ptr<ThreadPool> pool;
+  OpContext ctx;
+  if (options.intra_op_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.intra_op_threads - 1);
+    ctx.threads = options.intra_op_threads;
+    ctx.pool = pool.get();
+  }
+
+  Stopwatch wall;
+  std::vector<TensorMap> results(static_cast<std::size_t>(batch));
+  WorkerProfile wp;
+  std::vector<TaskEvent> events;
+
+  for (int s = 0; s < batch; ++s) {
+    std::unordered_map<ValueId, Tensor> local;
+    collect_static_outputs(g, batch_inputs[static_cast<std::size_t>(s)],
+                           &results[static_cast<std::size_t>(s)]);
+    for (NodeId id : order_) {
+      const Node& n = g.node(id);
+      // Constant nodes carry their payload on the output value; consumers
+      // read it directly, so the "execution" is a no-op.
+      if (n.kind == OpKind::kConstant) {
+        ++wp.tasks;
+        continue;
+      }
+      std::vector<Tensor> inputs;
+      inputs.reserve(n.inputs.size());
+      for (ValueId v : n.inputs) {
+        Tensor t;
+        if (!fetch_static_input(g, v, batch_inputs[static_cast<std::size_t>(s)],
+                                &t)) {
+          auto it = local.find(v);
+          RAMIEL_CHECK(it != local.end(),
+                       str_cat("value '", g.value(v).name,
+                               "' not yet computed (topo order violated)"));
+          t = it->second;
+        }
+        inputs.push_back(std::move(t));
+      }
+      const std::int64_t t0 = Stopwatch::now_ns();
+      std::vector<Tensor> outputs = eval_node(n, inputs, ctx);
+      const std::int64_t t1 = Stopwatch::now_ns();
+      wp.busy_ns += t1 - t0;
+      ++wp.tasks;
+      if (profile != nullptr && options.trace) {
+        events.push_back(TaskEvent{id, s, 0, t0, t1});
+      }
+      for (std::size_t i = 0; i < outputs.size(); ++i) {
+        const ValueId ov = n.outputs[i];
+        if (is_graph_output(g, ov)) {
+          results[static_cast<std::size_t>(s)].emplace(g.value(ov).name,
+                                                       outputs[i]);
+        }
+        local[ov] = std::move(outputs[i]);
+      }
+    }
+  }
+
+  if (profile != nullptr) {
+    profile->wall_ms = wall.millis();
+    profile->workers = {wp};
+    profile->events = std::move(events);
+  }
+  return results;
+}
+
+ParallelExecutor::ParallelExecutor(const Graph* graph, Hyperclustering hc)
+    : graph_(graph), hc_(std::move(hc)) {
+  RAMIEL_CHECK(graph != nullptr, "graph must not be null");
+  RAMIEL_CHECK(!hc_.workers.empty(), "hyperclustering has no workers");
+}
+
+std::vector<TensorMap> ParallelExecutor::run(
+    const std::vector<TensorMap>& batch_inputs, const RunOptions& options,
+    Profile* profile) const {
+  const Graph& g = *graph_;
+  const int batch = hc_.batch;
+  RAMIEL_CHECK(static_cast<int>(batch_inputs.size()) == batch,
+               str_cat("executor built for batch ", batch, ", got ",
+                       batch_inputs.size(), " samples"));
+  const int k = num_workers();
+
+  std::vector<Inbox> inboxes(static_cast<std::size_t>(k));
+  std::vector<TensorMap> results(static_cast<std::size_t>(batch));
+  std::mutex results_mu;
+  for (int s = 0; s < batch; ++s) {
+    collect_static_outputs(g, batch_inputs[static_cast<std::size_t>(s)],
+                           &results[static_cast<std::size_t>(s)]);
+  }
+
+  std::vector<WorkerProfile> wps(static_cast<std::size_t>(k));
+  std::vector<std::vector<TaskEvent>> wevents(static_cast<std::size_t>(k));
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  // Each worker runs its per-sample task streams cooperatively: the next
+  // task of the round-robin-preferred stream runs when all its inputs are
+  // available; otherwise the worker advances whichever sample *is* runnable
+  // ("multiple inference samples in flight", §III-E) and only sleeps when no
+  // stream can progress. Within a sample every stream is in topological
+  // order, so the globally earliest pending task is always runnable on its
+  // worker — the schedule cannot deadlock, for plain or switched
+  // hyperclusters alike.
+  auto worker_fn = [&](int me) {
+    try {
+      std::unique_ptr<ThreadPool> pool;
+      OpContext ctx;
+      if (options.intra_op_threads > 1) {
+        pool = std::make_unique<ThreadPool>(options.intra_op_threads - 1);
+        ctx.threads = options.intra_op_threads;
+        ctx.pool = pool.get();
+      }
+      WorkerProfile& wp = wps[static_cast<std::size_t>(me)];
+      Inbox& inbox = inboxes[static_cast<std::size_t>(me)];
+
+      // Split the interleaved task list into per-sample streams (order
+      // within a stream is the cluster's topological order).
+      std::vector<std::vector<NodeId>> streams(
+          static_cast<std::size_t>(batch));
+      for (const HyperTask& task : hc_.workers[static_cast<std::size_t>(me)]) {
+        streams[static_cast<std::size_t>(task.sample)].push_back(task.node);
+      }
+      std::vector<std::size_t> cursor(static_cast<std::size_t>(batch), 0);
+      std::vector<std::unordered_map<ValueId, Tensor>> local(
+          static_cast<std::size_t>(batch));
+      std::size_t done_total = 0;
+      std::size_t all_tasks = hc_.workers[static_cast<std::size_t>(me)].size();
+
+      // Attempts the next task of stream s. Returns true when it ran.
+      auto try_advance = [&](int s) -> bool {
+        auto su = static_cast<std::size_t>(s);
+        if (cursor[su] >= streams[su].size()) return false;
+        const NodeId id = streams[su][cursor[su]];
+        const Node& n = g.node(id);
+        auto& loc = local[su];
+
+        // Constant nodes are no-ops: consumers read the payload straight
+        // from the value, on any worker.
+        if (n.kind == OpKind::kConstant) {
+          ++wp.tasks;
+          ++cursor[su];
+          ++done_total;
+          return true;
+        }
+
+        // Stage inputs; pull any newly arrived remote tensors into the
+        // local cache. Bail out (without consuming order) if one is missing.
+        std::vector<Tensor> inputs;
+        inputs.reserve(n.inputs.size());
+        for (ValueId v : n.inputs) {
+          Tensor t;
+          if (fetch_static_input(g, v,
+                                 batch_inputs[su], &t)) {
+            inputs.push_back(std::move(t));
+            continue;
+          }
+          auto it = loc.find(v);
+          if (it != loc.end()) {
+            inputs.push_back(it->second);
+            continue;
+          }
+          Tensor received;
+          if (inbox.try_get(MessageKey{v, s}, &received)) {
+            loc[v] = received;
+            inputs.push_back(std::move(received));
+            continue;
+          }
+          return false;  // input not yet delivered
+        }
+
+        const std::int64_t t0 = Stopwatch::now_ns();
+        std::vector<Tensor> outputs = eval_node(n, inputs, ctx);
+        const std::int64_t t1 = Stopwatch::now_ns();
+        wp.busy_ns += t1 - t0;
+        ++wp.tasks;
+        if (options.trace) {
+          wevents[static_cast<std::size_t>(me)].push_back(
+              TaskEvent{id, s, me, t0, t1});
+        }
+
+        for (std::size_t i = 0; i < outputs.size(); ++i) {
+          const ValueId ov = n.outputs[i];
+          if (is_graph_output(g, ov)) {
+            std::lock_guard<std::mutex> lk(results_mu);
+            results[su].emplace(g.value(ov).name, outputs[i]);
+          }
+          // Send to every other worker that consumes this value for this
+          // sample (deduplicated).
+          std::set<int> destinations;
+          for (NodeId c : g.value(ov).consumers) {
+            if (g.node(c).dead) continue;
+            const int wc = hc_.worker(c, s);
+            if (wc != me && wc >= 0) destinations.insert(wc);
+          }
+          for (int dest : destinations) {
+            inboxes[static_cast<std::size_t>(dest)].put(MessageKey{ov, s},
+                                                        outputs[i]);
+            ++wp.messages_sent;
+          }
+          loc[ov] = std::move(outputs[i]);
+        }
+        ++cursor[su];
+        ++done_total;
+        return true;
+      };
+
+      int prefer = 0;
+      while (done_total < all_tasks) {
+        if (inbox.poisoned()) {
+          throw Error("aborting: a sibling worker failed");
+        }
+        const std::uint64_t seen = inbox.version();
+        bool progressed = false;
+        for (int off = 0; off < batch; ++off) {
+          const int s = (prefer + off) % batch;
+          if (try_advance(s)) {
+            progressed = true;
+            prefer = (s + 1) % batch;  // round-robin across samples
+            break;
+          }
+        }
+        if (!progressed) {
+          // Nothing runnable: sleep until a new message lands (slack).
+          inbox.wait_change(seen, &wp.recv_wait_ns);
+        }
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Unblock every sibling so the run unwinds instead of deadlocking.
+      for (Inbox& other : inboxes) other.poison();
+    }
+  };
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(k));
+  for (int w = 0; w < k; ++w) threads.emplace_back(worker_fn, w);
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = wall.millis();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  if (profile != nullptr) {
+    profile->wall_ms = wall_ms;
+    profile->workers = std::move(wps);
+    profile->events.clear();
+    for (auto& ev : wevents) {
+      profile->events.insert(profile->events.end(), ev.begin(), ev.end());
+    }
+  }
+  return results;
+}
+
+}  // namespace ramiel

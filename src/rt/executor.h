@@ -1,0 +1,77 @@
+// Graph executors.
+//
+// SequentialExecutor is the single-core reference the paper's Ramiel also
+// generates ("a single core non-parallel version of the code"). It runs the
+// whole batch back to back on one thread.
+//
+// ParallelExecutor is the analogue of the generated parallel Python: one
+// worker thread per (hyper)cluster, cross-cluster tensors delivered through
+// keyed inboxes (the queue.put()/queue.get() pairs of Algorithm 4). A plain
+// batch-1 clustering is just a Hyperclustering with batch == 1.
+//
+// Intra-op parallelism: when RunOptions.intra_op_threads > 1, each worker
+// owns a private thread pool of that size for its kernels — exactly how the
+// paper's per-cluster Python processes each carry their own OpenMP pool,
+// including the oversubscription behaviour Table V observes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "passes/hypercluster.h"
+#include "rt/profiler.h"
+#include "tensor/tensor.h"
+
+namespace ramiel {
+
+/// Named tensors for one batch sample (graph inputs or outputs).
+using TensorMap = std::unordered_map<std::string, Tensor>;
+
+struct RunOptions {
+  /// Kernel-level threads per worker; 1 = serial kernels.
+  int intra_op_threads = 1;
+  /// Record per-task trace events into the profile.
+  bool trace = false;
+};
+
+/// Single-threaded reference executor.
+class SequentialExecutor {
+ public:
+  /// The graph must outlive the executor.
+  explicit SequentialExecutor(const Graph* graph);
+
+  /// Runs every sample in `batch_inputs` back to back; returns per-sample
+  /// graph outputs keyed by value name. Fills *profile when non-null.
+  std::vector<TensorMap> run(const std::vector<TensorMap>& batch_inputs,
+                             const RunOptions& options = {},
+                             Profile* profile = nullptr) const;
+
+ private:
+  const Graph* graph_;
+  std::vector<NodeId> order_;
+};
+
+/// Multi-worker cluster executor (one thread per hypercluster).
+class ParallelExecutor {
+ public:
+  /// The graph must outlive the executor. `hc.batch` fixes the batch size
+  /// accepted by run().
+  ParallelExecutor(const Graph* graph, Hyperclustering hc);
+
+  /// Runs one batch (batch_inputs.size() must equal the hyperclustering's
+  /// batch). Returns per-sample graph outputs.
+  std::vector<TensorMap> run(const std::vector<TensorMap>& batch_inputs,
+                             const RunOptions& options = {},
+                             Profile* profile = nullptr) const;
+
+  int num_workers() const { return static_cast<int>(hc_.workers.size()); }
+
+ private:
+  const Graph* graph_;
+  Hyperclustering hc_;
+};
+
+}  // namespace ramiel

@@ -1,0 +1,38 @@
+#include "rt/inputs.h"
+
+#include "support/check.h"
+
+namespace ramiel {
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::vector<TensorMap> make_example_inputs(const Graph& graph, int batch,
+                                           Rng& rng) {
+  RAMIEL_CHECK(batch >= 1, "batch must be >= 1");
+  std::vector<TensorMap> out(static_cast<std::size_t>(batch));
+  for (int s = 0; s < batch; ++s) {
+    for (ValueId in : graph.inputs()) {
+      const Value& v = graph.value(in);
+      RAMIEL_CHECK(v.shape.rank() > 0,
+                   "graph input must have a static shape");
+      Tensor t(v.shape);
+      if (ends_with(v.name, "ids")) {
+        for (float& x : t.mutable_data()) {
+          x = static_cast<float>(rng.next_below(2));
+        }
+      } else {
+        for (float& x : t.mutable_data()) x = rng.next_float(-1.0f, 1.0f);
+      }
+      out[static_cast<std::size_t>(s)].emplace(v.name, std::move(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace ramiel

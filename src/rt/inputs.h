@@ -1,0 +1,20 @@
+// Example-input synthesis for graphs: deterministic random activations for
+// float inputs, valid small integer ids for embedding-style inputs.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "rt/executor.h"
+#include "support/rng.h"
+
+namespace ramiel {
+
+/// Builds one TensorMap per batch sample covering every graph input.
+/// Inputs whose name ends in "ids" get integral values in [0, 2) so they
+/// stay valid for any embedding table; everything else gets uniform values
+/// in [-1, 1).
+std::vector<TensorMap> make_example_inputs(const Graph& graph, int batch,
+                                           Rng& rng);
+
+}  // namespace ramiel

@@ -1,0 +1,52 @@
+#include "rt/mailbox.h"
+
+#include "support/stopwatch.h"
+
+namespace ramiel {
+
+Tensor Inbox::get(const MessageKey& key, std::int64_t* wait_ns) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    const std::int64_t t0 = Stopwatch::now_ns();
+    cv_.wait(lk, [&] {
+      it = slots_.find(key);
+      return it != slots_.end() || poisoned_;
+    });
+    if (wait_ns != nullptr) *wait_ns += Stopwatch::now_ns() - t0;
+    if (it == slots_.end()) {
+      throw Error("inbox poisoned: a sibling worker failed");
+    }
+  }
+  Tensor out = std::move(it->second);
+  slots_.erase(it);
+  return out;
+}
+
+void Inbox::poison() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    poisoned_ = true;
+    ++version_;
+  }
+  cv_.notify_all();
+}
+
+bool Inbox::try_get(const MessageKey& key, Tensor* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return false;
+  *out = std::move(it->second);
+  slots_.erase(it);
+  return true;
+}
+
+void Inbox::wait_change(std::uint64_t seen, std::int64_t* wait_ns) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (version_ != seen || poisoned_) return;
+  const std::int64_t t0 = Stopwatch::now_ns();
+  cv_.wait(lk, [&] { return version_ != seen || poisoned_; });
+  if (wait_ns != nullptr) *wait_ns += Stopwatch::now_ns() - t0;
+}
+
+}  // namespace ramiel

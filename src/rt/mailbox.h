@@ -1,0 +1,81 @@
+// Cross-cluster message passing.
+//
+// The paper's generated Python wires clusters together with multiprocessing
+// queues; a queue.put() publishes a tensor, a queue.get() blocks until the
+// producing cluster delivers. Here every worker owns one Inbox; a message is
+// a tensor keyed by (value id, batch sample). Receivers that ask for a key
+// before it arrives block on a condition variable — the blocked time is the
+// "slack" the paper's profiler measures and hyperclustering attacks.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace ramiel {
+
+/// Message key: which value, for which batch sample.
+using MessageKey = std::pair<ValueId, int>;
+
+/// One worker's incoming mailbox (many producers, one consumer).
+class Inbox {
+ public:
+  /// Deposits a tensor; wakes the receiver if it is waiting.
+  void put(const MessageKey& key, Tensor tensor) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      slots_.emplace(key, std::move(tensor));
+      ++version_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until the key arrives; removes and returns the tensor. Returns
+  /// the nanoseconds spent blocked via *wait_ns (0 if data was ready).
+  Tensor get(const MessageKey& key, std::int64_t* wait_ns);
+
+  /// Non-blocking: when present, removes the tensor into *out and returns
+  /// true; otherwise returns false.
+  bool try_get(const MessageKey& key, Tensor* out);
+
+  /// Monotonic counter bumped on every put(). Workers snapshot it before a
+  /// runnability scan and sleep in wait_change() when nothing was runnable.
+  std::uint64_t version() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return version_;
+  }
+
+  /// Blocks until version() != seen (i.e. a new message arrived after the
+  /// scan that observed `seen`). Accumulates blocked time into *wait_ns.
+  void wait_change(std::uint64_t seen, std::int64_t* wait_ns);
+
+  /// Number of undelivered messages (test/debug aid).
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return slots_.size();
+  }
+
+  /// Aborts the run: wakes every blocked receiver. Subsequent get() calls
+  /// for missing keys throw instead of blocking (used when a sibling worker
+  /// failed so the whole run can unwind).
+  void poison();
+
+  bool poisoned() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return poisoned_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<MessageKey, Tensor> slots_;
+  std::uint64_t version_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace ramiel

@@ -1,0 +1,39 @@
+#include "rt/profiler.h"
+
+#include <sstream>
+
+namespace ramiel {
+
+double Profile::total_slack_ms() const {
+  std::int64_t total = 0;
+  for (const WorkerProfile& w : workers) total += w.recv_wait_ns;
+  return static_cast<double>(total) / 1e6;
+}
+
+double Profile::utilization() const {
+  if (workers.empty() || wall_ms <= 0.0) return 0.0;
+  std::int64_t busy = 0;
+  for (const WorkerProfile& w : workers) busy += w.busy_ns;
+  return static_cast<double>(busy) / 1e6 /
+         (wall_ms * static_cast<double>(workers.size()));
+}
+
+std::string Profile::to_chrome_trace(const Graph& graph) const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const TaskEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    const Node& n = graph.node(e.node);
+    os << "\n{\"name\":\"" << n.name << "\",\"cat\":\""
+       << op_kind_name(n.kind) << "\",\"ph\":\"X\",\"ts\":"
+       << e.start_ns / 1000 << ",\"dur\":" << (e.end_ns - e.start_ns) / 1000
+       << ",\"pid\":0,\"tid\":" << e.worker << ",\"args\":{\"sample\":"
+       << e.sample << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace ramiel

@@ -1,0 +1,49 @@
+// Execution profiling: per-task trace events and per-worker receive-slack
+// accounting (the paper's "profile database" that motivates hyperclustering
+// in §III-E and feeds the switched-hypercluster decisions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ramiel {
+
+/// One executed task (node x sample) on one worker.
+struct TaskEvent {
+  NodeId node = kNoNode;
+  int sample = 0;
+  int worker = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+};
+
+/// Per-worker summary.
+struct WorkerProfile {
+  std::int64_t busy_ns = 0;       // time inside kernels
+  std::int64_t recv_wait_ns = 0;  // slack: blocked on Inbox::get
+  int tasks = 0;
+  int messages_sent = 0;
+};
+
+/// Whole-run profile.
+struct Profile {
+  std::vector<TaskEvent> events;        // empty unless tracing was on
+  std::vector<WorkerProfile> workers;   // one per worker (1 for sequential)
+  double wall_ms = 0.0;
+
+  /// Total receive slack across workers, in milliseconds.
+  double total_slack_ms() const;
+
+  /// Ratio of summed busy time to (workers x wall time); 1.0 = perfectly
+  /// load balanced with no waiting.
+  double utilization() const;
+
+  /// Renders the trace in Chrome's trace-event JSON format (load via
+  /// chrome://tracing or Perfetto) for visual slack inspection.
+  std::string to_chrome_trace(const Graph& graph) const;
+};
+
+}  // namespace ramiel

@@ -1,0 +1,192 @@
+#include "sched/ios.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/check.h"
+#include "support/stopwatch.h"
+
+namespace ramiel {
+namespace {
+
+/// Dynamic bitset over node ids with hashing, used as the DP state key.
+struct NodeSet {
+  std::vector<std::uint64_t> words;
+
+  explicit NodeSet(std::size_t bits)
+      : words((bits + 63) / 64, 0) {}
+
+  void set(NodeId id) {
+    words[static_cast<std::size_t>(id) / 64] |=
+        1ull << (static_cast<std::size_t>(id) % 64);
+  }
+  void clear(NodeId id) {
+    words[static_cast<std::size_t>(id) / 64] &=
+        ~(1ull << (static_cast<std::size_t>(id) % 64));
+  }
+  bool test(NodeId id) const {
+    return (words[static_cast<std::size_t>(id) / 64] >>
+            (static_cast<std::size_t>(id) % 64)) &
+           1ull;
+  }
+  bool empty() const {
+    for (std::uint64_t w : words) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  bool operator==(const NodeSet& o) const { return words == o.words; }
+};
+
+struct NodeSetHash {
+  std::size_t operator()(const NodeSet& s) const {
+    std::size_t h = 0xcbf29ce484222325ull;
+    for (std::uint64_t w : s.words) {
+      h ^= w;
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};
+
+struct Solver {
+  const Graph& graph;
+  const CostProfile& profile;
+  const IosOptions& options;
+  std::unordered_map<NodeSet, std::pair<double, std::vector<NodeId>>,
+                     NodeSetHash>
+      memo;  // state -> (latency_us, best ending set)
+  std::int64_t states = 0;
+  bool exhausted = false;
+
+  /// Sinks of S: nodes in S with no successor inside S.
+  std::vector<NodeId> sinks(const NodeSet& s) const {
+    std::vector<NodeId> out;
+    for (const Node& n : graph.nodes()) {
+      if (n.dead || !s.test(n.id)) continue;
+      bool is_sink = true;
+      for (NodeId succ : graph.successors(n.id)) {
+        if (s.test(succ)) {
+          is_sink = false;
+          break;
+        }
+      }
+      if (is_sink) out.push_back(n.id);
+    }
+    return out;
+  }
+
+  double solve(NodeSet s) {
+    if (s.empty()) return 0.0;
+    auto it = memo.find(s);
+    if (it != memo.end()) return it->second.first;
+
+    const std::vector<NodeId> tail = sinks(s);
+    RAMIEL_CHECK(!tail.empty(), "non-empty set must have sinks");
+
+    if (states >= options.max_states) {
+      // Budget exceeded: greedy fallback — peel one full-width stage of
+      // sinks and recurse.
+      exhausted = true;
+      std::vector<NodeId> stage(
+          tail.begin(),
+          tail.begin() + static_cast<std::ptrdiff_t>(std::min(
+                             tail.size(),
+                             static_cast<std::size_t>(options.max_stage_width))));
+      NodeSet rest = s;
+      for (NodeId id : stage) rest.clear(id);
+      const double total =
+          ios_stage_latency_us(graph, profile, stage, options.machine) +
+          solve(std::move(rest));
+      memo.emplace(std::move(s), std::make_pair(total, stage));
+      return total;
+    }
+    ++states;
+
+    // Enumerate ending sets: non-empty subsets of the sinks with size <=
+    // max_stage_width. To bound the combinatorics on wide frontiers, only
+    // the first `pool` sinks (ordered by node id) are combined freely.
+    const int pool =
+        std::min(static_cast<int>(tail.size()), 16);  // IOS's window pruning
+    double best = -1.0;
+    std::vector<NodeId> best_set;
+    std::vector<NodeId> subset;
+
+    // Iterative subset enumeration over the pool, capped by width.
+    const std::uint32_t limit = 1u << pool;
+    for (std::uint32_t mask = 1; mask < limit; ++mask) {
+      const int width = __builtin_popcount(mask);
+      if (width > options.max_stage_width) continue;
+      subset.clear();
+      for (int b = 0; b < pool; ++b) {
+        if (mask & (1u << b)) subset.push_back(tail[static_cast<std::size_t>(b)]);
+      }
+      NodeSet rest = s;
+      for (NodeId id : subset) rest.clear(id);
+      const double lat =
+          ios_stage_latency_us(graph, profile, subset, options.machine) +
+          solve(std::move(rest));
+      if (best < 0.0 || lat < best) {
+        best = lat;
+        best_set = subset;
+      }
+    }
+    memo.emplace(std::move(s), std::make_pair(best, best_set));
+    return best;
+  }
+};
+
+}  // namespace
+
+double ios_stage_latency_us(const Graph& graph, const CostProfile& profile,
+                            const std::vector<NodeId>& stage,
+                            const MachineModel& machine) {
+  // Every op in the stage runs as its own group on its own core; when the
+  // stage is wider than the machine, ops queue up round-robin (modeled as a
+  // proportional slowdown). A stage barrier costs one task overhead.
+  double max_us = 0.0;
+  for (NodeId id : stage) {
+    const Node& n = graph.node(id);
+    double us = profile.node_us[static_cast<std::size_t>(id)];
+    if (n.kind != OpKind::kConstant) us += machine.per_task_overhead_us;
+    max_us = std::max(max_us, us);
+  }
+  const double width_factor =
+      std::max(1.0, static_cast<double>(stage.size()) /
+                        static_cast<double>(machine.cores));
+  return max_us * width_factor + machine.per_task_overhead_us;
+}
+
+IosSchedule ios_schedule(const Graph& graph, const CostProfile& profile,
+                         const IosOptions& options) {
+  Stopwatch sw;
+  Solver solver{graph, profile, options, {}, 0, false};
+
+  NodeSet all(graph.nodes().size());
+  for (const Node& n : graph.nodes()) {
+    if (!n.dead) all.set(n.id);
+  }
+
+  IosSchedule result;
+  const double total_us = solver.solve(all);
+  result.makespan_ms = total_us / 1e3;
+  result.states_explored = solver.states;
+  result.budget_exhausted = solver.exhausted;
+
+  // Reconstruct stages by replaying the memoized decisions.
+  NodeSet cur = all;
+  while (!cur.empty()) {
+    auto it = solver.memo.find(cur);
+    RAMIEL_CHECK(it != solver.memo.end(), "missing memo entry on replay");
+    const std::vector<NodeId>& ending = it->second.second;
+    RAMIEL_CHECK(!ending.empty(), "empty ending set on replay");
+    result.stages.push_back(ending);
+    for (NodeId id : ending) cur.clear(id);
+  }
+  // Stages were reconstructed back to front (we peel from the graph's end).
+  std::reverse(result.stages.begin(), result.stages.end());
+  result.compile_seconds = sw.seconds();
+  return result;
+}
+
+}  // namespace ramiel

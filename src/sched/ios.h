@@ -1,0 +1,58 @@
+// IOS-style inter-operator scheduler (Ding et al., MLSys 2021) — the
+// comparison system of the paper's Table VIII.
+//
+// IOS partitions a dataflow graph into a sequence of *stages*; the
+// operators inside a stage run concurrently, stages run back to back with a
+// synchronization barrier. The optimal partition is found by dynamic
+// programming over downward-closed node sets: f(S) = min over ending sets E
+// (subsets of S's sinks, pruned to at most `max_stage_width` ops) of
+// f(S \ E) + latency(E). Stage latency comes from the measured cost
+// profile and the machine model. The DP is memoized on the node set; a
+// state budget bounds the search (IOS itself relies on pruning parameters),
+// falling back to greedy sink-batching beyond the budget.
+//
+// This reproduces IOS's characteristic trade-off: schedules of similar
+// quality to linear clustering on CNNs, at orders-of-magnitude higher
+// compile time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/cost_profile.h"
+#include "sim/machine.h"
+
+namespace ramiel {
+
+struct IosOptions {
+  /// Maximum operators per stage considered by the DP (IOS's `r` pruning).
+  int max_stage_width = 3;
+  /// Memoization budget; beyond it, remaining subproblems are solved
+  /// greedily (full-sink stages).
+  std::int64_t max_states = 200000;
+  MachineModel machine;
+};
+
+struct IosSchedule {
+  /// Stages in execution order; ops within a stage run concurrently.
+  std::vector<std::vector<NodeId>> stages;
+  /// Modeled end-to-end latency of the stage-synchronous schedule (ms).
+  double makespan_ms = 0.0;
+  /// Wall-clock the DP search took (the "CT(s)" column of Table VIII).
+  double compile_seconds = 0.0;
+  std::int64_t states_explored = 0;
+  bool budget_exhausted = false;
+};
+
+/// Runs the DP search. The profile must come from the same graph.
+IosSchedule ios_schedule(const Graph& graph, const CostProfile& profile,
+                         const IosOptions& options = {});
+
+/// Latency (us) of one stage under the machine model: concurrent ops,
+/// contention when the stage is wider than the cores, plus a barrier cost.
+double ios_stage_latency_us(const Graph& graph, const CostProfile& profile,
+                            const std::vector<NodeId>& stage,
+                            const MachineModel& machine);
+
+}  // namespace ramiel

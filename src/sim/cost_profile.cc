@@ -1,0 +1,76 @@
+#include "sim/cost_profile.h"
+
+#include <algorithm>
+
+#include "graph/op_eval.h"
+#include "rt/inputs.h"
+#include "support/check.h"
+#include "support/stopwatch.h"
+#include "support/string_util.h"
+
+namespace ramiel {
+
+bool kernel_is_parallelizable(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv2d:
+    case OpKind::kMatMul:
+    case OpKind::kGemm:
+    case OpKind::kMaxPool:
+    case OpKind::kAvgPool:
+    case OpKind::kGlobalAvgPool:
+    case OpKind::kResize:
+      return true;
+    default:
+      return false;
+  }
+}
+
+CostProfile measure_costs(const Graph& graph, int repeats, Rng& rng) {
+  RAMIEL_CHECK(repeats >= 1, "need at least one measurement repeat");
+  CostProfile p;
+  p.node_us.assign(graph.nodes().size(), 0.0);
+  p.value_bytes.assign(graph.values().size(), 0.0);
+
+  const std::vector<TensorMap> inputs = make_example_inputs(graph, 1, rng);
+  const std::vector<NodeId> order = graph.topo_order();
+
+  for (int rep = 0; rep < repeats; ++rep) {
+    std::unordered_map<ValueId, Tensor> local;
+    for (NodeId id : order) {
+      const Node& n = graph.node(id);
+      if (n.kind == OpKind::kConstant) continue;
+      std::vector<Tensor> ins;
+      ins.reserve(n.inputs.size());
+      for (ValueId v : n.inputs) {
+        const Value& val = graph.value(v);
+        if (val.is_constant()) {
+          ins.push_back(*val.const_data);
+        } else if (val.producer == kNoNode || graph.node(val.producer).dead) {
+          auto it = inputs[0].find(val.name);
+          RAMIEL_CHECK(it != inputs[0].end(),
+                       str_cat("missing graph input '", val.name, "'"));
+          ins.push_back(it->second);
+        } else {
+          ins.push_back(local.at(v));
+        }
+      }
+      Stopwatch sw;
+      std::vector<Tensor> outs = eval_node(n, ins);
+      const double us = sw.micros();
+      auto uid = static_cast<std::size_t>(id);
+      p.node_us[uid] = rep == 0 ? us : std::min(p.node_us[uid], us);
+      for (std::size_t i = 0; i < outs.size(); ++i) {
+        p.value_bytes[static_cast<std::size_t>(n.outputs[i])] =
+            static_cast<double>(outs[i].numel()) * sizeof(float);
+        local[n.outputs[i]] = std::move(outs[i]);
+      }
+    }
+  }
+
+  for (const Node& n : graph.nodes()) {
+    if (!n.dead) p.total_us += p.node_us[static_cast<std::size_t>(n.id)];
+  }
+  return p;
+}
+
+}  // namespace ramiel

@@ -1,0 +1,35 @@
+// Kernel cost profiles: measured single-thread execution time and output
+// payload size for every node, captured by running the graph sequentially
+// on the host CPU. These measurements seed the discrete-event simulator, so
+// simulated makespans are built from real kernel durations.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace ramiel {
+
+struct CostProfile {
+  /// Measured single-thread kernel time per node id, microseconds
+  /// (minimum over repeats; 0 for dead/Constant nodes).
+  std::vector<double> node_us;
+
+  /// Output payload bytes per *value* id (measured, 0 if never produced).
+  std::vector<double> value_bytes;
+
+  /// Sum of node_us over live nodes.
+  double total_us = 0.0;
+};
+
+/// Measures the graph by running it `repeats` times sequentially with
+/// serial kernels and deterministic inputs; keeps the per-node minimum
+/// (standard practice to suppress scheduling noise).
+CostProfile measure_costs(const Graph& graph, int repeats, Rng& rng);
+
+/// True if this op kind's kernel splits across intra-op threads
+/// (convolutions, matmuls, pooling — the ops PyTorch parallelizes).
+bool kernel_is_parallelizable(OpKind kind);
+
+}  // namespace ramiel

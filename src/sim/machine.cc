@@ -1,0 +1,28 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+namespace ramiel {
+
+double MachineModel::kernel_us(double base_us, int threads, int active_workers,
+                               bool parallelizable) const {
+  active_workers = std::max(active_workers, 1);
+  threads = std::max(threads, 1);
+  // Thread demand beyond the physical cores costs a mild context-switch /
+  // cache penalty (Table V's plateau), applied to every kernel.
+  const double demand =
+      static_cast<double>(active_workers) * static_cast<double>(threads);
+  const double oversub =
+      1.0 + 0.08 * std::max(0.0, demand - cores) / static_cast<double>(cores);
+  if (!parallelizable || threads == 1) return base_us * oversub;
+  // Intra-op threads are only effective up to this worker's share of the
+  // cores; beyond that they add nothing.
+  const double per_worker_cores =
+      static_cast<double>(cores) / static_cast<double>(active_workers);
+  const double eff_threads =
+      std::max(1.0, std::min(static_cast<double>(threads), per_worker_cores));
+  const double f = intra_op_parallel_fraction;
+  return base_us * ((1.0 - f) + f / eff_threads) * oversub;
+}
+
+}  // namespace ramiel

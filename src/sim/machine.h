@@ -1,0 +1,46 @@
+// Machine model for the discrete-event multicore simulator.
+//
+// The paper's testbed is a 12-core Xeon running the generated Python: one
+// Python process per cluster, tensors through multiprocessing queues. The
+// constants below describe that execution substrate:
+//   * per_task_overhead_us — Python interpreter dispatch per generated op
+//     statement (tens of microseconds per call in CPython);
+//   * comm_fixed_us / comm_per_kb_us — queue.put()+queue.get() latency and
+//     pickle serialization bandwidth for a tensor message;
+//   * intra_op_parallel_fraction — Amdahl fraction of a heavy kernel that
+//     OpenMP intra-op threads can actually parallelize;
+//   * cores — physical cores; when cluster workers (x intra-op threads)
+//     exceed it, kernels slow down proportionally (oversubscription,
+//     Table V's plateau).
+// One global calibration, used unchanged by every experiment.
+#pragma once
+
+namespace ramiel {
+
+struct MachineModel {
+  int cores = 12;
+  double per_task_overhead_us = 30.0;
+  double comm_fixed_us = 250.0;
+  double comm_per_kb_us = 3.0;
+  double intra_op_parallel_fraction = 0.85;
+
+  // Energy accounting (the paper's stated future work: "power and
+  // resource-constrained settings"). A core burns active_power_w while a
+  // kernel runs on it and idle_power_w while its worker waits.
+  double active_power_w = 9.0;
+  double idle_power_w = 1.2;
+
+  /// Communication latency for a message of `bytes` payload (microseconds).
+  double comm_us(double bytes) const {
+    return comm_fixed_us + comm_per_kb_us * bytes / 1024.0;
+  }
+
+  /// Effective kernel duration under intra-op threading. `base_us` is the
+  /// measured single-thread kernel time, `threads` the worker's intra-op
+  /// budget, `active_workers` how many cluster workers share the machine,
+  /// and `parallelizable` whether this kernel splits at all.
+  double kernel_us(double base_us, int threads, int active_workers,
+                   bool parallelizable) const;
+};
+
+}  // namespace ramiel

@@ -1,0 +1,241 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace ramiel {
+namespace {
+
+constexpr double kUnset = -1.0;
+
+/// Per-worker simulation state.
+struct WorkerState {
+  std::vector<std::vector<NodeId>> streams;  // per-sample node lists
+  std::vector<std::size_t> cursor;
+  double clock = 0.0;
+  int prefer = 0;
+  std::size_t remaining = 0;
+};
+
+}  // namespace
+
+double SimResult::total_slack_ms() const {
+  double total = 0.0;
+  for (const SimWorkerStats& w : workers) total += w.slack_us;
+  return total / 1e3;
+}
+
+double SimResult::energy_mj(const MachineModel& machine) const {
+  double mj = 0.0;
+  for (const SimWorkerStats& w : workers) {
+    const double busy_s = w.busy_us / 1e6;
+    const double idle_s = std::max(0.0, makespan_ms / 1e3 - busy_s);
+    mj += (busy_s * machine.active_power_w + idle_s * machine.idle_power_w) *
+          1e3;
+  }
+  return mj;
+}
+
+double sequential_energy_mj(double seq_ms, const MachineModel& machine) {
+  return seq_ms / 1e3 * machine.active_power_w * 1e3;
+}
+
+double simulate_sequential_ms(const Graph& graph, const CostProfile& profile,
+                              int batch, const SimOptions& options) {
+  RAMIEL_CHECK(batch >= 1, "batch must be >= 1");
+  double us = 0.0;
+  for (const Node& n : graph.nodes()) {
+    if (n.dead || n.kind == OpKind::kConstant) continue;
+    const double kernel = options.machine.kernel_us(
+        profile.node_us[static_cast<std::size_t>(n.id)],
+        options.intra_op_threads, /*active_workers=*/1,
+        kernel_is_parallelizable(n.kind));
+    us += options.machine.per_task_overhead_us + kernel;
+  }
+  return us * static_cast<double>(batch) / 1e3;
+}
+
+SimResult simulate_parallel(const Graph& graph, const Hyperclustering& hc,
+                            const CostProfile& profile,
+                            const SimOptions& options) {
+  const int k = static_cast<int>(hc.workers.size());
+  const int batch = hc.batch;
+  RAMIEL_CHECK(k >= 1, "need at least one worker");
+
+  // Intra-op threading shares the cores with however many workers are
+  // *simultaneously* busy, which for phased graphs is far fewer than the
+  // worker count (a ResNet backbone runs nearly alone before its heads fan
+  // out). Estimate average concurrency with a serial-kernel pre-pass and
+  // use it as the contention width.
+  int active_workers = k;
+  if (options.intra_op_threads > 1) {
+    SimOptions probe = options;
+    probe.intra_op_threads = 1;
+    probe.trace = false;
+    SimResult serial = simulate_parallel(graph, hc, profile, probe);
+    double busy_us = 0.0;
+    for (const SimWorkerStats& w : serial.workers) busy_us += w.busy_us;
+    if (serial.makespan_ms > 0.0) {
+      active_workers = std::max(
+          1, std::min(k, static_cast<int>(
+                             std::lround(busy_us / 1e3 / serial.makespan_ms))));
+    }
+  }
+
+  // done_time[(value, sample)] = virtual completion time at the producer;
+  // kUnset until produced. Graph inputs / constants are available at t=0.
+  const std::size_t nvalues = graph.values().size();
+  std::vector<double> done_time(nvalues * static_cast<std::size_t>(batch),
+                                kUnset);
+  auto done_idx = [&](ValueId v, int s) {
+    return static_cast<std::size_t>(v) * static_cast<std::size_t>(batch) +
+           static_cast<std::size_t>(s);
+  };
+
+  std::vector<WorkerState> workers(static_cast<std::size_t>(k));
+  for (int w = 0; w < k; ++w) {
+    WorkerState& ws = workers[static_cast<std::size_t>(w)];
+    ws.streams.resize(static_cast<std::size_t>(batch));
+    ws.cursor.assign(static_cast<std::size_t>(batch), 0);
+    for (const HyperTask& t : hc.workers[static_cast<std::size_t>(w)]) {
+      ws.streams[static_cast<std::size_t>(t.sample)].push_back(t.node);
+    }
+    ws.remaining = hc.workers[static_cast<std::size_t>(w)].size();
+  }
+
+  SimResult result;
+  result.workers.assign(static_cast<std::size_t>(k), SimWorkerStats{});
+
+  // Availability of one node input to worker w for sample s: 0 for statics,
+  // producer completion (+comm if remote), kUnset if not yet produced.
+  auto input_avail = [&](ValueId v, int s, int w) -> double {
+    const Value& val = graph.value(v);
+    if (val.is_constant()) return 0.0;
+    if (val.producer == kNoNode || graph.node(val.producer).dead) return 0.0;
+    const double done = done_time[done_idx(v, s)];
+    if (done == kUnset) return kUnset;
+    const int wp = hc.worker(val.producer, s);
+    if (wp == w) return done;
+    return done +
+           options.machine.comm_us(
+               profile.value_bytes[static_cast<std::size_t>(v)]);
+  };
+
+  // Ready time of the head task of stream s on worker w: max input avail,
+  // kUnset when any input is still unproduced; 0-input tasks are ready at 0.
+  auto head_ready = [&](const WorkerState& ws, int s, int w) -> double {
+    auto su = static_cast<std::size_t>(s);
+    if (ws.cursor[su] >= ws.streams[su].size()) return kUnset;
+    const Node& n = graph.node(ws.streams[su][ws.cursor[su]]);
+    double ready = 0.0;
+    for (ValueId v : n.inputs) {
+      const double a = input_avail(v, s, w);
+      if (a == kUnset) return kUnset;
+      ready = std::max(ready, a);
+    }
+    return ready;
+  };
+
+  using Event = std::pair<double, int>;  // (time, worker)
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+  for (int w = 0; w < k; ++w) heap.emplace(0.0, w);
+
+  double makespan_us = 0.0;
+  while (!heap.empty()) {
+    const auto [t, w] = heap.top();
+    heap.pop();
+    WorkerState& ws = workers[static_cast<std::size_t>(w)];
+    if (ws.remaining == 0) continue;
+    SimWorkerStats& stats = result.workers[static_cast<std::size_t>(w)];
+    if (t > ws.clock) {
+      stats.slack_us += t - ws.clock;
+      ws.clock = t;
+    }
+
+    // Run every task that is runnable at the advancing clock, respecting the
+    // round-robin sample preference of the real worker.
+    bool progressed = true;
+    while (progressed && ws.remaining > 0) {
+      progressed = false;
+      for (int off = 0; off < batch; ++off) {
+        const int s = (ws.prefer + off) % batch;
+        const double ready = head_ready(ws, s, w);
+        if (ready == kUnset || ready > ws.clock) continue;
+        auto su = static_cast<std::size_t>(s);
+        const NodeId id = ws.streams[su][ws.cursor[su]];
+        const Node& n = graph.node(id);
+        double dur = 0.0;
+        if (n.kind != OpKind::kConstant) {
+          dur = options.machine.per_task_overhead_us +
+                options.machine.kernel_us(
+                    profile.node_us[static_cast<std::size_t>(id)],
+                    options.intra_op_threads, active_workers,
+                    kernel_is_parallelizable(n.kind));
+        }
+        const double start = ws.clock;
+        ws.clock += dur;
+        stats.busy_us += dur;
+        ++stats.tasks;
+        if (options.trace) {
+          result.events.push_back(
+              TaskEvent{id, s, w, static_cast<std::int64_t>(start * 1e3),
+                        static_cast<std::int64_t>(ws.clock * 1e3)});
+        }
+        for (ValueId ov : n.outputs) {
+          done_time[done_idx(ov, s)] = ws.clock;
+          // Wake every remote consumer worker at its arrival time.
+          std::vector<int> notified;
+          for (NodeId c : graph.value(ov).consumers) {
+            if (graph.node(c).dead) continue;
+            const int wc = hc.worker(c, s);
+            if (wc == w || wc < 0) continue;
+            if (std::find(notified.begin(), notified.end(), wc) !=
+                notified.end()) {
+              continue;
+            }
+            notified.push_back(wc);
+            ++stats.messages_sent;
+            const double arrival =
+                ws.clock + options.machine.comm_us(
+                               profile.value_bytes[static_cast<std::size_t>(ov)]);
+            heap.emplace(arrival, wc);
+          }
+        }
+        ++ws.cursor[su];
+        --ws.remaining;
+        ws.prefer = (s + 1) % batch;
+        progressed = true;
+        break;
+      }
+    }
+    makespan_us = std::max(makespan_us, ws.clock);
+    if (ws.remaining == 0) continue;
+
+    // Nothing runnable now: if some head has a known future ready time,
+    // self-schedule a wake-up; otherwise wait for a producer's message
+    // event (pushed above when it sends).
+    double wake = std::numeric_limits<double>::infinity();
+    for (int s = 0; s < batch; ++s) {
+      const double ready = head_ready(ws, s, w);
+      if (ready != kUnset && ready > ws.clock) wake = std::min(wake, ready);
+    }
+    if (std::isfinite(wake)) heap.emplace(wake, w);
+  }
+
+  for (const WorkerState& ws : workers) {
+    if (ws.remaining != 0) {
+      throw Error(
+          str_cat("simulation stalled with ", ws.remaining,
+                  " tasks pending on a worker (invalid clustering?)"));
+    }
+  }
+  result.makespan_ms = makespan_us / 1e3;
+  return result;
+}
+
+}  // namespace ramiel

@@ -1,0 +1,66 @@
+// Lightweight contract checking for the ramiel library.
+//
+// RAMIEL_CHECK(cond, msg)   -- always-on invariant check; throws ramiel::Error.
+// RAMIEL_DCHECK(cond, msg)  -- debug-only check, compiled out in NDEBUG builds.
+// RAMIEL_UNREACHABLE(msg)   -- marks logically unreachable control flow.
+//
+// The library uses exceptions for *caller* errors (bad models, malformed
+// files) and checks for *internal* invariants, following the C++ Core
+// Guidelines (I.6/I.8: prefer stating contracts, E.x: use exceptions for
+// error handling rather than error codes at API boundaries).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ramiel {
+
+/// Base error type for all failures raised by the ramiel library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input model or serialized file is malformed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a graph fails validation (dangling values, cycles, ...).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ramiel
+
+#define RAMIEL_CHECK(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::ramiel::detail::check_failed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define RAMIEL_DCHECK(cond, msg) \
+  do {                           \
+  } while (0)
+#else
+#define RAMIEL_DCHECK(cond, msg) RAMIEL_CHECK(cond, msg)
+#endif
+
+#define RAMIEL_UNREACHABLE(msg) \
+  ::ramiel::detail::check_failed(__FILE__, __LINE__, "unreachable", (msg))

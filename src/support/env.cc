@@ -1,0 +1,30 @@
+#include "support/env.h"
+
+#include <cstdlib>
+
+namespace ramiel {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<int>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  return parsed;
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::string(v);
+}
+
+}  // namespace ramiel

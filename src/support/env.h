@@ -1,0 +1,20 @@
+// Environment-variable helpers for benchmark knobs (e.g. RAMIEL_SCALE to
+// shrink workloads on slow CI machines).
+#pragma once
+
+#include <string>
+
+namespace ramiel {
+
+/// Reads an integer environment variable; returns `fallback` when unset or
+/// unparseable.
+int env_int(const char* name, int fallback);
+
+/// Reads a float environment variable; returns `fallback` when unset or
+/// unparseable.
+double env_double(const char* name, double fallback);
+
+/// Reads a string environment variable; returns `fallback` when unset.
+std::string env_str(const char* name, const std::string& fallback);
+
+}  // namespace ramiel

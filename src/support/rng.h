@@ -1,0 +1,39 @@
+// Deterministic, seedable random number generation (SplitMix64). Used for
+// synthetic tensor initialization and property-test input generation so runs
+// are reproducible across platforms (std::mt19937 distributions are not
+// guaranteed identical across standard library implementations).
+#pragma once
+
+#include <cstdint>
+
+namespace ramiel {
+
+/// SplitMix64 PRNG: tiny, fast, good statistical quality for our purposes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [lo, hi).
+  float next_float(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ramiel

@@ -1,0 +1,41 @@
+// Monotonic wall-clock stopwatch used by the profiler, the benchmark
+// harnesses and the compile-time measurements (Table VIII).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ramiel {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts timing from now.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time since construction/reset, in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double micros() const { return seconds() * 1e6; }
+
+  /// Monotonic timestamp in nanoseconds (for trace events).
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ramiel

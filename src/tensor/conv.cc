@@ -1,0 +1,97 @@
+#include "support/check.h"
+#include "support/string_util.h"
+#include "tensor/ops.h"
+
+namespace ramiel {
+
+// Direct convolution. The output-channel x batch loop is the parallel axis:
+// each (n, k) pair is independent, which gives conv2d the intra-op
+// parallelism profile the paper leans on for Table V.
+Tensor conv2d(const Tensor& input, const Tensor& weight,
+              const std::optional<Tensor>& bias, const Conv2dParams& p,
+              const OpContext& ctx) {
+  const Shape& is = input.shape();
+  const Shape& ws = weight.shape();
+  RAMIEL_CHECK(is.rank() == 4, str_cat("conv2d input must be NCHW, got ",
+                                       is.to_string()));
+  RAMIEL_CHECK(ws.rank() == 4, str_cat("conv2d weight must be KCRS, got ",
+                                       ws.to_string()));
+  const std::int64_t N = is.dim(0), C = is.dim(1), H = is.dim(2), W = is.dim(3);
+  const std::int64_t K = ws.dim(0), Cg = ws.dim(1), R = ws.dim(2), S = ws.dim(3);
+  RAMIEL_CHECK(p.groups >= 1 && C % p.groups == 0 && K % p.groups == 0,
+               "conv2d group count must divide channels");
+  RAMIEL_CHECK(Cg == C / p.groups,
+               str_cat("conv2d weight channel dim ", Cg, " != C/groups = ",
+                       C / p.groups));
+  if (bias) {
+    RAMIEL_CHECK(bias->shape().rank() == 1 && bias->shape().dim(0) == K,
+                 "conv2d bias must be [K]");
+  }
+  const std::int64_t OH =
+      (H + 2 * p.pad_h - p.dilation_h * (R - 1) - 1) / p.stride_h + 1;
+  const std::int64_t OW =
+      (W + 2 * p.pad_w - p.dilation_w * (S - 1) - 1) / p.stride_w + 1;
+  RAMIEL_CHECK(OH > 0 && OW > 0, "conv2d output would be empty");
+
+  Tensor out(Shape{N, K, OH, OW});
+  auto in = input.data();
+  auto wt = weight.data();
+  auto dst = out.mutable_data();
+  const float* bptr = bias ? bias->data().data() : nullptr;
+  const std::int64_t kper_group = K / p.groups;
+
+  dispatch_parallel_for(ctx, N * K, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t nk = lo; nk < hi; ++nk) {
+      const std::int64_t n = nk / K;
+      const std::int64_t k = nk % K;
+      const std::int64_t g = k / kper_group;
+      const std::int64_t c0 = g * Cg;
+      for (std::int64_t oh = 0; oh < OH; ++oh) {
+        for (std::int64_t ow = 0; ow < OW; ++ow) {
+          float acc = bptr ? bptr[k] : 0.0f;
+          for (std::int64_t c = 0; c < Cg; ++c) {
+            for (std::int64_t r = 0; r < R; ++r) {
+              const std::int64_t ih = oh * p.stride_h - p.pad_h + r * p.dilation_h;
+              if (ih < 0 || ih >= H) continue;
+              for (std::int64_t s = 0; s < S; ++s) {
+                const std::int64_t iw =
+                    ow * p.stride_w - p.pad_w + s * p.dilation_w;
+                if (iw < 0 || iw >= W) continue;
+                acc += in[static_cast<std::size_t>(
+                           ((n * C + c0 + c) * H + ih) * W + iw)] *
+                       wt[static_cast<std::size_t>(((k * Cg + c) * R + r) * S + s)];
+              }
+            }
+          }
+          dst[static_cast<std::size_t>(((n * K + k) * OH + oh) * OW + ow)] = acc;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor resize_nearest(const Tensor& input, int scale, const OpContext& ctx) {
+  const Shape& is = input.shape();
+  RAMIEL_CHECK(is.rank() == 4, "resize_nearest input must be NCHW");
+  RAMIEL_CHECK(scale >= 1, "resize scale must be >= 1");
+  const std::int64_t N = is.dim(0), C = is.dim(1), H = is.dim(2), W = is.dim(3);
+  const std::int64_t OH = H * scale, OW = W * scale;
+  Tensor out(Shape{N, C, OH, OW});
+  auto in = input.data();
+  auto dst = out.mutable_data();
+  dispatch_parallel_for(ctx, N * C, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t nc = lo; nc < hi; ++nc) {
+      const float* src = in.data() + nc * H * W;
+      float* d = dst.data() + nc * OH * OW;
+      for (std::int64_t oh = 0; oh < OH; ++oh) {
+        for (std::int64_t ow = 0; ow < OW; ++ow) {
+          d[oh * OW + ow] = src[(oh / scale) * W + (ow / scale)];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace ramiel

@@ -1,0 +1,152 @@
+#include <cmath>
+#include <functional>
+
+#include "support/check.h"
+#include "support/string_util.h"
+#include "tensor/ops.h"
+
+namespace ramiel {
+namespace {
+
+Tensor unary(const Tensor& x, const std::function<float(float)>& f) {
+  Tensor out(x.shape());
+  auto in = x.data();
+  auto dst = out.mutable_data();
+  for (std::size_t i = 0; i < in.size(); ++i) dst[i] = f(in[i]);
+  return out;
+}
+
+/// Computes the broadcast result shape of two shapes (NumPy rules).
+Shape broadcast_shape(const Shape& a, const Shape& b) {
+  int rank = std::max(a.rank(), b.rank());
+  std::vector<std::int64_t> dims(static_cast<std::size_t>(rank));
+  for (int i = 0; i < rank; ++i) {
+    std::int64_t da = i < a.rank() ? a.dim(a.rank() - 1 - i) : 1;
+    std::int64_t db = i < b.rank() ? b.dim(b.rank() - 1 - i) : 1;
+    RAMIEL_CHECK(da == db || da == 1 || db == 1,
+                 str_cat("cannot broadcast ", a.to_string(), " with ",
+                         b.to_string()));
+    dims[static_cast<std::size_t>(rank - 1 - i)] = std::max(da, db);
+  }
+  return Shape(std::move(dims));
+}
+
+Tensor binary(const Tensor& a, const Tensor& b,
+              const std::function<float(float, float)>& f) {
+  // Fast path: identical shapes.
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    auto da = a.data();
+    auto db = b.data();
+    auto dst = out.mutable_data();
+    for (std::size_t i = 0; i < da.size(); ++i) dst[i] = f(da[i], db[i]);
+    return out;
+  }
+  Shape os = broadcast_shape(a.shape(), b.shape());
+  Tensor out(os);
+  const int rank = os.rank();
+  auto ostrides = os.strides();
+  // Effective strides for each input: 0 where broadcast.
+  auto eff = [&](const Shape& s) {
+    std::vector<std::int64_t> st(static_cast<std::size_t>(rank), 0);
+    auto real = s.strides();
+    for (int i = 0; i < s.rank(); ++i) {
+      int oi = rank - s.rank() + i;
+      st[static_cast<std::size_t>(oi)] =
+          s.dim(i) == 1 ? 0 : real[static_cast<std::size_t>(i)];
+    }
+    return st;
+  };
+  auto sa = eff(a.shape());
+  auto sb = eff(b.shape());
+  auto da = a.data();
+  auto db = b.data();
+  auto dst = out.mutable_data();
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(rank), 0);
+  const std::int64_t n = os.numel();
+  std::int64_t offa = 0, offb = 0;
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    dst[static_cast<std::size_t>(flat)] =
+        f(da[static_cast<std::size_t>(offa)], db[static_cast<std::size_t>(offb)]);
+    // Odometer increment.
+    for (int d = rank - 1; d >= 0; --d) {
+      auto ud = static_cast<std::size_t>(d);
+      ++idx[ud];
+      offa += sa[ud];
+      offb += sb[ud];
+      if (idx[ud] < os.dim(d)) break;
+      offa -= sa[ud] * os.dim(d);
+      offb -= sb[ud] * os.dim(d);
+      idx[ud] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor relu(const Tensor& x) {
+  return unary(x, [](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor leaky_relu(const Tensor& x, float alpha) {
+  return unary(x, [alpha](float v) { return v > 0.0f ? v : alpha * v; });
+}
+
+Tensor sigmoid(const Tensor& x) {
+  return unary(x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+}
+
+Tensor silu(const Tensor& x) {
+  return unary(x, [](float v) { return v / (1.0f + std::exp(-v)); });
+}
+
+Tensor tanh_op(const Tensor& x) {
+  return unary(x, [](float v) { return std::tanh(v); });
+}
+
+Tensor gelu(const Tensor& x) {
+  return unary(x, [](float v) {
+    return 0.5f * v * (1.0f + std::erf(v * 0.70710678f));
+  });
+}
+
+Tensor erf_op(const Tensor& x) {
+  return unary(x, [](float v) { return std::erf(v); });
+}
+
+Tensor sqrt_op(const Tensor& x) {
+  return unary(x, [](float v) { return std::sqrt(v); });
+}
+
+Tensor exp_op(const Tensor& x) {
+  return unary(x, [](float v) { return std::exp(v); });
+}
+
+Tensor neg(const Tensor& x) {
+  return unary(x, [](float v) { return -v; });
+}
+
+Tensor identity(const Tensor& x) { return x; }
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor div_op(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor pow_op(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return std::pow(x, y); });
+}
+
+}  // namespace ramiel

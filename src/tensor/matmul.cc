@@ -1,0 +1,109 @@
+#include "support/check.h"
+#include "support/string_util.h"
+#include "tensor/ops.h"
+
+namespace ramiel {
+
+// Batched matmul with broadcast over leading dims. The (batch, row-block)
+// space is the parallel axis.
+Tensor matmul(const Tensor& a, const Tensor& b, const OpContext& ctx) {
+  const Shape& as = a.shape();
+  const Shape& bs = b.shape();
+  RAMIEL_CHECK(as.rank() >= 2 && bs.rank() >= 2,
+               "matmul operands must have rank >= 2");
+  const std::int64_t M = as.dim(-2), Ka = as.dim(-1);
+  const std::int64_t Kb = bs.dim(-2), N = bs.dim(-1);
+  RAMIEL_CHECK(Ka == Kb, str_cat("matmul inner dims mismatch: ", as.to_string(),
+                                 " x ", bs.to_string()));
+  // Broadcast batch dims.
+  const int batch_rank = std::max(as.rank(), bs.rank()) - 2;
+  std::vector<std::int64_t> batch_dims(static_cast<std::size_t>(batch_rank));
+  for (int i = 0; i < batch_rank; ++i) {
+    std::int64_t da = (i < as.rank() - 2) ? as.dim(as.rank() - 3 - i) : 1;
+    std::int64_t db = (i < bs.rank() - 2) ? bs.dim(bs.rank() - 3 - i) : 1;
+    RAMIEL_CHECK(da == db || da == 1 || db == 1, "matmul batch dims mismatch");
+    batch_dims[static_cast<std::size_t>(batch_rank - 1 - i)] = std::max(da, db);
+  }
+  std::int64_t batch = 1;
+  for (std::int64_t d : batch_dims) batch *= d;
+
+  std::vector<std::int64_t> out_dims = batch_dims;
+  out_dims.push_back(M);
+  out_dims.push_back(N);
+  Tensor out(Shape(std::move(out_dims)));
+
+  // Per-batch strides into a and b (0 when the operand is broadcast).
+  std::int64_t a_batch = 1, b_batch = 1;
+  for (int i = 0; i < as.rank() - 2; ++i) a_batch *= as.dim(i);
+  for (int i = 0; i < bs.rank() - 2; ++i) b_batch *= bs.dim(i);
+  // We only support "full" or "scalar" broadcast over the flattened batch for
+  // simplicity; the models use either equal batch dims or rank-2 weights.
+  const std::int64_t a_stride = (a_batch == batch) ? M * Ka : 0;
+  const std::int64_t b_stride = (b_batch == batch) ? Ka * N : 0;
+  RAMIEL_CHECK(a_batch == batch || a_batch == 1,
+               "matmul: unsupported partial batch broadcast on lhs");
+  RAMIEL_CHECK(b_batch == batch || b_batch == 1,
+               "matmul: unsupported partial batch broadcast on rhs");
+
+  auto da = a.data();
+  auto db = b.data();
+  auto dst = out.mutable_data();
+  dispatch_parallel_for(ctx, batch * M, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t bm = lo; bm < hi; ++bm) {
+      const std::int64_t bi = bm / M;
+      const std::int64_t m = bm % M;
+      const float* pa = da.data() + bi * a_stride + m * Ka;
+      const float* pb = db.data() + bi * b_stride;
+      float* po = dst.data() + (bi * M + m) * N;
+      for (std::int64_t n = 0; n < N; ++n) po[n] = 0.0f;
+      for (std::int64_t k = 0; k < Ka; ++k) {
+        const float av = pa[k];
+        const float* pbk = pb + k * N;
+        for (std::int64_t n = 0; n < N; ++n) po[n] += av * pbk[n];
+      }
+    }
+  });
+  return out;
+}
+
+Tensor gemm(const Tensor& a, const Tensor& b, const std::optional<Tensor>& bias,
+            bool trans_a, bool trans_b, const OpContext& ctx) {
+  const Shape& as = a.shape();
+  const Shape& bs = b.shape();
+  RAMIEL_CHECK(as.rank() == 2 && bs.rank() == 2, "gemm operands must be rank 2");
+  const std::int64_t M = trans_a ? as.dim(1) : as.dim(0);
+  const std::int64_t K = trans_a ? as.dim(0) : as.dim(1);
+  const std::int64_t Kb = trans_b ? bs.dim(1) : bs.dim(0);
+  const std::int64_t N = trans_b ? bs.dim(0) : bs.dim(1);
+  RAMIEL_CHECK(K == Kb, "gemm inner dims mismatch");
+
+  Tensor out(Shape{M, N});
+  auto da = a.data();
+  auto db = b.data();
+  auto dst = out.mutable_data();
+  const float* bptr = bias ? bias->data().data() : nullptr;
+  const std::int64_t bias_n = bias ? bias->numel() : 0;
+  RAMIEL_CHECK(!bias || bias_n == N || bias_n == 1,
+               "gemm bias must broadcast over rows");
+
+  dispatch_parallel_for(ctx, M, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t m = lo; m < hi; ++m) {
+      float* po = dst.data() + m * N;
+      for (std::int64_t n = 0; n < N; ++n) {
+        po[n] = bptr ? (bias_n == 1 ? bptr[0] : bptr[n]) : 0.0f;
+      }
+      for (std::int64_t k = 0; k < K; ++k) {
+        const float av = trans_a ? da[static_cast<std::size_t>(k * M + m)]
+                                 : da[static_cast<std::size_t>(m * K + k)];
+        for (std::int64_t n = 0; n < N; ++n) {
+          const float bv = trans_b ? db[static_cast<std::size_t>(n * K + k)]
+                                   : db[static_cast<std::size_t>(k * N + n)];
+          po[n] += av * bv;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace ramiel

@@ -1,0 +1,52 @@
+#include <algorithm>
+
+#include "support/check.h"
+#include "tensor/ops.h"
+
+namespace ramiel {
+
+Tensor reduce_mean(const Tensor& x, const std::vector<int>& axes) {
+  const Shape& xs = x.shape();
+  std::vector<bool> reduced(static_cast<std::size_t>(xs.rank()), false);
+  for (int a : axes) {
+    reduced[static_cast<std::size_t>(xs.normalize_axis(a))] = true;
+  }
+  std::vector<std::int64_t> out_dims;
+  out_dims.reserve(static_cast<std::size_t>(xs.rank()));
+  std::int64_t reduce_count = 1;
+  for (int i = 0; i < xs.rank(); ++i) {
+    if (reduced[static_cast<std::size_t>(i)]) {
+      out_dims.push_back(1);
+      reduce_count *= xs.dim(i);
+    } else {
+      out_dims.push_back(xs.dim(i));
+    }
+  }
+  Shape os(std::move(out_dims));
+  Tensor out = Tensor::zeros(os);
+  auto in = x.data();
+  auto dst = out.mutable_data();
+
+  const auto in_strides = xs.strides();
+  const auto out_strides = os.strides();
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(xs.rank()), 0);
+  const std::int64_t n = xs.numel();
+  for (std::int64_t flat = 0; flat < n; ++flat) {
+    std::int64_t oflat = 0;
+    for (int d = 0; d < xs.rank(); ++d) {
+      auto ud = static_cast<std::size_t>(d);
+      if (!reduced[ud]) oflat += idx[ud] * out_strides[ud];
+    }
+    dst[static_cast<std::size_t>(oflat)] += in[static_cast<std::size_t>(flat)];
+    for (int d = xs.rank() - 1; d >= 0; --d) {
+      auto ud = static_cast<std::size_t>(d);
+      if (++idx[ud] < xs.dim(d)) break;
+      idx[ud] = 0;
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(reduce_count);
+  for (float& v : dst) v *= inv;
+  return out;
+}
+
+}  // namespace ramiel

@@ -1,0 +1,75 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace ramiel {
+
+Tensor::Tensor() : Tensor(Shape{}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      buf_(std::make_shared<std::vector<float>>(
+          static_cast<std::size_t>(shape_.numel()))) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)) {
+  RAMIEL_CHECK(static_cast<std::int64_t>(data.size()) == shape_.numel(),
+               str_cat("data size ", data.size(), " does not match shape ",
+                       shape_.to_string()));
+  buf_ = std::make_shared<std::vector<float>>(std::move(data));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  for (float& x : t.mutable_data()) x = value;
+  return t;
+}
+
+Tensor Tensor::scalar(float value) {
+  Tensor t{Shape{}};
+  t.mutable_data()[0] = value;
+  return t;
+}
+
+Tensor Tensor::vec(std::vector<float> values) {
+  Shape s{static_cast<std::int64_t>(values.size())};
+  return Tensor(std::move(s), std::move(values));
+}
+
+Tensor Tensor::random(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (float& x : t.mutable_data()) x = rng.next_float(lo, hi);
+  return t;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  RAMIEL_CHECK(new_shape.numel() == shape_.numel(),
+               str_cat("reshape ", shape_.to_string(), " -> ",
+                       new_shape.to_string(), " changes element count"));
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor t(shape_);
+  std::copy(buf_->begin(), buf_->end(), t.buf_->begin());
+  return t;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    float tol = atol + rtol * std::fabs(db[i]);
+    if (std::fabs(da[i] - db[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace ramiel

@@ -1,0 +1,79 @@
+// Dense float32 tensor with shared immutable storage.
+//
+// Tensors are value types: copying a Tensor copies only the shape and a
+// reference to the underlying buffer, which makes passing tensors through
+// cross-cluster channels cheap (this mirrors how the paper's generated
+// Python passes torch tensors through multiprocessing queues). Storage is
+// treated as immutable once a tensor has been published to another cluster;
+// kernels always allocate fresh outputs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "support/rng.h"
+#include "tensor/shape.h"
+
+namespace ramiel {
+
+/// Dense row-major float32 tensor.
+class Tensor {
+ public:
+  /// Empty rank-0 tensor holding a single zero element.
+  Tensor();
+
+  /// Allocates an uninitialized tensor of `shape`.
+  explicit Tensor(Shape shape);
+
+  /// Wraps existing data (copied) with `shape`. Sizes must agree.
+  Tensor(Shape shape, std::vector<float> data);
+
+  /// All-zeros tensor.
+  static Tensor zeros(Shape shape);
+
+  /// Tensor filled with `value`.
+  static Tensor full(Shape shape, float value);
+
+  /// Scalar (rank-0) tensor.
+  static Tensor scalar(float value);
+
+  /// 1-D tensor from values.
+  static Tensor vec(std::vector<float> values);
+
+  /// Uniform random values in [lo, hi), drawn from `rng` (deterministic).
+  static Tensor random(Shape shape, Rng& rng, float lo = -1.0f, float hi = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+
+  /// Read-only view of all elements.
+  std::span<const float> data() const { return {buf_->data(), buf_->size()}; }
+
+  /// Mutable view. Only valid before the tensor is shared (use during
+  /// construction inside kernels).
+  std::span<float> mutable_data() { return {buf_->data(), buf_->size()}; }
+
+  /// Element access by flat index.
+  float at(std::int64_t i) const { return (*buf_)[static_cast<std::size_t>(i)]; }
+
+  /// Reinterprets the buffer under a new shape with equal numel (zero-copy).
+  Tensor reshaped(Shape new_shape) const;
+
+  /// True if both tensors share the same storage buffer.
+  bool shares_storage_with(const Tensor& o) const { return buf_ == o.buf_; }
+
+  /// Deep copy with fresh storage.
+  Tensor clone() const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<std::vector<float>> buf_;
+};
+
+/// True when shapes match and elements differ by at most `atol` + `rtol`*|b|.
+bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-5f);
+
+}  // namespace ramiel

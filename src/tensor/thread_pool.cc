@@ -1,0 +1,125 @@
+#include "tensor/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "support/check.h"
+
+namespace ramiel {
+
+ThreadPool::ThreadPool(int num_threads) {
+  RAMIEL_CHECK(num_threads >= 0, "thread count must be non-negative");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    RAMIEL_CHECK(!stopping_, "submit on a stopping pool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  parallel_for(n, size() + 1, fn);
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n, int max_parts,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const int parts = std::min(max_parts, size() + 1);
+  if (parts <= 1 || n == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::int64_t chunk = (n + parts - 1) / parts;
+
+  struct Sync {
+    std::atomic<int> remaining;
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto sync = std::make_shared<Sync>();
+  int launched = 0;
+  // Chunks beyond the first go to the pool; chunk 0 runs on the caller.
+  for (std::int64_t begin = chunk; begin < n; begin += chunk) {
+    ++launched;
+  }
+  sync->remaining.store(launched, std::memory_order_relaxed);
+  for (std::int64_t begin = chunk; begin < n; begin += chunk) {
+    const std::int64_t end = std::min(begin + chunk, n);
+    submit([sync, &fn, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(sync->mu);
+        if (!sync->error) sync->error = std::current_exception();
+      }
+      if (sync->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(sync->mu);
+        sync->done.notify_all();
+      }
+    });
+  }
+  try {
+    fn(0, std::min(chunk, n));
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(sync->mu);
+    if (!sync->error) sync->error = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lk(sync->mu);
+    sync->done.wait(lk, [&] {
+      return sync->remaining.load(std::memory_order_acquire) == 0;
+    });
+    if (sync->error) std::rethrow_exception(sync->error);
+  }
+}
+
+const OpContext& OpContext::serial() {
+  static const OpContext ctx{};
+  return ctx;
+}
+
+void dispatch_parallel_for(
+    const OpContext& ctx, std::int64_t n,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (ctx.pool == nullptr || ctx.threads <= 1 || ctx.pool->size() == 0) {
+    if (n > 0) fn(0, n);
+    return;
+  }
+  ctx.pool->parallel_for(n, ctx.threads, fn);
+}
+
+}  // namespace ramiel

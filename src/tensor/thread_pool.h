@@ -1,0 +1,75 @@
+// Fixed-size thread pool with a parallel_for primitive.
+//
+// This models PyTorch's intra-op OpenMP parallelism: a kernel splits its
+// index space into chunks and runs them on the pool, with the calling thread
+// participating. Multiple cluster threads may call into one shared pool
+// concurrently — the resulting contention deliberately reproduces the
+// oversubscription effects the paper observes in Table V.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ramiel {
+
+/// Work-queue thread pool. Threads are joined on destruction (RAII).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. 0 is allowed and means "no workers":
+  /// parallel_for then runs entirely on the calling thread.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding callers).
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(begin, end) over [0, n) split into roughly equal chunks across
+  /// the workers plus the calling thread. Blocks until all chunks finish.
+  /// Exceptions from chunks propagate to the caller (first one wins).
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Same, but splits into at most `max_parts` chunks (at most max_parts - 1
+  /// of which are enqueued on the pool; chunk 0 runs on the caller). Used to
+  /// honor an intra-op thread budget smaller than the pool size.
+  void parallel_for(std::int64_t n, int max_parts,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Enqueues a fire-and-forget task.
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Per-kernel execution context. `threads <= 1` means serial execution; with
+/// threads > 1 kernels split work across `pool`.
+struct OpContext {
+  int threads = 1;
+  ThreadPool* pool = nullptr;
+
+  /// Serial context singleton.
+  static const OpContext& serial();
+};
+
+/// Dispatches fn over [0, n): serial when ctx has no pool or threads <= 1,
+/// otherwise via ctx.pool->parallel_for.
+void dispatch_parallel_for(
+    const OpContext& ctx, std::int64_t n,
+    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace ramiel

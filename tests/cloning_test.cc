@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "passes/cloning.h"
+#include "rt/executor.h"
+#include "rt/inputs.h"
+#include "support/string_util.h"
+#include "test_util.h"
+
+namespace ramiel {
+namespace {
+
+TEST(Cloning, ReplicatesFanOutNode) {
+  Graph g = testing::make_diamond_graph();  // a feeds b and c
+  CostModel cost;
+  CloningOptions opts;
+  opts.depth_fraction = 1.0;
+  CloningStats stats = clone_tasks(g, cost, opts);
+  EXPECT_EQ(stats.nodes_cloned, 1);
+  EXPECT_EQ(stats.clones_created, 1);
+  // a's output now has a single consumer; the clone feeds the other.
+  EXPECT_EQ(g.value(g.node(0).outputs[0]).consumers.size(), 1u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Cloning, PreservesSemantics) {
+  Graph original = testing::make_diamond_graph();
+  Graph cloned = testing::make_diamond_graph();
+  CostModel cost;
+  CloningOptions opts;
+  opts.depth_fraction = 1.0;
+  clone_tasks(cloned, cost, opts);
+
+  Rng rng(5);
+  auto inputs = make_example_inputs(original, 1, rng);
+  SequentialExecutor run_a(&original);
+  SequentialExecutor run_b(&cloned);
+  auto a = run_a.run(inputs);
+  auto b = run_b.run(inputs);
+  for (const auto& [key, value] : a[0]) {
+    EXPECT_TRUE(allclose(value, b[0].at(key), 1e-5f, 1e-5f));
+  }
+}
+
+TEST(Cloning, RespectsWeightThreshold) {
+  // A heavy fan-out node (MatMul) must not be cloned with default limits.
+  Graph g("t");
+  ValueId in = g.add_value("x", Shape{2, 2});
+  g.mark_input(in);
+  ValueId w = g.add_initializer("w", Tensor::zeros(Shape{2, 2}));
+  NodeId m = g.add_node(OpKind::kMatMul, "m", {in, w});
+  NodeId b1 = g.add_node(OpKind::kRelu, "b1", {g.node(m).outputs[0]});
+  NodeId b2 = g.add_node(OpKind::kSigmoid, "b2", {g.node(m).outputs[0]});
+  g.mark_output(g.node(b1).outputs[0]);
+  g.mark_output(g.node(b2).outputs[0]);
+  CostModel cost;
+  CloningOptions opts;
+  opts.depth_fraction = 1.0;
+  CloningStats stats = clone_tasks(g, cost, opts);
+  EXPECT_EQ(stats.clones_created, 0);
+}
+
+TEST(Cloning, RespectsDepthCutoff) {
+  // Fan-out at the very bottom of a deep chain is skipped with a small
+  // depth fraction.
+  Graph g("t");
+  ValueId v = g.add_value("x", Shape{1, 4});
+  g.mark_input(v);
+  for (int i = 0; i < 10; ++i) {
+    v = g.node(g.add_node(OpKind::kRelu, str_cat("chain", i), {v})).outputs[0];
+  }
+  NodeId fan = g.add_node(OpKind::kRelu, "fan", {v});
+  NodeId u1 = g.add_node(OpKind::kRelu, "u1", {g.node(fan).outputs[0]});
+  NodeId u2 = g.add_node(OpKind::kRelu, "u2", {g.node(fan).outputs[0]});
+  g.mark_output(g.node(u1).outputs[0]);
+  g.mark_output(g.node(u2).outputs[0]);
+  CostModel cost;
+  CloningOptions shallow;
+  shallow.depth_fraction = 0.2;
+  EXPECT_EQ(clone_tasks(g, cost, shallow).clones_created, 0);
+  CloningOptions deep;
+  deep.depth_fraction = 1.0;
+  EXPECT_EQ(clone_tasks(g, cost, deep).clones_created, 1);
+}
+
+TEST(Cloning, RespectsCloneBudget) {
+  // Many fan-out nodes, tiny budget.
+  Graph g("t");
+  ValueId in = g.add_value("x", Shape{1, 4});
+  g.mark_input(in);
+  std::vector<ValueId> outs;
+  for (int i = 0; i < 6; ++i) {
+    NodeId fan = g.add_node(OpKind::kRelu, str_cat("fan", i), {in});
+    NodeId a = g.add_node(OpKind::kRelu, str_cat("a", i),
+                          {g.node(fan).outputs[0]});
+    NodeId b = g.add_node(OpKind::kRelu, str_cat("b", i),
+                          {g.node(fan).outputs[0]});
+    outs.push_back(g.node(a).outputs[0]);
+    outs.push_back(g.node(b).outputs[0]);
+  }
+  for (ValueId o : outs) g.mark_output(o);
+  CostModel cost;
+  CloningOptions opts;
+  opts.depth_fraction = 1.0;
+  opts.max_clones = 3;
+  CloningStats stats = clone_tasks(g, cost, opts);
+  EXPECT_EQ(stats.clones_created, 3);
+}
+
+TEST(Cloning, SkipsGraphOutputProducers) {
+  Graph g("t");
+  ValueId in = g.add_value("x", Shape{1, 4});
+  g.mark_input(in);
+  NodeId a = g.add_node(OpKind::kRelu, "a", {in});
+  NodeId u1 = g.add_node(OpKind::kRelu, "u1", {g.node(a).outputs[0]});
+  NodeId u2 = g.add_node(OpKind::kRelu, "u2", {g.node(a).outputs[0]});
+  g.mark_output(g.node(a).outputs[0]);  // a's output is itself a graph output
+  g.mark_output(g.node(u1).outputs[0]);
+  g.mark_output(g.node(u2).outputs[0]);
+  CostModel cost;
+  CloningOptions opts;
+  opts.depth_fraction = 1.0;
+  EXPECT_EQ(clone_tasks(g, cost, opts).clones_created, 0);
+}
+
+TEST(Cloning, InceptionV3GainsClones) {
+  // Fig. 7: cloning applies to Inception's shallow fan-out region.
+  Graph g = models::build("inception_v3");
+  const int before = g.live_node_count();
+  CostModel cost;
+  CloningStats stats = clone_tasks(g, cost);
+  EXPECT_GT(stats.clones_created, 0);
+  EXPECT_EQ(g.live_node_count(), before + stats.clones_created);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Cloning, ModelSemanticsPreserved) {
+  Graph original = models::build("googlenet");
+  Graph cloned = models::build("googlenet");
+  CostModel cost;
+  clone_tasks(cloned, cost);
+  Rng rng(9);
+  auto inputs = make_example_inputs(original, 1, rng);
+  SequentialExecutor run_a(&original);
+  SequentialExecutor run_b(&cloned);
+  auto a = run_a.run(inputs);
+  auto b = run_b.run(inputs);
+  for (const auto& [key, value] : a[0]) {
+    EXPECT_TRUE(allclose(value, b[0].at(key), 1e-4f, 1e-3f)) << key;
+  }
+}
+
+}  // namespace
+}  // namespace ramiel

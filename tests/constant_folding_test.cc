@@ -1,0 +1,204 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/shape_inference.h"
+#include "models/zoo.h"
+#include "models/net_builder.h"
+#include "passes/constant_folding.h"
+#include "passes/fusion.h"
+#include "rt/executor.h"
+#include "rt/inputs.h"
+#include "test_util.h"
+
+namespace ramiel {
+namespace {
+
+TEST(ConstantFolding, FoldsConstOnlyChain) {
+  Graph g = testing::make_const_side_graph();  // Constant -> Exp -> Add
+  FoldStats stats = fold_constants(g);
+  EXPECT_GE(stats.folded_nodes, 2);  // Constant node + Exp
+  // The Add's second input is now a constant value.
+  const Node* add = nullptr;
+  for (const Node& n : g.nodes()) {
+    if (!n.dead && n.kind == OpKind::kAdd) add = &n;
+  }
+  ASSERT_NE(add, nullptr);
+  EXPECT_TRUE(g.value(add->inputs[1]).is_constant());
+  // exp(0.5) baked in.
+  EXPECT_NEAR(g.value(add->inputs[1]).const_data->at(0), std::exp(0.5f), 1e-5f);
+}
+
+TEST(ConstantFolding, FoldsShapeOfStaticValue) {
+  Graph g("t");
+  ValueId x = g.add_value("x", Shape{2, 6});
+  g.mark_input(x);
+  NodeId shp = g.add_node(OpKind::kShape, "s", {x});
+  NodeId r = g.add_node(OpKind::kReshape, "r", {x, g.node(shp).outputs[0]});
+  g.mark_output(g.node(r).outputs[0]);
+  infer_shapes(g);
+  fold_constants(g);
+  EXPECT_TRUE(g.node(shp).dead);
+  EXPECT_TRUE(g.value(g.node(shp).outputs[0]).is_constant());
+  // The reshape output shape became known after folding.
+  EXPECT_EQ(g.value(g.node(r).outputs[0]).shape, Shape({2, 6}));
+}
+
+TEST(ConstantFolding, DoesNotTouchDataDependentNodes) {
+  Graph g = testing::make_diamond_graph();
+  FoldStats stats = fold_constants(g);
+  EXPECT_EQ(stats.folded_nodes, 0);
+  EXPECT_EQ(g.live_node_count(), 4);
+}
+
+TEST(Dce, RemovesUnreachableNodes) {
+  Graph g("t");
+  ValueId in = g.add_value("x", Shape{1, 4});
+  g.mark_input(in);
+  NodeId a = g.add_node(OpKind::kRelu, "a", {in});
+  NodeId orphan = g.add_node(OpKind::kSigmoid, "orphan", {in});
+  g.mark_output(g.node(a).outputs[0]);
+  EXPECT_EQ(eliminate_dead_code(g), 1);
+  EXPECT_TRUE(g.node(orphan).dead);
+  EXPECT_FALSE(g.node(a).dead);
+}
+
+TEST(Dce, KeepsEverythingReachable) {
+  Graph g = testing::make_diamond_graph();
+  EXPECT_EQ(eliminate_dead_code(g), 0);
+}
+
+TEST(Dce, ConstantInputsCutReachability) {
+  // After folding, the chain feeding a now-constant value is dead.
+  Graph g = testing::make_const_side_graph();
+  fold_constants(g);
+  const int removed = eliminate_dead_code(g);
+  EXPECT_GE(removed, 0);  // chain already tombstoned by folding
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(CpDce, FullPipelinePreservesSemantics) {
+  // Folding + DCE must not change model outputs.
+  for (const std::string name : {"yolo_v5", "bert"}) {
+    Graph original = models::build(name);
+    Graph folded = models::build(name);
+    constant_propagation_dce(folded);
+    folded = folded.compacted();
+
+    Rng rng(11);
+    auto inputs = make_example_inputs(original, 1, rng);
+    SequentialExecutor run_orig(&original);
+    SequentialExecutor run_fold(&folded);
+    auto out_a = run_orig.run(inputs);
+    auto out_b = run_fold.run(inputs);
+    ASSERT_EQ(out_a[0].size(), out_b[0].size()) << name;
+    for (const auto& [key, value] : out_a[0]) {
+      ASSERT_TRUE(out_b[0].count(key)) << name << ": " << key;
+      EXPECT_TRUE(allclose(value, out_b[0].at(key), 1e-4f, 1e-3f))
+          << name << ": " << key;
+    }
+  }
+}
+
+TEST(CpDce, ShrinksFoldableModels) {
+  // Table III models all lose nodes to CP+DCE.
+  for (const std::string name : {"yolo_v5", "nasnet", "bert"}) {
+    Graph g = models::build(name);
+    const int before = g.live_node_count();
+    FoldStats stats = constant_propagation_dce(g);
+    EXPECT_GT(stats.folded_nodes, 0) << name;
+    EXPECT_LT(g.live_node_count(), before) << name;
+  }
+}
+
+TEST(CpDce, NoOpOnConstFreeModels) {
+  // Squeezenet/Googlenet "do not demonstrate the presence of constants"
+  // (§V-C) — only initializers, nothing foldable.
+  for (const std::string name : {"squeezenet", "googlenet"}) {
+    Graph g = models::build(name);
+    const int before = g.live_node_count();
+    constant_propagation_dce(g);
+    EXPECT_EQ(g.live_node_count(), before) << name;
+  }
+}
+
+TEST(CpDce, IsIdempotent) {
+  Graph g = models::build("yolo_v5");
+  constant_propagation_dce(g);
+  const int after_first = g.live_node_count();
+  FoldStats second = constant_propagation_dce(g);
+  EXPECT_EQ(second.folded_nodes, 0);
+  EXPECT_EQ(second.dce_removed, 0);
+  EXPECT_EQ(g.live_node_count(), after_first);
+}
+
+
+TEST(BnFolding, FoldsConvBnPairPreservingOutputs) {
+  // conv -> bn -> relu with constant stats folds to conv(+bias) -> relu.
+  auto build = [] {
+    NetBuilder b("bnfold");
+    ValueId x = b.input("x", Shape{1, 3, 6, 6});
+    x = b.conv_bn_relu(x, 4, 3);
+    return b.finish({x});
+  };
+  Graph original = build();
+  Graph fused = build();
+  const int folded = fold_batch_norms(fused);
+  EXPECT_EQ(folded, 1);
+  EXPECT_EQ(fused.live_node_count(), original.live_node_count() - 1);
+
+  Rng rng(5);
+  auto inputs = make_example_inputs(original, 1, rng);
+  SequentialExecutor a(&original);
+  SequentialExecutor b(&fused);
+  auto ra = a.run(inputs);
+  auto rb = b.run(inputs);
+  for (const auto& [key, value] : ra[0]) {
+    EXPECT_TRUE(allclose(value, rb[0].at(key), 1e-4f, 1e-4f)) << key;
+  }
+}
+
+TEST(BnFolding, SkipsBnWithSharedConvOutput) {
+  // The conv output feeds a second consumer: folding would corrupt it.
+  NetBuilder b("shared");
+  ValueId x = b.input("x", Shape{1, 2, 4, 4});
+  ValueId c = b.conv(x, 2, 3, 1, 1, 1, /*bias=*/false);
+  ValueId n = b.bn(c);
+  ValueId other = b.relu(c);
+  ValueId sum = b.add(n, other);
+  Graph g = b.finish({sum});
+  EXPECT_EQ(fold_batch_norms(g), 0);
+}
+
+TEST(BnFolding, FoldsAcrossWholeModels) {
+  // Retinanet / Googlenet / NASNet carry conv+bn chains.
+  for (const std::string name : {"inception_v3", "retinanet", "nasnet"}) {
+    Graph original = models::build(name);
+    Graph fused = models::build(name);
+    const int folded = fold_batch_norms(fused);
+    EXPECT_GT(folded, 0) << name;
+    EXPECT_EQ(fused.live_node_count(), original.live_node_count() - folded)
+        << name;
+
+    Rng rng(6);
+    auto inputs = make_example_inputs(original, 1, rng);
+    SequentialExecutor a(&original);
+    SequentialExecutor b(&fused);
+    auto ra = a.run(inputs);
+    auto rb = b.run(inputs);
+    for (const auto& [key, value] : ra[0]) {
+      EXPECT_TRUE(allclose(value, rb[0].at(key), 1e-3f, 1e-2f))
+          << name << ": " << key;
+    }
+  }
+}
+
+TEST(BnFolding, IsIdempotent) {
+  Graph g = models::build("inception_v3");
+  const int first = fold_batch_norms(g);
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(fold_batch_norms(g), 0);
+}
+
+}  // namespace
+}  // namespace ramiel

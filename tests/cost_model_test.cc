@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "graph/cost_model.h"
+#include "test_util.h"
+
+namespace ramiel {
+namespace {
+
+Node make_node(OpKind kind, Attrs attrs = {}) {
+  Node n;
+  n.kind = kind;
+  n.attrs = std::move(attrs);
+  return n;
+}
+
+TEST(CostModel, ConvWeightScalesWithKernel) {
+  CostModel cost;
+  const auto w1 = cost.node_weight(make_node(OpKind::kConv2d,
+                                             Attrs{}.set("kernel", 1)));
+  const auto w3 = cost.node_weight(make_node(OpKind::kConv2d,
+                                             Attrs{}.set("kernel", 3)));
+  const auto w5 = cost.node_weight(make_node(OpKind::kConv2d,
+                                             Attrs{}.set("kernel", 5)));
+  const auto w7 = cost.node_weight(make_node(OpKind::kConv2d,
+                                             Attrs{}.set("kernel", 7)));
+  EXPECT_LT(w1, w3);
+  EXPECT_LT(w3, w5);
+  EXPECT_LT(w5, w7);
+}
+
+TEST(CostModel, ConvWithoutKernelAttrFallsBackTo3x3) {
+  CostModel cost;
+  EXPECT_EQ(cost.node_weight(make_node(OpKind::kConv2d)), cost.conv_3x3);
+}
+
+TEST(CostModel, ElementwiseCostsOne) {
+  CostModel cost;
+  EXPECT_EQ(cost.node_weight(make_node(OpKind::kRelu)), 1);
+  EXPECT_EQ(cost.node_weight(make_node(OpKind::kAdd)), 1);
+  EXPECT_EQ(cost.node_weight(make_node(OpKind::kSilu)), 1);
+}
+
+TEST(CostModel, HeavyOpsOutweighElementwise) {
+  CostModel cost;
+  EXPECT_GT(cost.node_weight(make_node(OpKind::kMatMul)), 10);
+  EXPECT_GT(cost.node_weight(make_node(OpKind::kGemm)),
+            cost.node_weight(make_node(OpKind::kRelu)));
+}
+
+TEST(CostModel, ConstantIsFree) {
+  CostModel cost;
+  EXPECT_EQ(cost.node_weight(make_node(OpKind::kConstant)), 0);
+}
+
+TEST(CostModel, DataMovementCostsOne) {
+  CostModel cost;
+  EXPECT_EQ(cost.node_weight(make_node(OpKind::kReshape)), 1);
+  EXPECT_EQ(cost.node_weight(make_node(OpKind::kConcat)), 1);
+}
+
+TEST(CostModel, TotalWeightSkipsDeadNodes) {
+  Graph g = testing::make_diamond_graph();
+  CostModel cost;
+  const auto before = cost.total_weight(g);
+  EXPECT_EQ(before, 4);  // four elementwise nodes
+  g.kill_node(1);
+  EXPECT_EQ(cost.total_weight(g), 3);
+}
+
+}  // namespace
+}  // namespace ramiel

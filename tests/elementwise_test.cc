@@ -1,0 +1,116 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace ramiel {
+namespace {
+
+using ramiel::testing::expect_tensors_close;
+
+TEST(Elementwise, Relu) {
+  Tensor x(Shape{4}, {-1.0f, 0.0f, 2.0f, -0.5f});
+  expect_tensors_close(relu(x), Tensor(Shape{4}, {0, 0, 2, 0}));
+}
+
+TEST(Elementwise, LeakyRelu) {
+  Tensor x(Shape{2}, {-2.0f, 3.0f});
+  expect_tensors_close(leaky_relu(x, 0.1f), Tensor(Shape{2}, {-0.2f, 3.0f}));
+}
+
+TEST(Elementwise, SigmoidMatchesClosedForm) {
+  Tensor x(Shape{3}, {0.0f, 2.0f, -2.0f});
+  Tensor y = sigmoid(x);
+  EXPECT_NEAR(y.at(0), 0.5f, 1e-6f);
+  EXPECT_NEAR(y.at(1), 1.0f / (1.0f + std::exp(-2.0f)), 1e-6f);
+  EXPECT_NEAR(y.at(2), 1.0f / (1.0f + std::exp(2.0f)), 1e-6f);
+}
+
+TEST(Elementwise, SiluIsXTimesSigmoid) {
+  Tensor x(Shape{3}, {-1.0f, 0.5f, 3.0f});
+  Tensor expected = mul(x, sigmoid(x));
+  expect_tensors_close(silu(x), expected);
+}
+
+TEST(Elementwise, GeluAtKnownPoints) {
+  Tensor x(Shape{2}, {0.0f, 100.0f});
+  Tensor y = gelu(x);
+  EXPECT_NEAR(y.at(0), 0.0f, 1e-6f);
+  EXPECT_NEAR(y.at(1), 100.0f, 1e-3f);  // saturates to identity
+}
+
+TEST(Elementwise, UnaryMathOps) {
+  Tensor x(Shape{2}, {1.0f, 4.0f});
+  expect_tensors_close(sqrt_op(x), Tensor(Shape{2}, {1.0f, 2.0f}));
+  expect_tensors_close(neg(x), Tensor(Shape{2}, {-1.0f, -4.0f}));
+  Tensor e = exp_op(Tensor(Shape{1}, {0.0f}));
+  EXPECT_NEAR(e.at(0), 1.0f, 1e-6f);
+  Tensor t = tanh_op(Tensor(Shape{1}, {0.0f}));
+  EXPECT_NEAR(t.at(0), 0.0f, 1e-6f);
+  Tensor er = erf_op(Tensor(Shape{1}, {0.0f}));
+  EXPECT_NEAR(er.at(0), 0.0f, 1e-6f);
+}
+
+TEST(Elementwise, IdentitySharesStorage) {
+  Tensor x = Tensor::full(Shape{3}, 2.0f);
+  EXPECT_TRUE(identity(x).shares_storage_with(x));
+}
+
+TEST(Binary, SameShapeArithmetic) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{3}, {4, 5, 6});
+  expect_tensors_close(add(a, b), Tensor(Shape{3}, {5, 7, 9}));
+  expect_tensors_close(sub(a, b), Tensor(Shape{3}, {-3, -3, -3}));
+  expect_tensors_close(mul(a, b), Tensor(Shape{3}, {4, 10, 18}));
+  expect_tensors_close(div_op(b, a), Tensor(Shape{3}, {4.0f, 2.5f, 2.0f}));
+  expect_tensors_close(pow_op(a, Tensor(Shape{3}, {2, 2, 2})),
+                       Tensor(Shape{3}, {1, 4, 9}));
+}
+
+TEST(Binary, ScalarBroadcast) {
+  Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::scalar(10.0f);
+  expect_tensors_close(add(a, s), Tensor(Shape{2, 2}, {11, 12, 13, 14}));
+  expect_tensors_close(add(s, a), Tensor(Shape{2, 2}, {11, 12, 13, 14}));
+}
+
+TEST(Binary, RowBroadcast) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row(Shape{3}, {10, 20, 30});
+  expect_tensors_close(add(a, row),
+                       Tensor(Shape{2, 3}, {11, 22, 33, 14, 25, 36}));
+}
+
+TEST(Binary, ColumnBroadcast) {
+  Tensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor col(Shape{2, 1}, {100, 200});
+  expect_tensors_close(add(a, col),
+                       Tensor(Shape{2, 3}, {101, 102, 103, 204, 205, 206}));
+}
+
+TEST(Binary, BothSidesBroadcast) {
+  Tensor col(Shape{2, 1}, {1, 2});
+  Tensor row(Shape{1, 3}, {10, 20, 30});
+  expect_tensors_close(add(col, row),
+                       Tensor(Shape{2, 3}, {11, 21, 31, 12, 22, 32}));
+}
+
+TEST(Binary, ChannelBroadcastNCHW) {
+  // [1,2,2,2] + [2,1,1] channel bias — the batch-norm-like pattern.
+  Tensor x(Shape{1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor bias(Shape{2, 1, 1}, {10, 20});
+  expect_tensors_close(
+      add(x, bias), Tensor(Shape{1, 2, 2, 2}, {11, 12, 13, 14, 25, 26, 27, 28}));
+}
+
+TEST(Binary, IncompatibleShapesThrow) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  Tensor b(Shape{2}, {1, 2});
+  EXPECT_THROW(add(a, b), Error);
+}
+
+}  // namespace
+}  // namespace ramiel

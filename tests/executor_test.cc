@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "passes/cluster_merging.h"
+#include "passes/linear_clustering.h"
+#include "rt/executor.h"
+#include "rt/inputs.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace ramiel {
+namespace {
+
+Clustering cluster(const Graph& g) {
+  CostModel cost;
+  return merge_clusters(g, cost, linear_clustering(g, cost));
+}
+
+void expect_outputs_match(const std::vector<TensorMap>& a,
+                          const std::vector<TensorMap>& b, float atol = 1e-4f,
+                          float rtol = 1e-3f) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].size(), b[s].size());
+    for (const auto& [key, value] : a[s]) {
+      ASSERT_TRUE(b[s].count(key)) << key;
+      EXPECT_TRUE(allclose(value, b[s].at(key), atol, rtol))
+          << "sample " << s << " output " << key;
+    }
+  }
+}
+
+TEST(SequentialExecutor, RunsDiamond) {
+  Graph g = testing::make_diamond_graph();
+  Rng rng(1);
+  auto inputs = make_example_inputs(g, 1, rng);
+  SequentialExecutor exec(&g);
+  auto out = exec.run(inputs);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 1u);
+  // Independently compute: d = sigmoid(relu(x)) + tanh(relu(x)).
+  Tensor r = relu(inputs[0].at("x"));
+  Tensor expected = add(sigmoid(r), tanh_op(r));
+  EXPECT_TRUE(allclose(out[0].begin()->second, expected, 1e-5f, 1e-5f));
+}
+
+TEST(SequentialExecutor, BatchRunsSamplesIndependently) {
+  Graph g = testing::make_diamond_graph();
+  Rng rng(2);
+  auto inputs = make_example_inputs(g, 3, rng);
+  SequentialExecutor exec(&g);
+  auto batched = exec.run(inputs);
+  for (int s = 0; s < 3; ++s) {
+    auto single = exec.run({inputs[static_cast<std::size_t>(s)]});
+    expect_outputs_match({batched[static_cast<std::size_t>(s)]}, single);
+  }
+}
+
+TEST(SequentialExecutor, ProfileAccountsForAllTasks) {
+  Graph g = testing::make_diamond_graph();
+  Rng rng(3);
+  auto inputs = make_example_inputs(g, 1, rng);
+  SequentialExecutor exec(&g);
+  Profile profile;
+  RunOptions opts;
+  opts.trace = true;
+  exec.run(inputs, opts, &profile);
+  ASSERT_EQ(profile.workers.size(), 1u);
+  EXPECT_EQ(profile.workers[0].tasks, 4);
+  EXPECT_EQ(profile.events.size(), 4u);
+  EXPECT_GT(profile.wall_ms, 0.0);
+}
+
+TEST(ParallelExecutor, MatchesSequentialOnDiamond) {
+  Graph g = testing::make_diamond_graph();
+  Clustering c = cluster(g);
+  Hyperclustering hc = build_hyperclusters(g, c, 1);
+  Rng rng(4);
+  auto inputs = make_example_inputs(g, 1, rng);
+  SequentialExecutor seq(&g);
+  ParallelExecutor par(&g, hc);
+  expect_outputs_match(seq.run(inputs), par.run(inputs));
+}
+
+TEST(ParallelExecutor, HandlesConstantNodes) {
+  Graph g = testing::make_const_side_graph();
+  Clustering c = cluster(g);
+  Hyperclustering hc = build_hyperclusters(g, c, 1);
+  Rng rng(5);
+  auto inputs = make_example_inputs(g, 1, rng);
+  SequentialExecutor seq(&g);
+  ParallelExecutor par(&g, hc);
+  expect_outputs_match(seq.run(inputs), par.run(inputs));
+}
+
+class ParallelEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelEquivalence, ParallelMatchesSequential) {
+  Graph g = models::build(GetParam());
+  Clustering c = cluster(g);
+  Hyperclustering hc = build_hyperclusters(g, c, 1);
+  Rng rng(6);
+  auto inputs = make_example_inputs(g, 1, rng);
+  SequentialExecutor seq(&g);
+  ParallelExecutor par(&g, hc);
+  expect_outputs_match(seq.run(inputs), par.run(inputs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ParallelEquivalence,
+                         ::testing::Values("squeezenet", "googlenet",
+                                           "yolo_v5", "bert"));
+
+TEST(ParallelExecutor, HyperclusterBatch2MatchesSequential) {
+  Graph g = models::build("squeezenet");
+  Clustering c = cluster(g);
+  Hyperclustering hc = build_hyperclusters(g, c, 2);
+  Rng rng(7);
+  auto inputs = make_example_inputs(g, 2, rng);
+  SequentialExecutor seq(&g);
+  ParallelExecutor par(&g, hc);
+  expect_outputs_match(seq.run(inputs), par.run(inputs));
+}
+
+TEST(ParallelExecutor, SwitchedHyperclusterMatchesSequential) {
+  Graph g = models::build("squeezenet");
+  Clustering c = cluster(g);
+  for (int batch : {2, 3, 4}) {
+    Hyperclustering hc = build_switched_hyperclusters(g, c, batch);
+    Rng rng(8);
+    auto inputs = make_example_inputs(g, batch, rng);
+    SequentialExecutor seq(&g);
+    ParallelExecutor par(&g, hc);
+    expect_outputs_match(seq.run(inputs), par.run(inputs));
+  }
+}
+
+TEST(ParallelExecutor, IntraOpThreadsPreserveResults) {
+  Graph g = models::build("googlenet");
+  Clustering c = cluster(g);
+  Hyperclustering hc = build_hyperclusters(g, c, 1);
+  Rng rng(9);
+  auto inputs = make_example_inputs(g, 1, rng);
+  ParallelExecutor par(&g, hc);
+  RunOptions serial_opts;
+  RunOptions threaded_opts;
+  threaded_opts.intra_op_threads = 4;
+  expect_outputs_match(par.run(inputs, serial_opts),
+                       par.run(inputs, threaded_opts), 1e-4f, 1e-4f);
+}
+
+TEST(ParallelExecutor, RejectsWrongBatchSize) {
+  Graph g = testing::make_diamond_graph();
+  Clustering c = cluster(g);
+  Hyperclustering hc = build_hyperclusters(g, c, 2);
+  Rng rng(10);
+  auto inputs = make_example_inputs(g, 1, rng);  // batch 1 vs executor batch 2
+  ParallelExecutor par(&g, hc);
+  EXPECT_THROW(par.run(inputs), Error);
+}
+
+TEST(ParallelExecutor, ProfileCountsMessagesAndTasks) {
+  Graph g = testing::make_diamond_graph();
+  Clustering c = cluster(g);
+  Hyperclustering hc = build_hyperclusters(g, c, 1);
+  ParallelExecutor par(&g, hc);
+  Rng rng(11);
+  auto inputs = make_example_inputs(g, 1, rng);
+  Profile profile;
+  RunOptions opts;
+  opts.trace = true;
+  par.run(inputs, opts, &profile);
+  ASSERT_EQ(profile.workers.size(), 2u);
+  int tasks = 0, messages = 0;
+  for (const auto& w : profile.workers) {
+    tasks += w.tasks;
+    messages += w.messages_sent;
+  }
+  EXPECT_EQ(tasks, 4);
+  EXPECT_EQ(messages, 2);  // a->side, side->d
+  EXPECT_EQ(profile.events.size(), 4u);
+}
+
+TEST(ParallelExecutor, ChromeTraceRenders) {
+  Graph g = testing::make_diamond_graph();
+  Clustering c = cluster(g);
+  ParallelExecutor par(&g, build_hyperclusters(g, c, 1));
+  Rng rng(12);
+  auto inputs = make_example_inputs(g, 1, rng);
+  Profile profile;
+  RunOptions opts;
+  opts.trace = true;
+  par.run(inputs, opts, &profile);
+  const std::string json = profile.to_chrome_trace(g);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("Relu"), std::string::npos);
+}
+
+TEST(ParallelExecutor, MissingInputThrows) {
+  Graph g = testing::make_diamond_graph();
+  Clustering c = cluster(g);
+  ParallelExecutor par(&g, build_hyperclusters(g, c, 1));
+  std::vector<TensorMap> empty_inputs(1);
+  EXPECT_THROW(par.run(empty_inputs), Error);
+}
+
+TEST(MakeExampleInputs, CoversInputsAndRespectsIdRanges) {
+  Graph g = models::build("bert");
+  Rng rng(13);
+  auto inputs = make_example_inputs(g, 2, rng);
+  ASSERT_EQ(inputs.size(), 2u);
+  for (const auto& sample : inputs) {
+    EXPECT_TRUE(sample.count("input_ids"));
+    EXPECT_TRUE(sample.count("token_type_ids"));
+    for (float v : sample.at("token_type_ids").data()) {
+      EXPECT_TRUE(v == 0.0f || v == 1.0f);
+    }
+  }
+}
+
+
+TEST(ParallelExecutor, KernelErrorPropagatesWithoutDeadlock) {
+  // A mid-graph shape error in one cluster must unwind the whole run (the
+  // sibling worker is blocked on a message that will never arrive).
+  Graph g("bad");
+  ValueId in = g.add_value("x", Shape{1, 4});
+  g.mark_input(in);
+  NodeId a = g.add_node(OpKind::kRelu, "a", {in});
+  // Cluster-crossing consumer that will fail: matmul with mismatched dims.
+  ValueId w = g.add_initializer("w", Tensor::zeros(Shape{3, 3}));
+  NodeId bad = g.add_node(OpKind::kMatMul, "bad", {g.node(a).outputs[0], w});
+  NodeId side = g.add_node(OpKind::kSigmoid, "side", {g.node(a).outputs[0]});
+  NodeId join = g.add_node(OpKind::kAdd, "join",
+                           {g.node(bad).outputs[0], g.node(side).outputs[0]});
+  g.mark_output(g.node(join).outputs[0]);
+
+  Clustering c;
+  c.clusters.push_back(Cluster{{a, bad, join}});
+  c.clusters.push_back(Cluster{{side}});
+  finalize_clustering(g, c);
+  ParallelExecutor par(&g, build_hyperclusters(g, c, 1));
+  Rng rng(3);
+  auto inputs = make_example_inputs(g, 1, rng);
+  EXPECT_THROW(par.run(inputs), Error);  // and returns promptly
+}
+
+TEST(ParallelExecutor, OutOfOrderProduceConsumeIsSafe) {
+  // Producer emits v1 early but the consumer cluster needs v2 (produced
+  // later) first: tagged inbox delivery must not mismatch (the FIFO hazard
+  // raw queues would have).
+  Graph g("ooo");
+  ValueId in = g.add_value("x", Shape{1, 4});
+  g.mark_input(in);
+  NodeId early = g.add_node(OpKind::kRelu, "early", {in});      // v1
+  NodeId mid = g.add_node(OpKind::kSigmoid, "mid", {in});
+  NodeId late = g.add_node(OpKind::kTanh, "late",
+                           {g.node(mid).outputs[0]});           // v2
+  // Consumer cluster: first consumes v2, then v1.
+  NodeId use_late = g.add_node(OpKind::kNeg, "use_late",
+                               {g.node(late).outputs[0]});
+  NodeId use_early = g.add_node(
+      OpKind::kAdd, "use_early",
+      {g.node(early).outputs[0], g.node(use_late).outputs[0]});
+  g.mark_output(g.node(use_early).outputs[0]);
+
+  Clustering c;
+  c.clusters.push_back(Cluster{{early, mid, late}});
+  c.clusters.push_back(Cluster{{use_late, use_early}});
+  finalize_clustering(g, c);
+
+  Rng rng(4);
+  auto inputs = make_example_inputs(g, 1, rng);
+  SequentialExecutor seq(&g);
+  ParallelExecutor par(&g, build_hyperclusters(g, c, 1));
+  expect_outputs_match(seq.run(inputs), par.run(inputs));
+}
+
+TEST(ParallelExecutor, ValueConsumedByManyNodesInRemoteCluster) {
+  // One remote value feeding several consumers on the same worker: the
+  // message is delivered once and cached locally.
+  Graph g("fanin");
+  ValueId in = g.add_value("x", Shape{1, 4});
+  g.mark_input(in);
+  NodeId src = g.add_node(OpKind::kRelu, "src", {in});
+  NodeId c1 = g.add_node(OpKind::kSigmoid, "c1", {g.node(src).outputs[0]});
+  NodeId c2 = g.add_node(OpKind::kTanh, "c2", {g.node(src).outputs[0]});
+  NodeId joined = g.add_node(OpKind::kAdd, "joined",
+                             {g.node(c1).outputs[0], g.node(c2).outputs[0]});
+  g.mark_output(g.node(joined).outputs[0]);
+
+  Clustering c;
+  c.clusters.push_back(Cluster{{src}});
+  c.clusters.push_back(Cluster{{c1, c2, joined}});
+  finalize_clustering(g, c);
+  Rng rng(5);
+  auto inputs = make_example_inputs(g, 1, rng);
+  SequentialExecutor seq(&g);
+  ParallelExecutor par(&g, build_hyperclusters(g, c, 1));
+  Profile profile;
+  auto got = par.run(inputs, {}, &profile);
+  expect_outputs_match(seq.run(inputs), got);
+  // Exactly one message crossed (src -> worker 1), despite two consumers.
+  int messages = 0;
+  for (const auto& w : profile.workers) messages += w.messages_sent;
+  EXPECT_EQ(messages, 1);
+}
+
+}  // namespace
+}  // namespace ramiel

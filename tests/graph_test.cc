@@ -1,0 +1,225 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "graph/dot.h"
+#include "graph/graph.h"
+#include "support/check.h"
+#include "test_util.h"
+
+namespace ramiel {
+namespace {
+
+TEST(Graph, AddValueAssignsSequentialIds) {
+  Graph g("t");
+  EXPECT_EQ(g.add_value("a"), 0);
+  EXPECT_EQ(g.add_value("b"), 1);
+  EXPECT_EQ(g.find_value("a"), 0);
+  EXPECT_EQ(g.find_value("missing"), -1);
+}
+
+TEST(Graph, DuplicateValueNameThrows) {
+  Graph g("t");
+  g.add_value("a");
+  EXPECT_THROW(g.add_value("a"), Error);
+}
+
+TEST(Graph, EmptyValueNameThrows) {
+  Graph g("t");
+  EXPECT_THROW(g.add_value(""), Error);
+}
+
+TEST(Graph, AddNodeWiresProducersAndConsumers) {
+  Graph g("t");
+  ValueId in = g.add_value("x", Shape{1});
+  g.mark_input(in);
+  NodeId a = g.add_node(OpKind::kRelu, "a", {in});
+  const ValueId out = g.node(a).outputs[0];
+  EXPECT_EQ(g.value(out).producer, a);
+  EXPECT_EQ(g.value(in).consumers, std::vector<NodeId>{a});
+  EXPECT_EQ(g.value(out).name, "a_out");
+}
+
+TEST(Graph, MultiOutputNaming) {
+  Graph g("t");
+  ValueId in = g.add_value("x", Shape{1});
+  g.mark_input(in);
+  NodeId n = g.add_node(OpKind::kRelu, "split", {in}, 2);
+  EXPECT_EQ(g.value(g.node(n).outputs[0]).name, "split_out0");
+  EXPECT_EQ(g.value(g.node(n).outputs[1]).name, "split_out1");
+}
+
+TEST(Graph, NamedOutputs) {
+  Graph g("t");
+  ValueId in = g.add_value("x", Shape{1});
+  g.mark_input(in);
+  NodeId n = g.add_node_named_outputs(OpKind::kRelu, "a", {in}, {"custom"});
+  EXPECT_EQ(g.value(g.node(n).outputs[0]).name, "custom");
+  EXPECT_EQ(g.find_value("custom"), g.node(n).outputs[0]);
+}
+
+TEST(Graph, PredecessorsAndSuccessors) {
+  Graph g = testing::make_diamond_graph();
+  // Node ids: 0=a, 1=b, 2=c, 3=d.
+  EXPECT_EQ(g.successors(0), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(g.predecessors(3), (std::vector<NodeId>{1, 2}));
+  EXPECT_TRUE(g.predecessors(0).empty());
+  EXPECT_TRUE(g.successors(3).empty());
+}
+
+TEST(Graph, TopoOrderRespectsEdges) {
+  Graph g = testing::make_diamond_graph();
+  const std::vector<NodeId> order = g.topo_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto pos = [&](NodeId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(Graph, ValidatePassesOnWellFormed) {
+  Graph g = testing::make_diamond_graph();
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, ValidateCatchesDanglingInput) {
+  Graph g("t");
+  ValueId orphan = g.add_value("orphan", Shape{1});  // no producer, not input
+  NodeId n = g.add_node(OpKind::kRelu, "a", {orphan});
+  g.mark_output(g.node(n).outputs[0]);
+  EXPECT_THROW(g.validate(), ValidationError);
+}
+
+TEST(Graph, KillNodeDetachesConsumers) {
+  Graph g = testing::make_diamond_graph();
+  g.kill_node(1);  // b
+  EXPECT_TRUE(g.node(1).dead);
+  EXPECT_EQ(g.live_node_count(), 3);
+  // a's successors no longer include b.
+  EXPECT_EQ(g.successors(0), (std::vector<NodeId>{2}));
+  // Killing twice is a no-op.
+  g.kill_node(1);
+  EXPECT_EQ(g.live_node_count(), 3);
+}
+
+TEST(Graph, ReplaceValueUsesRewires) {
+  Graph g("t");
+  ValueId in = g.add_value("x", Shape{1});
+  g.mark_input(in);
+  NodeId a = g.add_node(OpKind::kRelu, "a", {in});
+  NodeId b = g.add_node(OpKind::kSigmoid, "b", {g.node(a).outputs[0]});
+  g.mark_output(g.node(b).outputs[0]);
+  // Replace a's output with the raw input everywhere.
+  g.replace_value_uses(g.node(a).outputs[0], in);
+  EXPECT_EQ(g.node(b).inputs[0], in);
+  EXPECT_TRUE(g.value(g.node(a).outputs[0]).consumers.empty());
+}
+
+TEST(Graph, ReplaceValueUsesTransfersOutputStatus) {
+  Graph g("t");
+  ValueId in = g.add_value("x", Shape{1});
+  g.mark_input(in);
+  NodeId a = g.add_node(OpKind::kRelu, "a", {in});
+  ValueId out = g.node(a).outputs[0];
+  g.mark_output(out);
+  ValueId replacement = g.add_initializer("konst", Tensor::scalar(1.0f));
+  g.replace_value_uses(out, replacement);
+  EXPECT_EQ(g.outputs()[0], replacement);
+}
+
+TEST(Graph, CompactedPreservesLiveStructure) {
+  Graph d = testing::make_diamond_graph();
+  Graph compact = d.compacted();
+  EXPECT_EQ(compact.live_node_count(), 4);
+  EXPECT_NO_THROW(compact.validate());
+  EXPECT_EQ(compact.inputs().size(), 1u);
+  EXPECT_EQ(compact.outputs().size(), 1u);
+  EXPECT_EQ(compact.topo_order().size(), d.topo_order().size());
+}
+
+TEST(Graph, CompactedPreservesNamesAndAttrs) {
+  Graph g("t");
+  ValueId in = g.add_value("x", Shape{1, 4});
+  g.mark_input(in);
+  NodeId n = g.add_node(OpKind::kSoftmax, "sm", {in}, 1,
+                        Attrs{}.set("axis", -1));
+  g.mark_output(g.node(n).outputs[0]);
+  Graph c = g.compacted();
+  EXPECT_EQ(c.nodes()[0].name, "sm");
+  EXPECT_EQ(c.nodes()[0].attrs.get_int("axis"), -1);
+  EXPECT_EQ(c.value(c.nodes()[0].outputs[0]).name, "sm_out");
+}
+
+TEST(Graph, CompactedDropsUnreferencedValues) {
+  // A dead node's output vanishes after compaction when it is not a graph
+  // output.
+  Graph h("h");
+  ValueId in = h.add_value("x", Shape{1});
+  h.mark_input(in);
+  NodeId a = h.add_node(OpKind::kRelu, "a", {in});
+  NodeId b = h.add_node(OpKind::kSigmoid, "b", {in});
+  h.mark_output(h.node(a).outputs[0]);
+  h.kill_node(b);
+  Graph c = h.compacted();
+  EXPECT_EQ(c.live_node_count(), 1);
+  EXPECT_EQ(c.find_value("b_out"), -1);
+}
+
+TEST(Attrs, TypedAccessAndErrors) {
+  Attrs a;
+  a.set("i", 42).set("f", 2.5).set("s", std::string("hello"));
+  a.set("list", std::vector<std::int64_t>{1, 2, 3});
+  EXPECT_EQ(a.get_int("i"), 42);
+  EXPECT_DOUBLE_EQ(a.get_float("f"), 2.5);
+  EXPECT_EQ(a.get_str("s"), "hello");
+  EXPECT_EQ(a.get_ints("list").size(), 3u);
+  EXPECT_EQ(a.get_int("missing", 7), 7);
+  EXPECT_THROW(a.get_int("missing"), Error);
+  EXPECT_THROW(a.get_int("f"), Error);  // wrong type
+  EXPECT_TRUE(a.has("i"));
+  EXPECT_FALSE(a.has("x"));
+}
+
+TEST(OpKind, NamesRoundTrip) {
+  for (int i = 0; i < op_kind_count(); ++i) {
+    const OpKind kind = static_cast<OpKind>(i);
+    const auto name = op_kind_name(kind);
+    EXPECT_FALSE(name.empty());
+    auto parsed = op_kind_from_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(op_kind_from_name("NotAnOp").has_value());
+}
+
+TEST(OpKind, Categories) {
+  EXPECT_TRUE(op_is_elementwise(OpKind::kRelu));
+  EXPECT_TRUE(op_is_elementwise(OpKind::kAdd));
+  EXPECT_FALSE(op_is_elementwise(OpKind::kConv2d));
+  EXPECT_TRUE(op_is_data_movement(OpKind::kReshape));
+  EXPECT_FALSE(op_is_data_movement(OpKind::kMatMul));
+}
+
+
+TEST(DotExport, RendersNodesEdgesAndClusters) {
+  Graph g = testing::make_diamond_graph();
+  std::vector<int> clusters = {0, 0, 1, 0};
+  const std::string dot = to_dot(g, clusters);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("Relu"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("xlabel=\"C1\""), std::string::npos);
+}
+
+TEST(DotExport, SkipsDeadNodes) {
+  Graph g = testing::make_diamond_graph();
+  g.kill_node(2);
+  const std::string dot = to_dot(g);
+  EXPECT_EQ(dot.find("\"c\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ramiel

@@ -1,0 +1,139 @@
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "rt/mailbox.h"
+
+namespace ramiel {
+namespace {
+
+TEST(Inbox, PutThenGetIsImmediate) {
+  Inbox box;
+  box.put({1, 0}, Tensor::scalar(42.0f));
+  std::int64_t wait = 0;
+  Tensor t = box.get({1, 0}, &wait);
+  EXPECT_EQ(t.at(0), 42.0f);
+  EXPECT_EQ(wait, 0);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Inbox, GetBlocksUntilPut) {
+  Inbox box;
+  std::int64_t wait = 0;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.put({7, 2}, Tensor::scalar(1.0f));
+  });
+  Tensor t = box.get({7, 2}, &wait);
+  producer.join();
+  EXPECT_EQ(t.at(0), 1.0f);
+  EXPECT_GT(wait, 0);  // we actually waited
+}
+
+TEST(Inbox, KeysAreIndependent) {
+  Inbox box;
+  box.put({1, 0}, Tensor::scalar(1.0f));
+  box.put({1, 1}, Tensor::scalar(2.0f));
+  box.put({2, 0}, Tensor::scalar(3.0f));
+  std::int64_t wait = 0;
+  EXPECT_EQ(box.get({2, 0}, &wait).at(0), 3.0f);
+  EXPECT_EQ(box.get({1, 1}, &wait).at(0), 2.0f);
+  EXPECT_EQ(box.get({1, 0}, &wait).at(0), 1.0f);
+}
+
+TEST(Inbox, TryGetNonBlocking) {
+  Inbox box;
+  Tensor out;
+  EXPECT_FALSE(box.try_get({5, 0}, &out));
+  box.put({5, 0}, Tensor::scalar(9.0f));
+  EXPECT_TRUE(box.try_get({5, 0}, &out));
+  EXPECT_EQ(out.at(0), 9.0f);
+  EXPECT_FALSE(box.try_get({5, 0}, &out));  // consumed
+}
+
+TEST(Inbox, VersionBumpsOnPut) {
+  Inbox box;
+  const auto v0 = box.version();
+  box.put({1, 0}, Tensor::scalar(1.0f));
+  EXPECT_NE(box.version(), v0);
+}
+
+TEST(Inbox, WaitChangeReturnsImmediatelyOnStaleVersion) {
+  Inbox box;
+  box.put({1, 0}, Tensor::scalar(1.0f));
+  std::int64_t wait = 0;
+  box.wait_change(/*seen=*/box.version() - 1, &wait);  // already changed
+  EXPECT_EQ(wait, 0);
+}
+
+TEST(Inbox, WaitChangeWakesOnPut) {
+  Inbox box;
+  const auto seen = box.version();
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.put({1, 0}, Tensor::scalar(1.0f));
+  });
+  std::int64_t wait = 0;
+  box.wait_change(seen, &wait);
+  producer.join();
+  EXPECT_GT(wait, 0);
+}
+
+TEST(Inbox, ManyProducersOneConsumer) {
+  Inbox box;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        box.put({p * kPerProducer + i, 0},
+                Tensor::scalar(static_cast<float>(p * kPerProducer + i)));
+      }
+    });
+  }
+  std::int64_t wait = 0;
+  for (int key = 0; key < kProducers * kPerProducer; ++key) {
+    Tensor t = box.get({key, 0}, &wait);
+    EXPECT_EQ(t.at(0), static_cast<float>(key));
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+
+TEST(Inbox, PoisonWakesBlockedGetter) {
+  Inbox box;
+  std::int64_t wait = 0;
+  std::thread poisoner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.poison();
+  });
+  EXPECT_THROW(box.get({1, 0}, &wait), Error);
+  poisoner.join();
+  EXPECT_TRUE(box.poisoned());
+}
+
+TEST(Inbox, PoisonedGetStillDeliversPresentMessages) {
+  Inbox box;
+  box.put({1, 0}, Tensor::scalar(5.0f));
+  box.poison();
+  std::int64_t wait = 0;
+  EXPECT_EQ(box.get({1, 0}, &wait).at(0), 5.0f);
+  EXPECT_THROW(box.get({2, 0}, &wait), Error);
+}
+
+TEST(Inbox, PoisonWakesWaitChange) {
+  Inbox box;
+  const auto seen = box.version();
+  std::thread poisoner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    box.poison();
+  });
+  std::int64_t wait = 0;
+  box.wait_change(seen, &wait);  // returns rather than hanging
+  poisoner.join();
+}
+
+}  // namespace
+}  // namespace ramiel

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "graph/op_eval.h"
+#include "support/check.h"
+#include "support/rng.h"
+#include "test_util.h"
+
+namespace ramiel {
+namespace {
+
+using ramiel::testing::expect_tensors_close;
+
+Node make_node(OpKind kind, Attrs attrs = {}, int num_outputs = 1) {
+  Node n;
+  n.kind = kind;
+  n.name = "n";
+  n.attrs = std::move(attrs);
+  n.outputs.resize(static_cast<std::size_t>(num_outputs));
+  return n;
+}
+
+TEST(OpEval, ConvRoutesAttrs) {
+  Rng rng(1);
+  Tensor x = Tensor::random(Shape{1, 2, 6, 6}, rng);
+  Tensor w = Tensor::random(Shape{4, 2, 3, 3}, rng);
+  Node n = make_node(OpKind::kConv2d,
+                     Attrs{}.set("kernel", 3).set("stride", 2).set("pad", 1));
+  auto outs = eval_node(n, {x, w});
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].shape(), Shape({1, 4, 3, 3}));
+  // And matches the direct kernel call.
+  Conv2dParams p;
+  p.stride_h = p.stride_w = 2;
+  p.pad_h = p.pad_w = 1;
+  expect_tensors_close(outs[0], conv2d(x, w, std::nullopt, p));
+}
+
+TEST(OpEval, ArityChecked) {
+  Node n = make_node(OpKind::kRelu);
+  Tensor t = Tensor::zeros(Shape{2});
+  EXPECT_THROW(eval_node(n, {}), Error);
+  EXPECT_THROW(eval_node(n, {t, t}), Error);
+}
+
+TEST(OpEval, BinaryOps) {
+  Tensor a(Shape{2}, {1, 2});
+  Tensor b(Shape{2}, {3, 4});
+  expect_tensors_close(eval_node(make_node(OpKind::kAdd), {a, b})[0],
+                       Tensor(Shape{2}, {4, 6}));
+  expect_tensors_close(eval_node(make_node(OpKind::kMul), {a, b})[0],
+                       Tensor(Shape{2}, {3, 8}));
+  expect_tensors_close(eval_node(make_node(OpKind::kSub), {a, b})[0],
+                       Tensor(Shape{2}, {-2, -2}));
+  expect_tensors_close(eval_node(make_node(OpKind::kDiv), {b, a})[0],
+                       Tensor(Shape{2}, {3, 2}));
+}
+
+TEST(OpEval, ReshapeFromSecondInput) {
+  Tensor x = Tensor::zeros(Shape{2, 6});
+  Tensor shp = Tensor::vec({3, 4});
+  Node n = make_node(OpKind::kReshape);
+  EXPECT_EQ(eval_node(n, {x, shp})[0].shape(), Shape({3, 4}));
+}
+
+TEST(OpEval, ReshapeFromAttrBeatsInputRequirement) {
+  Tensor x = Tensor::zeros(Shape{2, 6});
+  Node n = make_node(OpKind::kReshape,
+                     Attrs{}.set("shape", std::vector<std::int64_t>{-1}));
+  EXPECT_EQ(eval_node(n, {x})[0].shape(), Shape({12}));
+}
+
+TEST(OpEval, SliceAttrs) {
+  Tensor x(Shape{6}, {0, 1, 2, 3, 4, 5});
+  Node n = make_node(
+      OpKind::kSlice,
+      Attrs{}.set("axis", 0).set("begin", 1).set("end", 6).set("step", 2));
+  expect_tensors_close(eval_node(n, {x})[0], Tensor(Shape{3}, {1, 3, 5}));
+}
+
+TEST(OpEval, UnsqueezeAndSqueezeShareStorage) {
+  Tensor x = Tensor::zeros(Shape{2, 3});
+  Node u = make_node(OpKind::kUnsqueeze,
+                     Attrs{}.set("axes", std::vector<std::int64_t>{0}));
+  Tensor out = eval_node(u, {x})[0];
+  EXPECT_EQ(out.shape(), Shape({1, 2, 3}));
+  EXPECT_TRUE(out.shares_storage_with(x));
+  Node q = make_node(OpKind::kSqueeze,
+                     Attrs{}.set("axes", std::vector<std::int64_t>{0}));
+  EXPECT_EQ(eval_node(q, {out})[0].shape(), Shape({2, 3}));
+}
+
+TEST(OpEval, BatchNormWiring) {
+  Tensor x = Tensor::full(Shape{1, 2, 1, 1}, 1.0f);
+  Tensor ones = Tensor::full(Shape{2}, 1.0f);
+  Tensor zeros = Tensor::zeros(Shape{2});
+  Node n = make_node(OpKind::kBatchNorm, Attrs{}.set("epsilon", 0.0));
+  Tensor out = eval_node(n, {x, ones, zeros, zeros, ones})[0];
+  expect_tensors_close(out, x);
+}
+
+TEST(OpEval, ConstantNodeIsNotEvaluable) {
+  Node n = make_node(OpKind::kConstant);
+  EXPECT_THROW(eval_node(n, {}), Error);
+}
+
+TEST(OpEval, SoftmaxDefaultAxis) {
+  Tensor x(Shape{1, 2}, {0, 0});
+  Node n = make_node(OpKind::kSoftmax);
+  expect_tensors_close(eval_node(n, {x})[0], Tensor(Shape{1, 2}, {0.5f, 0.5f}));
+}
+
+TEST(OpEval, GemmWithTrans) {
+  Tensor a(Shape{2, 1}, {1, 2});
+  Tensor b(Shape{2, 2}, {1, 0, 0, 1});
+  Node n = make_node(OpKind::kGemm, Attrs{}.set("trans_a", 1));
+  Tensor out = eval_node(n, {a, b})[0];
+  expect_tensors_close(out, Tensor(Shape{1, 2}, {1, 2}));
+}
+
+}  // namespace
+}  // namespace ramiel

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace ramiel {
+namespace {
+
+using ramiel::testing::expect_tensors_close;
+
+TEST(Concat, AlongChannels) {
+  Tensor a(Shape{1, 1, 2}, {1, 2});
+  Tensor b(Shape{1, 2, 2}, {3, 4, 5, 6});
+  Tensor out = concat({a, b}, 1);
+  expect_tensors_close(out, Tensor(Shape{1, 3, 2}, {1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Concat, AlongInnerAxis) {
+  Tensor a(Shape{2, 1}, {1, 2});
+  Tensor b(Shape{2, 2}, {3, 4, 5, 6});
+  Tensor out = concat({a, b}, 1);
+  expect_tensors_close(out, Tensor(Shape{2, 3}, {1, 3, 4, 2, 5, 6}));
+}
+
+TEST(Concat, SingleInputIsCopy) {
+  Tensor a(Shape{2, 2}, {1, 2, 3, 4});
+  expect_tensors_close(concat({a}, 0), a);
+}
+
+TEST(Concat, NegativeAxis) {
+  Tensor a(Shape{1, 2}, {1, 2});
+  Tensor b(Shape{1, 2}, {3, 4});
+  Tensor out = concat({a, b}, -1);
+  EXPECT_EQ(out.shape(), Shape({1, 4}));
+}
+
+TEST(Concat, MismatchedOtherDimsThrow) {
+  Tensor a = Tensor::zeros(Shape{1, 2, 3});
+  Tensor b = Tensor::zeros(Shape{1, 2, 4});
+  EXPECT_THROW(concat({a, b}, 1), Error);
+}
+
+TEST(Slice, BasicRange) {
+  Tensor x(Shape{5}, {0, 1, 2, 3, 4});
+  expect_tensors_close(slice(x, 0, 1, 4), Tensor(Shape{3}, {1, 2, 3}));
+}
+
+TEST(Slice, NegativeIndicesAndClamping) {
+  Tensor x(Shape{5}, {0, 1, 2, 3, 4});
+  expect_tensors_close(slice(x, 0, -2, 100), Tensor(Shape{2}, {3, 4}));
+  EXPECT_EQ(slice(x, 0, 4, 2).shape().dim(0), 0);  // empty slice
+}
+
+TEST(StridedSlice, Step2MatchesFocusPattern) {
+  Tensor x(Shape{1, 1, 4, 4},
+           {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  Tensor even_rows = strided_slice(x, 2, 0, 4, 2);
+  EXPECT_EQ(even_rows.shape(), Shape({1, 1, 2, 4}));
+  expect_tensors_close(even_rows,
+                       Tensor(Shape{1, 1, 2, 4}, {0, 1, 2, 3, 8, 9, 10, 11}));
+  Tensor odd_cols = strided_slice(x, 3, 1, 4, 2);
+  EXPECT_EQ(odd_cols.shape(), Shape({1, 1, 4, 2}));
+}
+
+TEST(Slice, MiddleAxis) {
+  Tensor x(Shape{2, 3, 2},
+           {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  Tensor out = slice(x, 1, 1, 2);
+  expect_tensors_close(out, Tensor(Shape{2, 1, 2}, {2, 3, 8, 9}));
+}
+
+TEST(Gather, Axis0SelectsRows) {
+  Tensor x(Shape{3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor out = gather(x, Tensor::vec({2, 0}), 0);
+  expect_tensors_close(out, Tensor(Shape{2, 2}, {20, 21, 0, 1}));
+}
+
+TEST(Gather, ScalarIndexDropsAxis) {
+  Tensor x(Shape{3, 2}, {0, 1, 10, 11, 20, 21});
+  Tensor out = gather(x, Tensor::scalar(1.0f), 0);
+  EXPECT_EQ(out.shape(), Shape({2}));
+  expect_tensors_close(out, Tensor(Shape{2}, {10, 11}));
+}
+
+TEST(Gather, NegativeIndexWraps) {
+  Tensor x(Shape{3}, {7, 8, 9});
+  Tensor out = gather(x, Tensor::vec({-1}), 0);
+  expect_tensors_close(out, Tensor(Shape{1}, {9}));
+}
+
+TEST(Gather, OutOfRangeThrows) {
+  Tensor x(Shape{3}, {7, 8, 9});
+  EXPECT_THROW(gather(x, Tensor::vec({3}), 0), Error);
+}
+
+TEST(Transpose, TwoDim) {
+  Tensor x(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  expect_tensors_close(transpose(x, {1, 0}),
+                       Tensor(Shape{3, 2}, {1, 4, 2, 5, 3, 6}));
+}
+
+TEST(Transpose, FourDimAttentionPattern) {
+  Rng rng(2);
+  Tensor x = Tensor::random(Shape{1, 4, 2, 3}, rng);
+  Tensor t = transpose(x, {0, 2, 1, 3});
+  EXPECT_EQ(t.shape(), Shape({1, 2, 4, 3}));
+  // Transposing twice restores the original.
+  expect_tensors_close(transpose(t, {0, 2, 1, 3}), x);
+}
+
+TEST(Transpose, RejectsNonPermutation) {
+  Tensor x = Tensor::zeros(Shape{2, 2});
+  EXPECT_THROW(transpose(x, {0, 0}), Error);
+  EXPECT_THROW(transpose(x, {0}), Error);
+}
+
+TEST(Reshape, WildcardDim) {
+  Tensor x = Tensor::zeros(Shape{2, 6});
+  EXPECT_EQ(reshape(x, {3, -1}).shape(), Shape({3, 4}));
+  EXPECT_EQ(reshape(x, {-1}).shape(), Shape({12}));
+}
+
+TEST(Reshape, ZeroCopiesInputDim) {
+  Tensor x = Tensor::zeros(Shape{2, 6});
+  EXPECT_EQ(reshape(x, {0, 3, 2}).shape(), Shape({2, 3, 2}));
+}
+
+TEST(Reshape, RejectsMultipleWildcards) {
+  Tensor x = Tensor::zeros(Shape{4});
+  EXPECT_THROW(reshape(x, {-1, -1}), Error);
+}
+
+TEST(Flatten, DefaultAxisOne) {
+  Tensor x = Tensor::zeros(Shape{2, 3, 4});
+  EXPECT_EQ(flatten(x).shape(), Shape({2, 12}));
+  EXPECT_EQ(flatten(x, 0).shape(), Shape({1, 24}));
+  EXPECT_EQ(flatten(x, 3).shape(), Shape({24, 1}));
+}
+
+TEST(ShapeOf, EncodesDims) {
+  Tensor x = Tensor::zeros(Shape{2, 3, 4});
+  expect_tensors_close(shape_of(x), Tensor(Shape{3}, {2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace ramiel

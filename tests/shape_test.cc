@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "support/check.h"
+#include "tensor/shape.h"
+
+namespace ramiel {
+namespace {
+
+TEST(Shape, RankAndNumel) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(Shape{}.rank(), 0);
+  EXPECT_EQ(Shape{}.numel(), 1);  // scalar
+}
+
+TEST(Shape, NegativeDimIndexCountsFromBack) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+  EXPECT_EQ(s.dim(0), 2);
+}
+
+TEST(Shape, DimOutOfRangeThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), Error);
+  EXPECT_THROW(s.dim(-3), Error);
+}
+
+TEST(Shape, RowMajorStrides) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.strides(), (std::vector<std::int64_t>{12, 4, 1}));
+  EXPECT_TRUE(Shape{}.strides().empty());
+}
+
+TEST(Shape, NormalizeAxis) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.normalize_axis(-1), 2);
+  EXPECT_EQ(s.normalize_axis(0), 0);
+  EXPECT_THROW(s.normalize_axis(3), Error);
+  EXPECT_THROW(s.normalize_axis(-4), Error);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_NE(Shape({1}), Shape({1, 1}));
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(Shape({1, 64, 56, 56}).to_string(), "[1, 64, 56, 56]");
+  EXPECT_EQ(Shape{}.to_string(), "[]");
+}
+
+}  // namespace
+}  // namespace ramiel

@@ -1,0 +1,29 @@
+// Internal calibration tool: prints Table I / II / III style metrics.
+#include <cstdio>
+#include "models/zoo.h"
+#include "passes/analysis.h"
+#include "passes/linear_clustering.h"
+#include "passes/cluster_merging.h"
+#include "passes/constant_folding.h"
+using namespace ramiel;
+int main() {
+  CostModel cost;
+  std::printf("%-14s %7s %9s %8s %7s %6s %6s | postCP: %6s %6s\n",
+              "model", "nodes", "wt", "cp", "par", "LC", "merged", "nodes", "clus");
+  for (const std::string& name : models::model_names()) {
+    Graph g = models::build(name);
+    auto rep = analyze_parallelism(g, cost);
+    auto lc = linear_clustering(g, cost);
+    auto merged = merge_clusters(g, cost, lc);
+    Graph g2 = models::build(name);
+    constant_propagation_dce(g2);
+    g2 = g2.compacted();
+    auto lc2 = linear_clustering(g2, cost);
+    auto merged2 = merge_clusters(g2, cost, lc2);
+    std::printf("%-14s %7d %9lld %8lld %7.2f %6d %6d | %6d %6d\n",
+                name.c_str(), rep.num_nodes, (long long)rep.total_weight,
+                (long long)rep.critical_path, rep.parallelism,
+                lc.size(), merged.size(), g2.live_node_count(), merged2.size());
+  }
+  return 0;
+}

@@ -1,0 +1,213 @@
+// ramiel — command-line front-end to the pipeline, the closest analogue of
+// running the paper's tool on a model file.
+//
+//   ramiel list
+//       Names of the bundled evaluation models.
+//   ramiel export <model> <path.rml|path.rmb>
+//       Write a bundled model in ONNX-lite form.
+//   ramiel analyze <model|path.rml>
+//       Table I metrics + cluster counts + fold statistics.
+//   ramiel compile <model|path.rml> [-o DIR] [--fold] [--clone] [--batch N]
+//                  [--switched]
+//       Full pipeline; writes <name>_parallel.py, <name>_seq.py, <name>.dot.
+//   ramiel run <model|path.rml> [--fold] [--clone] [--batch N] [--threads N]
+//       Executes sequentially + in parallel (real threads), verifies the
+//       outputs agree, and prints simulated multicore timings.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/dot.h"
+#include "models/zoo.h"
+#include "onnx/model_io.h"
+#include "ramiel/pipeline.h"
+#include "rt/executor.h"
+#include "rt/inputs.h"
+#include "sim/simulator.h"
+#include "support/string_util.h"
+
+namespace {
+
+using namespace ramiel;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ramiel <list|export|analyze|compile|run> [args]\n"
+               "  ramiel list\n"
+               "  ramiel export <model> <out.rml|out.rmb>\n"
+               "  ramiel analyze <model|file.rml>\n"
+               "  ramiel compile <model|file.rml> [-o DIR] [--fold] [--clone]"
+               " [--fuse-bn] [--batch N] [--switched]\n"
+               "  ramiel run <model|file.rml> [--fold] [--clone] [--batch N]"
+               " [--threads N]\n");
+  return 2;
+}
+
+Graph load_any(const std::string& spec) {
+  for (const std::string& name : models::model_names()) {
+    if (name == spec) return models::build(name);
+  }
+  if (spec.find('.') == std::string::npos) {
+    throw Error(str_cat("unknown model '", spec, "'; available: ",
+                        join(models::model_names(), ", "),
+                        " (or pass a .rml/.rmb file)"));
+  }
+  return load_model_file(spec);
+}
+
+struct Cli {
+  std::string model;
+  std::string out_dir = ".";
+  PipelineOptions options;
+  int threads = 1;
+};
+
+bool parse_flags(int argc, char** argv, int start, Cli* cli) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fold") {
+      cli->options.constant_folding = true;
+    } else if (arg == "--clone") {
+      cli->options.cloning = true;
+    } else if (arg == "--fuse-bn") {
+      cli->options.fuse_batch_norms = true;
+    } else if (arg == "--switched") {
+      cli->options.hyper_mode = HyperMode::kSwitched;
+    } else if (arg == "--batch" && i + 1 < argc) {
+      cli->options.batch = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      cli->threads = std::atoi(argv[++i]);
+    } else if (arg == "-o" && i + 1 < argc) {
+      cli->out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path);
+  os << content;
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+}
+
+int cmd_list() {
+  for (const std::string& name : models::model_names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int cmd_export(const std::string& model, const std::string& path) {
+  Graph g = load_any(model);
+  save_model_file(g, path);
+  std::printf("wrote %s (%d nodes)\n", path.c_str(), g.live_node_count());
+  return 0;
+}
+
+int cmd_analyze(const std::string& spec) {
+  Graph g = load_any(spec);
+  CompiledModel cm = compile_model(std::move(g), PipelineOptions{});
+  std::printf("model         : %s\n", cm.graph.name().c_str());
+  std::printf("nodes         : %d\n", cm.analysis.num_nodes);
+  std::printf("wt. node cost : %lld\n",
+              static_cast<long long>(cm.analysis.total_weight));
+  std::printf("wt. crit path : %lld\n",
+              static_cast<long long>(cm.analysis.critical_path));
+  std::printf("parallelism   : %.2fx\n", cm.analysis.parallelism);
+  std::printf("clusters      : %d (LC) -> %d (merged)\n",
+              cm.clusters_before_merge, cm.clustering.size());
+
+  Graph folded = load_any(spec);
+  FoldStats stats = constant_propagation_dce(folded);
+  std::printf("foldable      : %d nodes folded, %d removed by DCE\n",
+              stats.folded_nodes, stats.dce_removed);
+  std::printf("compile time  : %.1f ms\n", cm.compile_seconds * 1e3);
+  return 0;
+}
+
+int cmd_compile(const Cli& cli) {
+  CompiledModel cm = compile_model(load_any(cli.model), cli.options);
+  const std::string base = cli.out_dir + "/" + cm.graph.name();
+  write_file(base + "_parallel.py", cm.code.parallel_source);
+  write_file(base + "_seq.py", cm.code.sequential_source);
+  if (!cm.code.hypercluster_source.empty()) {
+    write_file(base + "_hyper.py", cm.code.hypercluster_source);
+  }
+  write_file(base + ".dot", to_dot(cm.graph, cm.clustering.cluster_of));
+  std::printf(
+      "%s: %d clusters, %d queue messages, batch %d, compile %.1f ms\n",
+      cm.graph.name().c_str(), cm.clustering.size(), cm.code.num_messages,
+      cm.hyperclusters.batch, cm.compile_seconds * 1e3);
+  return 0;
+}
+
+int cmd_run(const Cli& cli) {
+  PipelineOptions opts = cli.options;
+  opts.generate_code = false;
+  CompiledModel cm = compile_model(load_any(cli.model), opts);
+  const int batch = opts.batch;
+
+  Rng rng(1);
+  auto inputs = make_example_inputs(cm.graph, batch, rng);
+  SequentialExecutor seq(&cm.graph);
+  ParallelExecutor par(&cm.graph, cm.hyperclusters);
+  RunOptions run_opts;
+  run_opts.intra_op_threads = cli.threads;
+
+  Profile sp, pp;
+  auto a = seq.run(inputs, run_opts, &sp);
+  auto b = par.run(inputs, run_opts, &pp);
+  bool match = true;
+  for (int s = 0; s < batch; ++s) {
+    for (const auto& [key, value] : a[static_cast<std::size_t>(s)]) {
+      if (!b[static_cast<std::size_t>(s)].count(key) ||
+          !allclose(value, b[static_cast<std::size_t>(s)].at(key), 1e-4f,
+                    1e-3f)) {
+        match = false;
+      }
+    }
+  }
+  std::printf("outputs match : %s\n", match ? "yes" : "NO");
+  std::printf("host wall     : seq %.1f ms, par %.1f ms (recv slack %.1f ms)\n",
+              sp.wall_ms, pp.wall_ms, pp.total_slack_ms());
+
+  CostProfile profile = measure_costs(cm.graph, 3, rng);
+  SimOptions sim;
+  sim.intra_op_threads = cli.threads;
+  const double seq_sim = simulate_sequential_ms(cm.graph, profile, batch, sim);
+  SimResult par_sim = simulate_parallel(cm.graph, cm.hyperclusters, profile,
+                                        sim);
+  std::printf("sim (12-core) : seq %.1f ms, par %.1f ms -> speedup %.2fx\n",
+              seq_sim, par_sim.makespan_ms, seq_sim / par_sim.makespan_ms);
+  std::printf("sim energy    : seq %.1f mJ, par %.1f mJ\n",
+              sequential_energy_mj(seq_sim, sim.machine),
+              par_sim.energy_mj(sim.machine));
+  return match ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "export" && argc >= 4) return cmd_export(argv[2], argv[3]);
+    if (cmd == "analyze" && argc >= 3) return cmd_analyze(argv[2]);
+    if ((cmd == "compile" || cmd == "run") && argc >= 3) {
+      Cli cli;
+      cli.model = argv[2];
+      if (!parse_flags(argc, argv, 3, &cli)) return usage();
+      return cmd == "compile" ? cmd_compile(cli) : cmd_run(cli);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
