@@ -4,10 +4,8 @@
 #include <exception>
 #include <mutex>
 #include <set>
-#include <thread>
 
 #include "graph/op_eval.h"
-#include "rt/mailbox.h"
 #include "support/check.h"
 #include "support/stopwatch.h"
 #include "support/string_util.h"
@@ -133,194 +131,291 @@ std::vector<TensorMap> SequentialExecutor::run(
   return results;
 }
 
+/// Everything one run() shares with the workers. Lives on run()'s stack;
+/// workers only touch it between the start and done handshakes.
+struct ParallelExecutor::RunState {
+  const std::vector<TensorMap>* batch_inputs = nullptr;
+  RunOptions options;
+  std::vector<TensorMap> results;
+  std::mutex results_mu;
+  std::vector<WorkerProfile> wps;
+  std::vector<std::vector<TaskEvent>> wevents;
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+};
+
 ParallelExecutor::ParallelExecutor(const Graph* graph, Hyperclustering hc)
     : graph_(graph), hc_(std::move(hc)) {
   RAMIEL_CHECK(graph != nullptr, "graph must not be null");
   RAMIEL_CHECK(!hc_.workers.empty(), "hyperclustering has no workers");
+  RAMIEL_CHECK(hc_.batch >= 1, "hyperclustering batch must be >= 1");
+  const int k = num_workers();
+
+  // Split each worker's interleaved task list into per-sample streams once;
+  // the split is invariant across runs (order within a stream is the
+  // cluster's topological order).
+  streams_.resize(static_cast<std::size_t>(k));
+  for (int w = 0; w < k; ++w) {
+    auto& per_sample = streams_[static_cast<std::size_t>(w)];
+    per_sample.resize(static_cast<std::size_t>(hc_.batch));
+    for (const HyperTask& task : hc_.workers[static_cast<std::size_t>(w)]) {
+      per_sample[static_cast<std::size_t>(task.sample)].push_back(task.node);
+    }
+  }
+
+  inboxes_ = std::vector<Inbox>(static_cast<std::size_t>(k));
+  threads_.reserve(static_cast<std::size_t>(k));
+  for (int w = 0; w < k; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  {
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::uint64_t ParallelExecutor::runs_completed() const {
+  std::lock_guard<std::mutex> lk(ctl_mu_);
+  return runs_completed_;
+}
+
+void ParallelExecutor::worker_loop(int me) {
+  // Persistent per-worker intra-op pool: built on the first run that wants
+  // one, rebuilt only when the requested width changes (steady-state serving
+  // uses one width, so this is a one-time cost).
+  std::unique_ptr<ThreadPool> pool;
+  int pool_threads = 1;
+  std::uint64_t seen = 0;
+
+  while (true) {
+    RunState* st = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(ctl_mu_);
+      start_cv_.wait(lk, [&] { return shutdown_ || run_seq_ != seen; });
+      if (shutdown_) return;
+      seen = run_seq_;
+      st = state_;
+    }
+
+    if (st->options.intra_op_threads != pool_threads) {
+      pool.reset();
+      if (st->options.intra_op_threads > 1) {
+        pool = std::make_unique<ThreadPool>(st->options.intra_op_threads - 1);
+      }
+      pool_threads = st->options.intra_op_threads;
+    }
+    OpContext ctx;
+    if (pool_threads > 1) {
+      ctx.threads = pool_threads;
+      ctx.pool = pool.get();
+    }
+
+    try {
+      execute_tasks(me, *st, ctx);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(st->error_mu);
+        if (!st->first_error) st->first_error = std::current_exception();
+      }
+      // Unblock every sibling so the run unwinds instead of deadlocking.
+      for (Inbox& other : inboxes_) other.poison();
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(ctl_mu_);
+      ++workers_done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+// Each worker runs its per-sample task streams cooperatively: the next task
+// of the round-robin-preferred stream runs when all its inputs are
+// available; otherwise the worker advances whichever sample *is* runnable
+// ("multiple inference samples in flight", §III-E) and only sleeps when no
+// stream can progress. Within a sample every stream is in topological
+// order, so the globally earliest pending task is always runnable on its
+// worker — the schedule cannot deadlock, for plain or switched
+// hyperclusters alike.
+void ParallelExecutor::execute_tasks(int me, RunState& st,
+                                     const OpContext& ctx) {
+  const Graph& g = *graph_;
+  const int batch = hc_.batch;
+  const std::vector<TensorMap>& batch_inputs = *st.batch_inputs;
+  WorkerProfile& wp = st.wps[static_cast<std::size_t>(me)];
+  Inbox& inbox = inboxes_[static_cast<std::size_t>(me)];
+  const auto& streams = streams_[static_cast<std::size_t>(me)];
+
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(batch), 0);
+  std::vector<std::unordered_map<ValueId, Tensor>> local(
+      static_cast<std::size_t>(batch));
+  std::size_t done_total = 0;
+  const std::size_t all_tasks = hc_.workers[static_cast<std::size_t>(me)].size();
+
+  // Attempts the next task of stream s. Returns true when it ran.
+  auto try_advance = [&](int s) -> bool {
+    auto su = static_cast<std::size_t>(s);
+    if (cursor[su] >= streams[su].size()) return false;
+    const NodeId id = streams[su][cursor[su]];
+    const Node& n = g.node(id);
+    auto& loc = local[su];
+
+    // Constant nodes are no-ops: consumers read the payload straight
+    // from the value, on any worker.
+    if (n.kind == OpKind::kConstant) {
+      ++wp.tasks;
+      ++cursor[su];
+      ++done_total;
+      return true;
+    }
+
+    // Stage inputs; pull any newly arrived remote tensors into the
+    // local cache. Bail out (without consuming order) if one is missing.
+    std::vector<Tensor> inputs;
+    inputs.reserve(n.inputs.size());
+    for (ValueId v : n.inputs) {
+      Tensor t;
+      if (fetch_static_input(g, v, batch_inputs[su], &t)) {
+        inputs.push_back(std::move(t));
+        continue;
+      }
+      auto it = loc.find(v);
+      if (it != loc.end()) {
+        inputs.push_back(it->second);
+        continue;
+      }
+      Tensor received;
+      if (inbox.try_get(MessageKey{v, s}, &received)) {
+        loc[v] = received;
+        inputs.push_back(std::move(received));
+        continue;
+      }
+      return false;  // input not yet delivered
+    }
+
+    const std::int64_t t0 = Stopwatch::now_ns();
+    std::vector<Tensor> outputs = eval_node(n, inputs, ctx);
+    const std::int64_t t1 = Stopwatch::now_ns();
+    wp.busy_ns += t1 - t0;
+    ++wp.tasks;
+    if (st.options.trace) {
+      st.wevents[static_cast<std::size_t>(me)].push_back(
+          TaskEvent{id, s, me, t0, t1});
+    }
+
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      const ValueId ov = n.outputs[i];
+      if (is_graph_output(g, ov)) {
+        std::lock_guard<std::mutex> lk(st.results_mu);
+        st.results[su].emplace(g.value(ov).name, outputs[i]);
+      }
+      // Send to every other worker that consumes this value for this
+      // sample (deduplicated).
+      std::set<int> destinations;
+      for (NodeId c : g.value(ov).consumers) {
+        if (g.node(c).dead) continue;
+        const int wc = hc_.worker(c, s);
+        if (wc != me && wc >= 0) destinations.insert(wc);
+      }
+      for (int dest : destinations) {
+        inboxes_[static_cast<std::size_t>(dest)].put(MessageKey{ov, s},
+                                                     outputs[i]);
+        ++wp.messages_sent;
+      }
+      loc[ov] = std::move(outputs[i]);
+    }
+    ++cursor[su];
+    ++done_total;
+    return true;
+  };
+
+  int prefer = 0;
+  while (done_total < all_tasks) {
+    if (inbox.poisoned()) {
+      throw Error("aborting: a sibling worker failed");
+    }
+    const std::uint64_t seen = inbox.version();
+    bool progressed = false;
+    for (int off = 0; off < batch; ++off) {
+      const int s = (prefer + off) % batch;
+      if (try_advance(s)) {
+        progressed = true;
+        // Stay on the sample that just ran: consecutive ops of one sample
+        // share hot activations, so switching only when a sample *blocks*
+        // keeps the cache warm while still filling every receive slack
+        // (the paper's §III-E interleave switches at op granularity; on few
+        // cores that costs locality without buying extra overlap).
+        prefer = s;
+        break;
+      }
+    }
+    if (!progressed) {
+      // Nothing runnable: sleep until a new message lands (slack).
+      inbox.wait_change(seen, &wp.recv_wait_ns);
+    }
+  }
 }
 
 std::vector<TensorMap> ParallelExecutor::run(
     const std::vector<TensorMap>& batch_inputs, const RunOptions& options,
-    Profile* profile) const {
+    Profile* profile) {
+  std::lock_guard<std::mutex> run_lock(run_mu_);
   const Graph& g = *graph_;
   const int batch = hc_.batch;
   RAMIEL_CHECK(static_cast<int>(batch_inputs.size()) == batch,
-               str_cat("executor built for batch ", batch, ", got ",
-                       batch_inputs.size(), " samples"));
+               str_cat("batch size mismatch: executor compiled for batch ",
+                       batch, " (hyperclustering), run() got ",
+                       batch_inputs.size(), " sample",
+                       batch_inputs.size() == 1 ? "" : "s"));
   const int k = num_workers();
 
-  std::vector<Inbox> inboxes(static_cast<std::size_t>(k));
-  std::vector<TensorMap> results(static_cast<std::size_t>(batch));
-  std::mutex results_mu;
+  // Workers are parked, so resetting the inboxes cannot race; this also
+  // clears any poison/undelivered messages left by a failed previous run.
+  for (Inbox& inbox : inboxes_) inbox.reset();
+
+  RunState st;
+  st.batch_inputs = &batch_inputs;
+  st.options = options;
+  st.results.resize(static_cast<std::size_t>(batch));
+  st.wps.resize(static_cast<std::size_t>(k));
+  st.wevents.resize(static_cast<std::size_t>(k));
   for (int s = 0; s < batch; ++s) {
     collect_static_outputs(g, batch_inputs[static_cast<std::size_t>(s)],
-                           &results[static_cast<std::size_t>(s)]);
+                           &st.results[static_cast<std::size_t>(s)]);
   }
 
-  std::vector<WorkerProfile> wps(static_cast<std::size_t>(k));
-  std::vector<std::vector<TaskEvent>> wevents(static_cast<std::size_t>(k));
-  std::exception_ptr first_error;
-  std::mutex error_mu;
-
-  // Each worker runs its per-sample task streams cooperatively: the next
-  // task of the round-robin-preferred stream runs when all its inputs are
-  // available; otherwise the worker advances whichever sample *is* runnable
-  // ("multiple inference samples in flight", §III-E) and only sleeps when no
-  // stream can progress. Within a sample every stream is in topological
-  // order, so the globally earliest pending task is always runnable on its
-  // worker — the schedule cannot deadlock, for plain or switched
-  // hyperclusters alike.
-  auto worker_fn = [&](int me) {
-    try {
-      std::unique_ptr<ThreadPool> pool;
-      OpContext ctx;
-      if (options.intra_op_threads > 1) {
-        pool = std::make_unique<ThreadPool>(options.intra_op_threads - 1);
-        ctx.threads = options.intra_op_threads;
-        ctx.pool = pool.get();
-      }
-      WorkerProfile& wp = wps[static_cast<std::size_t>(me)];
-      Inbox& inbox = inboxes[static_cast<std::size_t>(me)];
-
-      // Split the interleaved task list into per-sample streams (order
-      // within a stream is the cluster's topological order).
-      std::vector<std::vector<NodeId>> streams(
-          static_cast<std::size_t>(batch));
-      for (const HyperTask& task : hc_.workers[static_cast<std::size_t>(me)]) {
-        streams[static_cast<std::size_t>(task.sample)].push_back(task.node);
-      }
-      std::vector<std::size_t> cursor(static_cast<std::size_t>(batch), 0);
-      std::vector<std::unordered_map<ValueId, Tensor>> local(
-          static_cast<std::size_t>(batch));
-      std::size_t done_total = 0;
-      std::size_t all_tasks = hc_.workers[static_cast<std::size_t>(me)].size();
-
-      // Attempts the next task of stream s. Returns true when it ran.
-      auto try_advance = [&](int s) -> bool {
-        auto su = static_cast<std::size_t>(s);
-        if (cursor[su] >= streams[su].size()) return false;
-        const NodeId id = streams[su][cursor[su]];
-        const Node& n = g.node(id);
-        auto& loc = local[su];
-
-        // Constant nodes are no-ops: consumers read the payload straight
-        // from the value, on any worker.
-        if (n.kind == OpKind::kConstant) {
-          ++wp.tasks;
-          ++cursor[su];
-          ++done_total;
-          return true;
-        }
-
-        // Stage inputs; pull any newly arrived remote tensors into the
-        // local cache. Bail out (without consuming order) if one is missing.
-        std::vector<Tensor> inputs;
-        inputs.reserve(n.inputs.size());
-        for (ValueId v : n.inputs) {
-          Tensor t;
-          if (fetch_static_input(g, v,
-                                 batch_inputs[su], &t)) {
-            inputs.push_back(std::move(t));
-            continue;
-          }
-          auto it = loc.find(v);
-          if (it != loc.end()) {
-            inputs.push_back(it->second);
-            continue;
-          }
-          Tensor received;
-          if (inbox.try_get(MessageKey{v, s}, &received)) {
-            loc[v] = received;
-            inputs.push_back(std::move(received));
-            continue;
-          }
-          return false;  // input not yet delivered
-        }
-
-        const std::int64_t t0 = Stopwatch::now_ns();
-        std::vector<Tensor> outputs = eval_node(n, inputs, ctx);
-        const std::int64_t t1 = Stopwatch::now_ns();
-        wp.busy_ns += t1 - t0;
-        ++wp.tasks;
-        if (options.trace) {
-          wevents[static_cast<std::size_t>(me)].push_back(
-              TaskEvent{id, s, me, t0, t1});
-        }
-
-        for (std::size_t i = 0; i < outputs.size(); ++i) {
-          const ValueId ov = n.outputs[i];
-          if (is_graph_output(g, ov)) {
-            std::lock_guard<std::mutex> lk(results_mu);
-            results[su].emplace(g.value(ov).name, outputs[i]);
-          }
-          // Send to every other worker that consumes this value for this
-          // sample (deduplicated).
-          std::set<int> destinations;
-          for (NodeId c : g.value(ov).consumers) {
-            if (g.node(c).dead) continue;
-            const int wc = hc_.worker(c, s);
-            if (wc != me && wc >= 0) destinations.insert(wc);
-          }
-          for (int dest : destinations) {
-            inboxes[static_cast<std::size_t>(dest)].put(MessageKey{ov, s},
-                                                        outputs[i]);
-            ++wp.messages_sent;
-          }
-          loc[ov] = std::move(outputs[i]);
-        }
-        ++cursor[su];
-        ++done_total;
-        return true;
-      };
-
-      int prefer = 0;
-      while (done_total < all_tasks) {
-        if (inbox.poisoned()) {
-          throw Error("aborting: a sibling worker failed");
-        }
-        const std::uint64_t seen = inbox.version();
-        bool progressed = false;
-        for (int off = 0; off < batch; ++off) {
-          const int s = (prefer + off) % batch;
-          if (try_advance(s)) {
-            progressed = true;
-            prefer = (s + 1) % batch;  // round-robin across samples
-            break;
-          }
-        }
-        if (!progressed) {
-          // Nothing runnable: sleep until a new message lands (slack).
-          inbox.wait_change(seen, &wp.recv_wait_ns);
-        }
-      }
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lk(error_mu);
-        if (!first_error) first_error = std::current_exception();
-      }
-      // Unblock every sibling so the run unwinds instead of deadlocking.
-      for (Inbox& other : inboxes) other.poison();
-    }
-  };
-
   Stopwatch wall;
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(k));
-  for (int w = 0; w < k; ++w) threads.emplace_back(worker_fn, w);
-  for (std::thread& t : threads) t.join();
+  {
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    state_ = &st;
+    workers_done_ = 0;
+    ++run_seq_;
+  }
+  start_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(ctl_mu_);
+    done_cv_.wait(lk, [&] { return workers_done_ == k; });
+    state_ = nullptr;
+    ++runs_completed_;
+  }
   const double wall_ms = wall.millis();
 
-  if (first_error) std::rethrow_exception(first_error);
+  if (st.first_error) std::rethrow_exception(st.first_error);
 
   if (profile != nullptr) {
     profile->wall_ms = wall_ms;
-    profile->workers = std::move(wps);
+    profile->workers = std::move(st.wps);
     profile->events.clear();
-    for (auto& ev : wevents) {
+    for (auto& ev : st.wevents) {
       profile->events.insert(profile->events.end(), ev.begin(), ev.end());
     }
   }
-  return results;
+  return std::move(st.results);
 }
 
 }  // namespace ramiel

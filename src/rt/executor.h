@@ -9,23 +9,39 @@
 // keyed inboxes (the queue.put()/queue.get() pairs of Algorithm 4). A plain
 // batch-1 clustering is just a Hyperclustering with batch == 1.
 //
+// ParallelExecutor is *persistent* (the Taskflow executor pattern): its
+// worker threads are spawned once in the constructor, park between calls,
+// and are reused by every run() — a serving loop dispatching thousands of
+// batches must not pay thread create/join per request. run() may be called
+// any number of times; calls are serialized internally, so a single
+// executor can be shared behind a queue (see src/serve/).
+//
 // Intra-op parallelism: when RunOptions.intra_op_threads > 1, each worker
 // owns a private thread pool of that size for its kernels — exactly how the
 // paper's per-cluster Python processes each carry their own OpenMP pool,
-// including the oversubscription behaviour Table V observes.
+// including the oversubscription behaviour Table V observes. The pools are
+// also persistent: created on the first run that asks for them and rebuilt
+// only when the requested width changes.
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
 #include "passes/hypercluster.h"
+#include "rt/mailbox.h"
 #include "rt/profiler.h"
 #include "tensor/tensor.h"
 
 namespace ramiel {
+
+struct OpContext;
 
 /// Named tensors for one batch sample (graph inputs or outputs).
 using TensorMap = std::unordered_map<std::string, Tensor>;
@@ -54,24 +70,61 @@ class SequentialExecutor {
   std::vector<NodeId> order_;
 };
 
-/// Multi-worker cluster executor (one thread per hypercluster).
+/// Multi-worker cluster executor (one persistent thread per hypercluster).
 class ParallelExecutor {
  public:
   /// The graph must outlive the executor. `hc.batch` fixes the batch size
-  /// accepted by run().
+  /// accepted by run(). Worker threads start immediately and park until the
+  /// first run().
   ParallelExecutor(const Graph* graph, Hyperclustering hc);
+  ~ParallelExecutor();
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
 
   /// Runs one batch (batch_inputs.size() must equal the hyperclustering's
-  /// batch). Returns per-sample graph outputs.
+  /// batch — checked up front). Returns per-sample graph outputs. Reuses
+  /// the persistent workers; safe to call repeatedly and from multiple
+  /// threads (calls are serialized).
   std::vector<TensorMap> run(const std::vector<TensorMap>& batch_inputs,
                              const RunOptions& options = {},
-                             Profile* profile = nullptr) const;
+                             Profile* profile = nullptr);
 
   int num_workers() const { return static_cast<int>(hc_.workers.size()); }
 
+  /// Batch size every run() must supply.
+  int batch() const { return hc_.batch; }
+
+  /// Number of run() calls completed (success or failure) — lets tests
+  /// confirm thread reuse rather than re-creation.
+  std::uint64_t runs_completed() const;
+
  private:
+  struct RunState;
+
+  void worker_loop(int me);
+  void execute_tasks(int me, RunState& st, const OpContext& ctx);
+
   const Graph* graph_;
   Hyperclustering hc_;
+  /// streams_[worker][sample] = that worker's tasks for that sample, in the
+  /// cluster's topological order (invariant across runs, computed once).
+  std::vector<std::vector<std::vector<NodeId>>> streams_;
+
+  std::vector<Inbox> inboxes_;
+  std::vector<std::thread> threads_;
+
+  std::mutex run_mu_;  // serializes concurrent run() callers
+
+  // Start/finish handshake between run() and the parked workers.
+  mutable std::mutex ctl_mu_;
+  std::condition_variable start_cv_;  // workers: wait for a new run/shutdown
+  std::condition_variable done_cv_;   // run(): wait for all workers to finish
+  std::uint64_t run_seq_ = 0;         // bumped per run
+  std::uint64_t runs_completed_ = 0;
+  int workers_done_ = 0;
+  bool shutdown_ = false;
+  RunState* state_ = nullptr;  // non-null only while a run is in flight
 };
 
 }  // namespace ramiel

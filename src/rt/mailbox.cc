@@ -23,6 +23,16 @@ Tensor Inbox::get(const MessageKey& key, std::int64_t* wait_ns) {
   return out;
 }
 
+void Inbox::reset() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    slots_.clear();
+    poisoned_ = false;
+    ++version_;
+  }
+  cv_.notify_all();
+}
+
 void Inbox::poison() {
   {
     std::lock_guard<std::mutex> lk(mu_);

@@ -65,6 +65,13 @@ class Inbox {
   /// failed so the whole run can unwind).
   void poison();
 
+  /// Returns the inbox to a clean state between executor runs: drops any
+  /// undelivered messages and clears the poison flag. The version counter
+  /// stays monotonic so a stale wait_change() snapshot can never block
+  /// across a reset. Must not race with put()/get() — callers quiesce all
+  /// workers first (the persistent executor resets between runs).
+  void reset();
+
   bool poisoned() const {
     std::lock_guard<std::mutex> lk(mu_);
     return poisoned_;

@@ -1,0 +1,37 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/stopwatch.h"
+
+namespace ramiel::serve {
+
+bool collect_batch(RequestQueue& queue, const BatcherOptions& opts,
+                   std::vector<Request>* out) {
+  RAMIEL_CHECK(opts.batch >= 1, "batcher batch must be >= 1");
+  out->clear();
+
+  Request first;
+  if (!queue.pop(&first)) return false;  // closed and drained
+  out->push_back(std::move(first));
+
+  const std::int64_t deadline_ns =
+      Stopwatch::now_ns() +
+      static_cast<std::int64_t>(std::max(0.0, opts.flush_timeout_ms) * 1e6);
+  while (static_cast<int>(out->size()) < opts.batch) {
+    const std::int64_t remaining_ns = deadline_ns - Stopwatch::now_ns();
+    if (remaining_ns <= 0) break;  // flush partial batch
+    Request next;
+    const RequestQueue::PopResult r = queue.pop_for(&next, remaining_ns);
+    if (r == RequestQueue::PopResult::kItem) {
+      out->push_back(std::move(next));
+    } else {
+      break;  // timeout, or closed: serve what we have; close is reported
+              // by the next collect_batch() once the queue is drained
+    }
+  }
+  return true;
+}
+
+}  // namespace ramiel::serve

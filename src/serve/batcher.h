@@ -1,0 +1,37 @@
+// Dynamic batching policy.
+//
+// The hyperclustering executor (§III-E) wants exactly B samples per run, but
+// serving traffic arrives one sample at a time. collect_batch() coalesces
+// queued requests into a batch: it blocks for the first request (an idle
+// server burns no CPU), then waits at most `flush_timeout_ms` for the rest
+// of the batch to show up. Under load the timeout never fires and every
+// batch leaves full (max throughput); at low offered load a partial batch is
+// flushed after the timeout, bounding the queueing delay any request can
+// absorb waiting for company — the classic throughput/tail-latency dial.
+#pragma once
+
+#include <vector>
+
+#include "serve/request_queue.h"
+
+namespace ramiel::serve {
+
+struct BatcherOptions {
+  /// Target batch size (the hyperclustering's batch).
+  int batch = 4;
+  /// How long a partial batch may wait for more requests, measured from the
+  /// moment its first request was popped. <= 0 flushes partial batches
+  /// immediately (latency-optimal, fill-pessimal).
+  double flush_timeout_ms = 2.0;
+};
+
+/// Collects 1..opts.batch requests from `queue` into *out (cleared first).
+/// Blocks indefinitely for the first request; further requests are awaited
+/// only until the flush deadline. Returns false when the queue is closed
+/// and fully drained — the serve loop's termination signal. A false return
+/// with a non-empty *out never happens (remaining requests are delivered
+/// before close is reported).
+bool collect_batch(RequestQueue& queue, const BatcherOptions& opts,
+                   std::vector<Request>* out);
+
+}  // namespace ramiel::serve

@@ -1,0 +1,86 @@
+#include "serve/loadgen.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "rt/inputs.h"
+#include "support/check.h"
+#include "support/stopwatch.h"
+
+namespace ramiel::serve {
+
+LoadReport run_closed_loop(Server& server, const LoadOptions& opts) {
+  RAMIEL_CHECK(opts.clients >= 1, "need at least one client");
+  RAMIEL_CHECK(opts.requests >= 1, "need at least one request");
+  RAMIEL_CHECK(opts.distinct_inputs >= 1, "need at least one input sample");
+
+  // Pre-generate the request payloads once; generation cost must not show
+  // up inside the measured window.
+  Rng rng(opts.seed);
+  const std::vector<TensorMap> samples =
+      make_example_inputs(server.graph(), opts.distinct_inputs, rng);
+
+  std::atomic<int> remaining{opts.requests};
+  std::atomic<int> completed{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> failed{0};
+
+  auto client_fn = [&](int id) {
+    int consecutive_rejects = 0;
+    int sample = id;  // stagger which payload each client starts on
+    // fetch_sub: each decrement claims one response slot; a client retries
+    // its claimed slot on rejection so the total completes adds up.
+    while (remaining.fetch_sub(1) > 0) {
+      bool done = false;
+      while (!done) {
+        const TensorMap& payload =
+            samples[static_cast<std::size_t>(sample) % samples.size()];
+        std::future<Response> fut = server.submit(TensorMap(payload));
+        Response resp = fut.get();
+        if (resp.ok) {
+          completed.fetch_add(1);
+          consecutive_rejects = 0;
+          done = true;
+        } else if (resp.batch_slots == 0) {  // rejected at admission
+          rejected.fetch_add(1);
+          ++consecutive_rejects;
+          if (opts.max_consecutive_rejects > 0 &&
+              consecutive_rejects >= opts.max_consecutive_rejects) {
+            return;  // server saturated/closed; stop this client
+          }
+          if (opts.reject_backoff_us > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(opts.reject_backoff_us));
+          }
+        } else {  // accepted but failed in execution: don't retry bad input
+          failed.fetch_add(1);
+          done = true;
+        }
+      }
+      ++sample;
+      if (opts.think_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(opts.think_us));
+      }
+    }
+  };
+
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(opts.clients));
+  for (int c = 0; c < opts.clients; ++c) clients.emplace_back(client_fn, c);
+  for (std::thread& t : clients) t.join();
+
+  LoadReport report;
+  report.wall_ms = wall.millis();
+  report.completed = completed.load();
+  report.rejected = rejected.load();
+  report.failed = failed.load();
+  report.achieved_rps = report.wall_ms <= 0.0
+                            ? 0.0
+                            : report.completed / (report.wall_ms / 1e3);
+  return report;
+}
+
+}  // namespace ramiel::serve

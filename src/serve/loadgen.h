@@ -1,0 +1,50 @@
+// Closed-loop load generator for serving experiments.
+//
+// Models N concurrent users: each client thread submits one request, waits
+// for its response, optionally thinks, and repeats — the standard
+// closed-loop harness whose offered load is concurrency / (service time +
+// think time). Rejected requests (admission control) are counted and
+// retried after a short backoff, so a saturated server sees sustained
+// offered load rather than a one-shot burst.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/server.h"
+#include "support/rng.h"
+
+namespace ramiel::serve {
+
+struct LoadOptions {
+  /// Concurrent closed-loop clients.
+  int clients = 4;
+  /// Total successful responses to collect across all clients.
+  int requests = 100;
+  /// Per-client pause between a response and the next submit.
+  int think_us = 0;
+  /// Distinct pre-generated input samples the clients rotate through.
+  int distinct_inputs = 8;
+  /// Backoff before retrying a rejected request.
+  int reject_backoff_us = 200;
+  /// Give up on a client loop after this many consecutive rejections
+  /// (guards tests against a wedged server; 0 = never give up).
+  int max_consecutive_rejects = 0;
+  unsigned seed = 1;
+};
+
+struct LoadReport {
+  int completed = 0;  // ok responses
+  int rejected = 0;   // admission-control refusals (before any retry)
+  int failed = 0;     // accepted but errored
+  double wall_ms = 0.0;
+  /// completed / wall — the sustained throughput the acceptance criteria
+  /// compare across batch sizes.
+  double achieved_rps = 0.0;
+};
+
+/// Drives `server` with opts.clients closed-loop clients until
+/// opts.requests responses have been collected; returns the aggregate
+/// report. Does not shut the server down.
+LoadReport run_closed_loop(Server& server, const LoadOptions& opts);
+
+}  // namespace ramiel::serve

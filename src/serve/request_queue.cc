@@ -1,0 +1,63 @@
+#include "serve/request_queue.h"
+
+#include <chrono>
+
+#include "support/check.h"
+
+namespace ramiel::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  RAMIEL_CHECK(capacity >= 1, "request queue capacity must be >= 1");
+}
+
+bool RequestQueue::try_push(Request&& request) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::pop(Request* out) {
+  std::unique_lock<std::mutex> lk(mu_);
+  not_empty_.wait(lk, [&] { return !items_.empty() || closed_; });
+  if (items_.empty()) return false;  // closed and drained
+  *out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+RequestQueue::PopResult RequestQueue::pop_for(Request* out,
+                                              std::int64_t timeout_ns) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool got = not_empty_.wait_for(
+      lk, std::chrono::nanoseconds(timeout_ns),
+      [&] { return !items_.empty() || closed_; });
+  if (!got) return PopResult::kTimeout;
+  if (items_.empty()) return PopResult::kClosed;
+  *out = std::move(items_.front());
+  items_.pop_front();
+  return PopResult::kItem;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return items_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+}  // namespace ramiel::serve

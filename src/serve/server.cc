@@ -1,0 +1,105 @@
+#include "serve/server.h"
+
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+#include "support/stopwatch.h"
+#include "support/string_util.h"
+
+namespace ramiel::serve {
+
+Server::Server(CompiledModel model, ServeOptions options)
+    : model_(std::move(model)),
+      options_(options),
+      executor_(&model_.graph, model_.hyperclusters),
+      queue_(static_cast<std::size_t>(options.queue_depth)) {
+  RAMIEL_CHECK(options.queue_depth >= 1, "queue depth must be >= 1");
+  batcher_ = std::thread([this] { serve_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+std::future<Response> Server::submit(TensorMap inputs) {
+  Request request;
+  request.inputs = std::move(inputs);
+  request.enqueue_ns = Stopwatch::now_ns();
+  std::future<Response> result = request.promise.get_future();
+  stats_.on_submit();
+  if (!queue_.try_push(std::move(request))) {
+    stats_.on_reject();
+    Response rejection;
+    rejection.ok = false;
+    rejection.error =
+        queue_.closed()
+            ? "server is shut down"
+            : str_cat("server overloaded: request queue full (depth ",
+                      queue_.capacity(), ")");
+    request.promise.set_value(std::move(rejection));
+  }
+  return result;
+}
+
+void Server::shutdown() {
+  queue_.close();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+void Server::serve_loop() {
+  const int slots = executor_.batch();
+  BatcherOptions batcher_opts;
+  batcher_opts.batch = slots;
+  batcher_opts.flush_timeout_ms = options_.flush_timeout_ms;
+  RunOptions run_opts;
+  run_opts.intra_op_threads = options_.intra_op_threads;
+
+  std::vector<Request> batch;
+  while (collect_batch(queue_, batcher_opts, &batch)) {
+    const int real = static_cast<int>(batch.size());
+    // The hypercluster executor wants exactly `slots` samples; short batches
+    // are padded with copies of the first sample and the padded outputs are
+    // discarded (batch_fill in the stats is exactly the cost of this).
+    std::vector<TensorMap> inputs;
+    inputs.reserve(static_cast<std::size_t>(slots));
+    for (const Request& r : batch) inputs.push_back(r.inputs);
+    for (int i = real; i < slots; ++i) inputs.push_back(inputs[0]);
+
+    Profile profile;
+    try {
+      std::vector<TensorMap> outputs =
+          executor_.run(inputs, run_opts, &profile);
+      stats_.on_batch(real, slots, profile);
+      const std::int64_t done_ns = Stopwatch::now_ns();
+      for (int i = 0; i < real; ++i) {
+        Request& r = batch[static_cast<std::size_t>(i)];
+        Response resp;
+        resp.ok = true;
+        resp.outputs = std::move(outputs[static_cast<std::size_t>(i)]);
+        resp.latency_ms =
+            static_cast<double>(done_ns - r.enqueue_ns) / 1e6;
+        resp.batch_slots = slots;
+        resp.batch_real = real;
+        stats_.on_served(resp.latency_ms);
+        r.promise.set_value(std::move(resp));
+      }
+    } catch (const std::exception& e) {
+      // One bad request poisons its whole batch (they shared an executor
+      // run); every rider gets the error and the server keeps serving.
+      stats_.on_batch(real, slots, profile);
+      const std::int64_t done_ns = Stopwatch::now_ns();
+      for (Request& r : batch) {
+        Response resp;
+        resp.ok = false;
+        resp.error = str_cat("execution failed: ", e.what());
+        resp.latency_ms =
+            static_cast<double>(done_ns - r.enqueue_ns) / 1e6;
+        resp.batch_slots = slots;
+        resp.batch_real = real;
+        stats_.on_failed();
+        r.promise.set_value(std::move(resp));
+      }
+    }
+  }
+}
+
+}  // namespace ramiel::serve

@@ -1,0 +1,85 @@
+// Persistent inference server.
+//
+// Owns one compiled model (the output of ramiel::compile_model) and serves a
+// *stream* of single-sample requests against it — the deployment shape the
+// paper's hyperclustering (§III-E) was designed for, where "inference
+// requests by multiple users can be batched together". The moving parts:
+//
+//   submit() ──▶ RequestQueue (bounded; reject-on-full admission control)
+//                    │
+//                batcher thread: collect_batch() coalesces up to B requests
+//                (B = the hyperclustering batch), padding short batches,
+//                    │
+//                ParallelExecutor::run() — persistent workers, reused
+//                    │
+//                promises fulfilled, StatsCollector updated
+//
+// Threading: any number of client threads may call submit()/stats()
+// concurrently. One internal batcher thread drives the executor. shutdown()
+// (and the destructor) closes the queue, drains already-accepted requests,
+// and joins the batcher — no accepted request is ever dropped.
+#pragma once
+
+#include <future>
+#include <string>
+#include <thread>
+
+#include "ramiel/pipeline.h"
+#include "rt/executor.h"
+#include "serve/batcher.h"
+#include "serve/request_queue.h"
+#include "serve/stats.h"
+#include "support/env.h"
+
+namespace ramiel::serve {
+
+struct ServeOptions {
+  /// Admission bound: requests beyond this queue depth are rejected.
+  /// Deployment override: RAMIEL_SERVE_QUEUE_DEPTH.
+  int queue_depth = env_serve_queue_depth(256);
+  /// Dynamic-batching flush timeout (see batcher.h).
+  double flush_timeout_ms = 2.0;
+  /// Kernel threads per cluster worker.
+  /// Deployment override: RAMIEL_INTRA_OP_THREADS.
+  int intra_op_threads = env_intra_op_threads(1);
+};
+
+class Server {
+ public:
+  /// Takes ownership of the compiled model; its hyperclustering batch is
+  /// the serving batch size (batch 1 disables coalescing naturally).
+  explicit Server(CompiledModel model, ServeOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submits one sample. Never blocks: when the queue is full or the server
+  /// is shut down, the returned future resolves immediately with a
+  /// rejection Response. Otherwise it resolves when the batch containing
+  /// this request completes (or fails).
+  std::future<Response> submit(TensorMap inputs);
+
+  /// Stops admission, serves every already-accepted request, joins the
+  /// batcher thread. Idempotent; called by the destructor.
+  void shutdown();
+
+  ServerStats stats() const { return stats_.snapshot(); }
+
+  int batch() const { return executor_.batch(); }
+  std::size_t queue_depth() const { return queue_.depth(); }
+  const Graph& graph() const { return model_.graph; }
+  const CompiledModel& model() const { return model_; }
+
+ private:
+  void serve_loop();
+
+  CompiledModel model_;
+  ServeOptions options_;
+  ParallelExecutor executor_;
+  RequestQueue queue_;
+  StatsCollector stats_;
+  std::thread batcher_;
+};
+
+}  // namespace ramiel::serve

@@ -1,0 +1,127 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/check.h"
+#include "support/stopwatch.h"
+
+namespace ramiel::serve {
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+double ServerStats::batch_fill() const {
+  return batch_slots == 0 ? 0.0
+                          : static_cast<double>(batch_samples) /
+                                static_cast<double>(batch_slots);
+}
+
+double ServerStats::throughput_rps() const {
+  return uptime_ms <= 0.0 ? 0.0
+                          : static_cast<double>(served) / (uptime_ms / 1e3);
+}
+
+double ServerStats::worker_utilization() const {
+  const double denom = exec_wall_ms * num_workers;
+  return denom <= 0.0 ? 0.0 : worker_busy_ms / denom;
+}
+
+std::string ServerStats::to_string() const {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests      : %llu submitted, %llu served, %llu rejected, %llu "
+      "failed\n"
+      "throughput    : %.1f req/s over %.1f s\n"
+      "latency (ms)  : mean %.2f  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n"
+      "batching      : %llu batches, fill %.2f (%llu/%llu slots)\n"
+      "workers       : %d, utilization %.2f (busy %.1f ms, slack %.1f ms, "
+      "exec wall %.1f ms)",
+      static_cast<unsigned long long>(submitted),
+      static_cast<unsigned long long>(served),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(failed), throughput_rps(),
+      uptime_ms / 1e3, latency.mean_ms, latency.p50_ms, latency.p95_ms,
+      latency.p99_ms, latency.max_ms,
+      static_cast<unsigned long long>(batches), batch_fill(),
+      static_cast<unsigned long long>(batch_samples),
+      static_cast<unsigned long long>(batch_slots), num_workers,
+      worker_utilization(), worker_busy_ms, worker_slack_ms, exec_wall_ms);
+  return buf;
+}
+
+StatsCollector::StatsCollector() : start_ns_(Stopwatch::now_ns()) {
+  latencies_.reserve(1024);
+}
+
+void StatsCollector::on_submit() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++totals_.submitted;
+}
+
+void StatsCollector::on_reject() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++totals_.rejected;
+}
+
+void StatsCollector::on_failed() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++totals_.failed;
+}
+
+void StatsCollector::on_served(double latency_ms) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++totals_.served;
+  if (latencies_.size() < kReservoirCap) {
+    latencies_.push_back(latency_ms);
+  } else {
+    latencies_[latency_count_ % kReservoirCap] = latency_ms;
+  }
+  ++latency_count_;
+}
+
+void StatsCollector::on_batch(int real, int slots, const Profile& profile) {
+  RAMIEL_CHECK(real >= 1 && real <= slots, "batch fill out of range");
+  std::lock_guard<std::mutex> lk(mu_);
+  ++totals_.batches;
+  totals_.batch_slots += static_cast<std::uint64_t>(slots);
+  totals_.batch_samples += static_cast<std::uint64_t>(real);
+  totals_.exec_wall_ms += profile.wall_ms;
+  totals_.num_workers =
+      std::max(totals_.num_workers, static_cast<int>(profile.workers.size()));
+  for (const WorkerProfile& w : profile.workers) {
+    totals_.worker_busy_ms += static_cast<double>(w.busy_ns) / 1e6;
+    totals_.worker_slack_ms += static_cast<double>(w.recv_wait_ns) / 1e6;
+  }
+}
+
+ServerStats StatsCollector::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServerStats out = totals_;
+  out.uptime_ms =
+      static_cast<double>(Stopwatch::now_ns() - start_ns_) / 1e6;
+  if (!latencies_.empty()) {
+    std::vector<double> sorted = latencies_;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double v : sorted) sum += v;
+    out.latency.mean_ms = sum / static_cast<double>(sorted.size());
+    out.latency.p50_ms = percentile(sorted, 50.0);
+    out.latency.p95_ms = percentile(sorted, 95.0);
+    out.latency.p99_ms = percentile(sorted, 99.0);
+    out.latency.max_ms = sorted.back();
+  }
+  return out;
+}
+
+}  // namespace ramiel::serve

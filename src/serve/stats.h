@@ -1,0 +1,85 @@
+// Serving metrics.
+//
+// StatsCollector is the server's thread-safe accumulator; ServerStats is
+// the immutable snapshot handed to callers. Latency percentiles come from a
+// fixed-size reservoir (latest 64Ki samples) so a long-lived server's
+// memory stays bounded; per-worker busy/slack totals reuse the runtime's
+// Profile — the same "profile database" that motivates hyperclustering in
+// the paper now doubles as the production utilization metric.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rt/profiler.h"
+
+namespace ramiel::serve {
+
+/// Latency distribution over the reservoir, in milliseconds.
+struct LatencySummary {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Point-in-time view of a server's counters.
+struct ServerStats {
+  std::uint64_t submitted = 0;  // accepted + rejected
+  std::uint64_t served = 0;     // responses delivered ok
+  std::uint64_t rejected = 0;   // refused at admission (queue full/closed)
+  std::uint64_t failed = 0;     // accepted but errored during execution
+  std::uint64_t batches = 0;    // executor dispatches
+  std::uint64_t batch_slots = 0;    // batches x batch size
+  std::uint64_t batch_samples = 0;  // real requests across those batches
+  double uptime_ms = 0.0;
+  double exec_wall_ms = 0.0;     // summed executor wall time
+  double worker_busy_ms = 0.0;   // summed kernel time across workers
+  double worker_slack_ms = 0.0;  // summed receive-wait across workers
+  int num_workers = 0;
+  LatencySummary latency;
+
+  /// Fraction of dispatched batch slots that carried real requests
+  /// (1.0 = every batch left full; low values mean the flush timeout is
+  /// doing the serving).
+  double batch_fill() const;
+
+  /// Served requests per second of uptime.
+  double throughput_rps() const;
+
+  /// Kernel-busy fraction of the workers while the executor was running —
+  /// Profile::utilization() aggregated over every dispatched batch.
+  double worker_utilization() const;
+
+  /// Multi-line human-readable report (used by the CLI and bench).
+  std::string to_string() const;
+};
+
+/// Thread-safe accumulator behind Server::stats().
+class StatsCollector {
+ public:
+  StatsCollector();
+
+  void on_submit();
+  void on_reject();
+  void on_failed();
+  void on_served(double latency_ms);
+  /// Records one executor dispatch of `real` requests in `slots` slots.
+  void on_batch(int real, int slots, const Profile& profile);
+
+  ServerStats snapshot() const;
+
+ private:
+  static constexpr std::size_t kReservoirCap = 1u << 16;
+
+  mutable std::mutex mu_;
+  ServerStats totals_;  // latency/uptime filled in at snapshot time
+  std::vector<double> latencies_;   // ring once kReservoirCap is reached
+  std::uint64_t latency_count_ = 0;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace ramiel::serve

@@ -27,4 +27,23 @@ std::string env_str(const char* name, const std::string& fallback) {
   return v == nullptr ? fallback : std::string(v);
 }
 
+namespace {
+
+// A knob that is set but <= 0 is a configuration mistake, not a request for
+// zero threads/capacity; treat it like unset.
+int positive_env_int(const char* name, int fallback) {
+  const int v = env_int(name, fallback);
+  return v > 0 ? v : fallback;
+}
+
+}  // namespace
+
+int env_intra_op_threads(int fallback) {
+  return positive_env_int("RAMIEL_INTRA_OP_THREADS", fallback);
+}
+
+int env_serve_queue_depth(int fallback) {
+  return positive_env_int("RAMIEL_SERVE_QUEUE_DEPTH", fallback);
+}
+
 }  // namespace ramiel

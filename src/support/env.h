@@ -17,4 +17,15 @@ double env_double(const char* name, double fallback);
 /// Reads a string environment variable; returns `fallback` when unset.
 std::string env_str(const char* name, const std::string& fallback);
 
+// Ops knobs: runtime configuration that must be tunable without recompiling
+// callers (a serving host sets these per deployment). Non-positive or
+// unparseable values fall back.
+
+/// RAMIEL_INTRA_OP_THREADS — kernel-level threads per cluster worker.
+int env_intra_op_threads(int fallback);
+
+/// RAMIEL_SERVE_QUEUE_DEPTH — admission-control bound on the serving
+/// request queue.
+int env_serve_queue_depth(int fallback);
+
 }  // namespace ramiel

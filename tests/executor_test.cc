@@ -155,7 +155,81 @@ TEST(ParallelExecutor, RejectsWrongBatchSize) {
   Rng rng(10);
   auto inputs = make_example_inputs(g, 1, rng);  // batch 1 vs executor batch 2
   ParallelExecutor par(&g, hc);
-  EXPECT_THROW(par.run(inputs), Error);
+  // The mismatch is rejected up front with an explanatory message, before
+  // any worker touches the inputs.
+  try {
+    par.run(inputs);
+    FAIL() << "expected batch-size mismatch to throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("batch size mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("compiled for batch 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 1 sample"), std::string::npos) << what;
+  }
+  // The rejected call must not wedge the persistent workers: a correctly
+  // sized batch still runs afterwards.
+  auto ok_inputs = make_example_inputs(g, 2, rng);
+  EXPECT_EQ(par.run(ok_inputs).size(), 2u);
+}
+
+TEST(ParallelExecutor, ReusesWorkersAcrossManyRuns) {
+  // Persistent-executor contract: >= 100 consecutive run() calls on one
+  // instance, identical outputs every time (the serving loop depends on
+  // this — no per-request thread spawn, no state bleeding between runs).
+  Graph g = models::build("squeezenet");
+  Clustering c = cluster(g);
+  ParallelExecutor par(&g, build_hyperclusters(g, c, 1));
+  Rng rng(40);
+  auto inputs = make_example_inputs(g, 1, rng);
+  const auto reference = par.run(inputs);
+  for (int i = 0; i < 99; ++i) {
+    auto repeat = par.run(inputs);
+    ASSERT_EQ(repeat.size(), reference.size()) << "run " << i;
+    for (const auto& [key, value] : reference[0]) {
+      ASSERT_TRUE(repeat[0].count(key)) << "run " << i;
+      // Bitwise equality: same graph, same inputs, same kernels — reuse
+      // must not perturb results at all.
+      ASSERT_TRUE(allclose(repeat[0].at(key), value, 0.0f, 0.0f))
+          << "run " << i << " output " << key;
+    }
+  }
+  EXPECT_EQ(par.runs_completed(), 100u);
+}
+
+TEST(ParallelExecutor, ReuseSurvivesIntraOpWidthChanges) {
+  // The persistent per-worker pools rebuild when the requested intra-op
+  // width changes; outputs stay equivalent through the transitions.
+  Graph g = testing::make_diamond_graph();
+  Clustering c = cluster(g);
+  ParallelExecutor par(&g, build_hyperclusters(g, c, 1));
+  Rng rng(41);
+  auto inputs = make_example_inputs(g, 1, rng);
+  RunOptions serial, wide;
+  wide.intra_op_threads = 3;
+  const auto reference = par.run(inputs, serial);
+  for (int i = 0; i < 6; ++i) {
+    auto got = par.run(inputs, i % 2 == 0 ? wide : serial);
+    for (const auto& [key, value] : reference[0]) {
+      ASSERT_TRUE(allclose(got[0].at(key), value, 1e-5f, 1e-5f))
+          << "run " << i << " output " << key;
+    }
+  }
+}
+
+TEST(ParallelExecutor, RecoversAfterFailedRun) {
+  // A run that throws (missing input) poisons the inboxes; the next run on
+  // the same persistent instance must start from a clean slate.
+  Graph g = testing::make_diamond_graph();
+  Clustering c = cluster(g);
+  ParallelExecutor par(&g, build_hyperclusters(g, c, 1));
+  std::vector<TensorMap> empty_inputs(1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(par.run(empty_inputs), Error) << "iteration " << i;
+    Rng rng(42);
+    auto inputs = make_example_inputs(g, 1, rng);
+    SequentialExecutor seq(&g);
+    expect_outputs_match(seq.run(inputs), par.run(inputs));
+  }
 }
 
 TEST(ParallelExecutor, ProfileCountsMessagesAndTasks) {

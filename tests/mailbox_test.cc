@@ -1,4 +1,6 @@
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -20,10 +22,16 @@ TEST(Inbox, PutThenGetIsImmediate) {
 TEST(Inbox, GetBlocksUntilPut) {
   Inbox box;
   std::int64_t wait = 0;
+  // Producer's delay clock starts only once the consumer is one statement
+  // from get(); otherwise a descheduled consumer can miss the whole wait
+  // and flake the wait > 0 assertion on a loaded 1-core host.
+  std::atomic<bool> ready{false};
   std::thread producer([&] {
+    while (!ready.load()) std::this_thread::yield();
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     box.put({7, 2}, Tensor::scalar(1.0f));
   });
+  ready.store(true);
   Tensor t = box.get({7, 2}, &wait);
   producer.join();
   EXPECT_EQ(t.at(0), 1.0f);
@@ -69,11 +77,14 @@ TEST(Inbox, WaitChangeReturnsImmediatelyOnStaleVersion) {
 TEST(Inbox, WaitChangeWakesOnPut) {
   Inbox box;
   const auto seen = box.version();
+  std::atomic<bool> ready{false};  // see GetBlocksUntilPut
   std::thread producer([&] {
+    while (!ready.load()) std::this_thread::yield();
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     box.put({1, 0}, Tensor::scalar(1.0f));
   });
   std::int64_t wait = 0;
+  ready.store(true);
   box.wait_change(seen, &wait);
   producer.join();
   EXPECT_GT(wait, 0);
@@ -101,6 +112,97 @@ TEST(Inbox, ManyProducersOneConsumer) {
   EXPECT_EQ(box.pending(), 0u);
 }
 
+
+TEST(Inbox, ManyProducersManyConsumersInterleavedKeys) {
+  // Hammer one inbox from both sides: P producer threads publish disjoint
+  // key ranges in an interleaved order while C consumer threads each
+  // blocking-get a distinct slice of every producer's range. Every message
+  // must arrive exactly once with its own payload (tagged delivery — no
+  // FIFO mismatch under contention).
+  Inbox box;
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 64;  // divisible by kConsumers
+  static_assert(kPerProducer % kConsumers == 0);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      // Interleave keys: stride through the range so consecutive puts land
+      // in different consumers' slices.
+      for (int step = 0; step < kPerProducer; ++step) {
+        const int i = (step * 7 + p * 13) % kPerProducer;  // 7 ⟂ 64
+        box.put({p * kPerProducer + i, /*sample=*/p},
+                Tensor::scalar(static_cast<float>(p * kPerProducer + i)));
+      }
+    });
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&box, &mismatches, c] {
+      constexpr int kSlice = kPerProducer / kConsumers;
+      std::int64_t wait = 0;
+      for (int p = 0; p < kProducers; ++p) {
+        for (int j = 0; j < kSlice; ++j) {
+          const int key = p * kPerProducer + c * kSlice + j;
+          Tensor t = box.get({key, p}, &wait);
+          if (t.at(0) != static_cast<float>(key)) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Inbox, ConcurrentTryGetConsumesEachMessageOnce) {
+  // Several consumers racing try_get on the same keys: each message is
+  // claimed by exactly one of them.
+  Inbox box;
+  constexpr int kMessages = 200;
+  for (int i = 0; i < kMessages; ++i) {
+    box.put({i, 0}, Tensor::scalar(static_cast<float>(i)));
+  }
+  std::atomic<int> claimed{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      Tensor out;
+      for (int i = 0; i < kMessages; ++i) {
+        if (box.try_get({i, 0}, &out)) claimed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(claimed.load(), kMessages);
+  EXPECT_EQ(box.pending(), 0u);
+}
+
+TEST(Inbox, ResetClearsMessagesAndPoison) {
+  Inbox box;
+  box.put({1, 0}, Tensor::scalar(1.0f));
+  box.put({2, 0}, Tensor::scalar(2.0f));
+  box.poison();
+  box.reset();
+  EXPECT_EQ(box.pending(), 0u);  // stale messages dropped
+  EXPECT_FALSE(box.poisoned());
+  // The inbox is fully usable again (the persistent executor resets
+  // between runs).
+  box.put({3, 0}, Tensor::scalar(3.0f));
+  std::int64_t wait = 0;
+  EXPECT_EQ(box.get({3, 0}, &wait).at(0), 3.0f);
+}
+
+TEST(Inbox, ResetKeepsVersionMonotonic) {
+  Inbox box;
+  const auto before = box.version();
+  box.reset();
+  EXPECT_GT(box.version(), before);  // a stale snapshot can never re-match
+}
 
 TEST(Inbox, PoisonWakesBlockedGetter) {
   Inbox box;

@@ -1,0 +1,386 @@
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "models/zoo.h"
+#include "ramiel/pipeline.h"
+#include "rt/inputs.h"
+#include "serve/batcher.h"
+#include "serve/loadgen.h"
+#include "serve/request_queue.h"
+#include "serve/server.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace ramiel {
+namespace serve {
+namespace {
+
+Request make_request(float payload) {
+  Request r;
+  r.inputs.emplace("x", Tensor::scalar(payload));
+  return r;
+}
+
+float request_payload(const Request& r) { return r.inputs.at("x").at(0); }
+
+// ---------------------------------------------------------------- queue --
+
+TEST(RequestQueue, FifoWithinCapacity) {
+  RequestQueue q(4);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(q.try_push(make_request(static_cast<float>(i))));
+  }
+  EXPECT_EQ(q.depth(), 3u);
+  Request out;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.pop(&out));
+    EXPECT_EQ(request_payload(out), static_cast<float>(i));
+  }
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(RequestQueue, RejectsWhenFullAndRequestSurvives) {
+  RequestQueue q(2);
+  EXPECT_TRUE(q.try_push(make_request(1.0f)));
+  EXPECT_TRUE(q.try_push(make_request(2.0f)));
+  Request extra = make_request(3.0f);
+  EXPECT_FALSE(q.try_push(std::move(extra)));
+  // Admission control must not consume the refused request: the caller
+  // still owns it and fulfils its promise with a rejection.
+  EXPECT_EQ(request_payload(extra), 3.0f);
+  extra.promise.set_value(Response{});  // still usable
+}
+
+TEST(RequestQueue, PopForTimesOutWhenEmpty) {
+  RequestQueue q(2);
+  Request out;
+  EXPECT_EQ(q.pop_for(&out, /*timeout_ns=*/2'000'000),
+            RequestQueue::PopResult::kTimeout);
+}
+
+TEST(RequestQueue, CloseDrainsThenReportsClosed) {
+  RequestQueue q(4);
+  EXPECT_TRUE(q.try_push(make_request(7.0f)));
+  q.close();
+  EXPECT_FALSE(q.try_push(make_request(8.0f)));  // no admission after close
+  Request out;
+  ASSERT_TRUE(q.pop(&out));  // queued work is still delivered
+  EXPECT_EQ(request_payload(out), 7.0f);
+  EXPECT_FALSE(q.pop(&out));  // now closed and drained
+  EXPECT_EQ(q.pop_for(&out, 1'000'000), RequestQueue::PopResult::kClosed);
+}
+
+TEST(RequestQueue, CloseWakesBlockedConsumer) {
+  RequestQueue q(2);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  Request out;
+  EXPECT_FALSE(q.pop(&out));  // returns rather than hanging
+  closer.join();
+}
+
+// -------------------------------------------------------------- batcher --
+
+TEST(Batcher, CollectsFullBatchWithoutWaitingOutTheTimeout) {
+  RequestQueue q(8);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_push(make_request(static_cast<float>(i))));
+  }
+  BatcherOptions opts;
+  opts.batch = 4;
+  opts.flush_timeout_ms = 60'000.0;  // would hang the test if waited out
+  std::vector<Request> batch;
+  ASSERT_TRUE(collect_batch(q, opts, &batch));
+  ASSERT_EQ(batch.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(request_payload(batch[static_cast<std::size_t>(i)]),
+              static_cast<float>(i));
+  }
+}
+
+TEST(Batcher, FlushesPartialBatchAfterTimeout) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.try_push(make_request(1.0f)));
+  BatcherOptions opts;
+  opts.batch = 4;
+  opts.flush_timeout_ms = 5.0;
+  std::vector<Request> batch;
+  ASSERT_TRUE(collect_batch(q, opts, &batch));
+  EXPECT_EQ(batch.size(), 1u);  // flushed short rather than waiting forever
+}
+
+TEST(Batcher, PicksUpLateArrivalsWithinTheWindow) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.try_push(make_request(1.0f)));
+  std::thread late([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(q.try_push(make_request(2.0f)));
+  });
+  BatcherOptions opts;
+  opts.batch = 2;
+  opts.flush_timeout_ms = 2'000.0;
+  std::vector<Request> batch;
+  ASSERT_TRUE(collect_batch(q, opts, &batch));
+  late.join();
+  EXPECT_EQ(batch.size(), 2u);
+}
+
+TEST(Batcher, ReportsCloseOnlyWhenDrained) {
+  RequestQueue q(8);
+  ASSERT_TRUE(q.try_push(make_request(1.0f)));
+  q.close();
+  BatcherOptions opts;
+  opts.batch = 4;
+  opts.flush_timeout_ms = 1.0;
+  std::vector<Request> batch;
+  ASSERT_TRUE(collect_batch(q, opts, &batch));  // drains the leftover
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_FALSE(collect_batch(q, opts, &batch));  // now reports closed
+}
+
+// ---------------------------------------------------------------- stats --
+
+TEST(Stats, PercentilesAreOrderedAndFillIsExact) {
+  StatsCollector c;
+  for (int i = 1; i <= 100; ++i) {
+    c.on_submit();
+    c.on_served(static_cast<double>(i));
+  }
+  Profile profile;
+  profile.wall_ms = 10.0;
+  profile.workers = {WorkerProfile{/*busy_ns=*/5'000'000, 0, 1, 0},
+                     WorkerProfile{/*busy_ns=*/5'000'000, 0, 1, 0}};
+  c.on_batch(/*real=*/3, /*slots=*/4, profile);
+  const ServerStats s = c.snapshot();
+  EXPECT_EQ(s.submitted, 100u);
+  EXPECT_EQ(s.served, 100u);
+  EXPECT_NEAR(s.latency.p50_ms, 50.5, 1.0);
+  EXPECT_LE(s.latency.p50_ms, s.latency.p95_ms);
+  EXPECT_LE(s.latency.p95_ms, s.latency.p99_ms);
+  EXPECT_LE(s.latency.p99_ms, s.latency.max_ms);
+  EXPECT_DOUBLE_EQ(s.latency.max_ms, 100.0);
+  EXPECT_DOUBLE_EQ(s.batch_fill(), 0.75);
+  // 2 workers x 10 ms wall, 10 ms total busy -> 50% utilization.
+  EXPECT_NEAR(s.worker_utilization(), 0.5, 1e-9);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+// --------------------------------------------------------------- server --
+
+PipelineOptions serve_pipeline(int batch,
+                               HyperMode mode = HyperMode::kPlain) {
+  PipelineOptions opts;
+  opts.batch = batch;
+  opts.hyper_mode = mode;
+  opts.generate_code = false;
+  return opts;
+}
+
+/// Reference outputs computed by the sequential executor on a second copy
+/// of the model.
+std::vector<TensorMap> reference_outputs(const std::string& model,
+                                         const std::vector<TensorMap>& in) {
+  Graph g = models::build(model);
+  SequentialExecutor seq(&g);
+  std::vector<TensorMap> out;
+  for (const TensorMap& sample : in) out.push_back(seq.run({sample})[0]);
+  return out;
+}
+
+TEST(Server, ServesSingleRequestMatchingSequential) {
+  CompiledModel cm = compile_model(models::build("squeezenet"),
+                                   serve_pipeline(1));
+  Rng rng(21);
+  auto inputs = make_example_inputs(cm.graph, 1, rng);
+  Server server(std::move(cm));
+  std::future<Response> fut = server.submit(TensorMap(inputs[0]));
+  Response resp = fut.get();
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_GT(resp.latency_ms, 0.0);
+  auto expected = reference_outputs("squeezenet", inputs);
+  ASSERT_EQ(resp.outputs.size(), expected[0].size());
+  for (const auto& [name, tensor] : expected[0]) {
+    ASSERT_TRUE(resp.outputs.count(name));
+    EXPECT_TRUE(allclose(resp.outputs.at(name), tensor, 1e-4f, 1e-3f));
+  }
+}
+
+TEST(Server, BatchedResponsesMatchPerRequestInputs) {
+  // 12 distinct requests through a batch-4 server: every response must
+  // correspond to ITS request's input, not a batch-mate's.
+  CompiledModel cm = compile_model(models::build("squeezenet"),
+                                   serve_pipeline(4));
+  Rng rng(22);
+  auto inputs = make_example_inputs(cm.graph, 12, rng);
+  auto expected = reference_outputs("squeezenet", inputs);
+
+  ServeOptions opts;
+  // Generous flush window: all 12 requests are enqueued in microseconds, so
+  // every batch must leave full — makes the fill/batches assertions exact
+  // even when this (single-core) host deschedules the submitting thread.
+  opts.flush_timeout_ms = 2'000.0;
+  Server server(std::move(cm), opts);
+  std::vector<std::future<Response>> futures;
+  for (const TensorMap& sample : inputs) {
+    futures.push_back(server.submit(TensorMap(sample)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    Response resp = futures[i].get();
+    ASSERT_TRUE(resp.ok) << resp.error;
+    for (const auto& [name, tensor] : expected[i]) {
+      ASSERT_TRUE(resp.outputs.count(name));
+      EXPECT_TRUE(allclose(resp.outputs.at(name), tensor, 1e-4f, 1e-3f))
+          << "request " << i << " output " << name;
+    }
+  }
+  server.shutdown();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.served, 12u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.batches, 3u);  // 12 requests / batch 4, all full
+  EXPECT_DOUBLE_EQ(stats.batch_fill(), 1.0);
+}
+
+TEST(Server, PartialBatchFlushBoundsLatency) {
+  // One lonely request into a batch-4 server must come back after the
+  // flush timeout — not wait forever for three batch-mates.
+  CompiledModel cm = compile_model(models::build("squeezenet"),
+                                   serve_pipeline(4));
+  Rng rng(23);
+  auto inputs = make_example_inputs(cm.graph, 1, rng);
+  ServeOptions opts;
+  opts.flush_timeout_ms = 10.0;
+  Server server(std::move(cm), opts);
+  std::future<Response> fut = server.submit(TensorMap(inputs[0]));
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  Response resp = fut.get();
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.batch_real, 1);
+  EXPECT_EQ(resp.batch_slots, 4);
+  server.shutdown();
+  EXPECT_DOUBLE_EQ(server.stats().batch_fill(), 0.25);
+}
+
+TEST(Server, SaturationRejectsPromptlyAndKeepsServing) {
+  // Offered load far beyond a depth-2 queue: excess submissions resolve
+  // immediately with a rejection (bounded queue, no unbounded growth), all
+  // accepted requests complete, and the server still serves afterwards.
+  CompiledModel cm = compile_model(models::build("squeezenet"),
+                                   serve_pipeline(2));
+  Rng rng(24);
+  auto inputs = make_example_inputs(cm.graph, 1, rng);
+  ServeOptions opts;
+  opts.queue_depth = 2;
+  Server server(std::move(cm), opts);
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(server.submit(TensorMap(inputs[0])));
+  }
+  int ok = 0, rejected = 0;
+  for (auto& fut : futures) {
+    Response resp = fut.get();  // every future resolves — nothing hangs
+    if (resp.ok) {
+      ++ok;
+    } else {
+      ++rejected;
+      EXPECT_NE(resp.error.find("queue full"), std::string::npos)
+          << resp.error;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 64);
+  EXPECT_GT(rejected, 0);  // admission control actually engaged
+  EXPECT_GT(ok, 0);        // and accepted work was served
+
+  // The server survived saturation: a fresh request still succeeds.
+  Response after = server.submit(TensorMap(inputs[0])).get();
+  EXPECT_TRUE(after.ok) << after.error;
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 65u);
+  EXPECT_EQ(stats.served + stats.rejected, stats.submitted);
+}
+
+TEST(Server, SubmitAfterShutdownIsRejectedNotHung) {
+  CompiledModel cm = compile_model(models::build("squeezenet"),
+                                   serve_pipeline(2));
+  Rng rng(25);
+  auto inputs = make_example_inputs(cm.graph, 1, rng);
+  Server server(std::move(cm));
+  server.shutdown();
+  Response resp = server.submit(TensorMap(inputs[0])).get();
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("shut down"), std::string::npos);
+}
+
+TEST(Server, ShutdownDrainsAcceptedRequests) {
+  CompiledModel cm = compile_model(models::build("squeezenet"),
+                                   serve_pipeline(4));
+  Rng rng(26);
+  auto inputs = make_example_inputs(cm.graph, 1, rng);
+  ServeOptions opts;
+  opts.flush_timeout_ms = 50.0;
+  auto server = std::make_unique<Server>(std::move(cm), opts);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(server->submit(TensorMap(inputs[0])));
+  }
+  server->shutdown();  // must serve all 6 accepted requests first
+  for (auto& fut : futures) {
+    EXPECT_TRUE(fut.get().ok);
+  }
+}
+
+TEST(Server, ExecutionFailurePoisonsBatchButNotServer) {
+  // A request with a missing graph input fails inside the executor; its
+  // batch-mates share the error but the server keeps serving.
+  CompiledModel cm = compile_model(models::build("squeezenet"),
+                                   serve_pipeline(1));
+  Rng rng(27);
+  auto inputs = make_example_inputs(cm.graph, 1, rng);
+  Server server(std::move(cm));
+  Response bad = server.submit(TensorMap{}).get();  // no inputs at all
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("execution failed"), std::string::npos);
+  Response good = server.submit(TensorMap(inputs[0])).get();
+  EXPECT_TRUE(good.ok) << good.error;
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.served, 1u);
+}
+
+TEST(Server, ClosedLoopLoadAllServed) {
+  CompiledModel cm = compile_model(models::build("squeezenet"),
+                                   serve_pipeline(4, HyperMode::kSwitched));
+  Server server(std::move(cm));
+  LoadOptions load;
+  load.clients = 4;
+  load.requests = 24;
+  const LoadReport report = run_closed_loop(server, load);
+  server.shutdown();
+  EXPECT_EQ(report.completed, 24);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_GT(report.achieved_rps, 0.0);
+  EXPECT_EQ(server.stats().served, 24u);
+}
+
+TEST(Server, EnvOverridesConfigureDefaults) {
+  ::setenv("RAMIEL_SERVE_QUEUE_DEPTH", "3", 1);
+  ::setenv("RAMIEL_INTRA_OP_THREADS", "2", 1);
+  ServeOptions opts;  // defaults read the env at construction
+  ::unsetenv("RAMIEL_SERVE_QUEUE_DEPTH");
+  ::unsetenv("RAMIEL_INTRA_OP_THREADS");
+  EXPECT_EQ(opts.queue_depth, 3);
+  EXPECT_EQ(opts.intra_op_threads, 2);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ramiel

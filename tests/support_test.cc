@@ -130,6 +130,32 @@ TEST(Env, ParsesSetValues) {
   ::unsetenv("RAMIEL_TEST_SET_VAR");
 }
 
+TEST(Env, IntraOpThreadsOverride) {
+  ::unsetenv("RAMIEL_INTRA_OP_THREADS");
+  EXPECT_EQ(env_intra_op_threads(3), 3);  // unset -> fallback
+  ::setenv("RAMIEL_INTRA_OP_THREADS", "8", 1);
+  EXPECT_EQ(env_intra_op_threads(3), 8);
+  ::setenv("RAMIEL_INTRA_OP_THREADS", "0", 1);
+  EXPECT_EQ(env_intra_op_threads(3), 3);  // non-positive -> fallback
+  ::setenv("RAMIEL_INTRA_OP_THREADS", "-2", 1);
+  EXPECT_EQ(env_intra_op_threads(3), 3);
+  ::setenv("RAMIEL_INTRA_OP_THREADS", "lots", 1);
+  EXPECT_EQ(env_intra_op_threads(3), 3);  // unparseable -> fallback
+  ::unsetenv("RAMIEL_INTRA_OP_THREADS");
+}
+
+TEST(Env, ServeQueueDepthOverride) {
+  ::unsetenv("RAMIEL_SERVE_QUEUE_DEPTH");
+  EXPECT_EQ(env_serve_queue_depth(256), 256);  // unset -> fallback
+  ::setenv("RAMIEL_SERVE_QUEUE_DEPTH", "1024", 1);
+  EXPECT_EQ(env_serve_queue_depth(256), 1024);
+  ::setenv("RAMIEL_SERVE_QUEUE_DEPTH", "0", 1);
+  EXPECT_EQ(env_serve_queue_depth(256), 256);  // non-positive -> fallback
+  ::setenv("RAMIEL_SERVE_QUEUE_DEPTH", "nope", 1);
+  EXPECT_EQ(env_serve_queue_depth(256), 256);  // unparseable -> fallback
+  ::unsetenv("RAMIEL_SERVE_QUEUE_DEPTH");
+}
+
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch sw;
   // A tiny busy loop; just assert monotonic non-negative readings.

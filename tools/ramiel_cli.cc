@@ -11,8 +11,11 @@
 //                  [--switched]
 //       Full pipeline; writes <name>_parallel.py, <name>_seq.py, <name>.dot.
 //   ramiel run <model|path.rml> [--fold] [--clone] [--batch N] [--threads N]
+//              [--trace-out FILE]
 //       Executes sequentially + in parallel (real threads), verifies the
-//       outputs agree, and prints simulated multicore timings.
+//       outputs agree, and prints simulated multicore timings. --trace-out
+//       writes the parallel run's Chrome trace-event JSON for Perfetto /
+//       chrome://tracing inspection of per-worker busy and slack spans.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,7 +44,7 @@ int usage() {
                "  ramiel compile <model|file.rml> [-o DIR] [--fold] [--clone]"
                " [--fuse-bn] [--batch N] [--switched]\n"
                "  ramiel run <model|file.rml> [--fold] [--clone] [--batch N]"
-               " [--threads N]\n");
+               " [--threads N] [--trace-out FILE]\n");
   return 2;
 }
 
@@ -60,6 +63,7 @@ Graph load_any(const std::string& spec) {
 struct Cli {
   std::string model;
   std::string out_dir = ".";
+  std::string trace_out;  // chrome://tracing JSON of the parallel run
   PipelineOptions options;
   int threads = 1;
 };
@@ -79,6 +83,8 @@ bool parse_flags(int argc, char** argv, int start, Cli* cli) {
       cli->options.batch = std::atoi(argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
       cli->threads = std::atoi(argv[++i]);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      cli->trace_out = argv[++i];
     } else if (arg == "-o" && i + 1 < argc) {
       cli->out_dir = argv[++i];
     } else {
@@ -158,10 +164,14 @@ int cmd_run(const Cli& cli) {
   ParallelExecutor par(&cm.graph, cm.hyperclusters);
   RunOptions run_opts;
   run_opts.intra_op_threads = cli.threads;
+  run_opts.trace = !cli.trace_out.empty();
 
   Profile sp, pp;
   auto a = seq.run(inputs, run_opts, &sp);
   auto b = par.run(inputs, run_opts, &pp);
+  if (!cli.trace_out.empty()) {
+    write_file(cli.trace_out, pp.to_chrome_trace(cm.graph));
+  }
   bool match = true;
   for (int s = 0; s < batch; ++s) {
     for (const auto& [key, value] : a[static_cast<std::size_t>(s)]) {

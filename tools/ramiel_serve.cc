@@ -1,0 +1,131 @@
+// ramiel_serve — run the persistent inference-serving runtime against one
+// model and drive it with an in-process closed-loop load (the container has
+// no network stack; clients are threads in this process, which is also what
+// the serving bench and tests do).
+//
+//   ramiel_serve <model|path.rml> [flags]
+//     --batch N        serving batch size / hyperclustering batch (default 4)
+//     --switched       switched hyperclustering (§III-E, Fig. 9)
+//     --fold           constant propagation + DCE before clustering
+//     --clone          task cloning before clustering
+//     --threads N      intra-op threads per worker (default
+//                      $RAMIEL_INTRA_OP_THREADS or 1)
+//     --queue-depth N  admission-control bound (default
+//                      $RAMIEL_SERVE_QUEUE_DEPTH or 256)
+//     --flush-ms X     dynamic-batching flush timeout (default 2.0)
+//     --requests N     total requests to serve (default 200)
+//     --clients C      concurrent closed-loop clients (default 8)
+//     --think-us U     per-client think time between requests (default 0)
+//
+// Prints the ServerStats report: throughput, latency percentiles,
+// batch-fill ratio, rejections, and per-worker utilization.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "models/zoo.h"
+#include "onnx/model_io.h"
+#include "ramiel/pipeline.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "support/string_util.h"
+
+namespace {
+
+using namespace ramiel;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ramiel_serve <model|file.rml> [--batch N] [--switched]"
+               " [--fold] [--clone]\n"
+               "                    [--threads N] [--queue-depth N]"
+               " [--flush-ms X]\n"
+               "                    [--requests N] [--clients C]"
+               " [--think-us U]\n");
+  return 2;
+}
+
+Graph load_any(const std::string& spec) {
+  for (const std::string& name : models::model_names()) {
+    if (name == spec) return models::build(name);
+  }
+  if (spec.find('.') == std::string::npos) {
+    throw Error(str_cat("unknown model '", spec, "'; available: ",
+                        join(models::model_names(), ", "),
+                        " (or pass a .rml/.rmb file)"));
+  }
+  return load_model_file(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string spec = argv[1];
+
+  PipelineOptions pipeline;
+  pipeline.batch = 4;
+  pipeline.generate_code = false;
+  serve::ServeOptions serve_opts;
+  serve::LoadOptions load;
+  load.clients = 8;
+  load.requests = 200;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--switched") {
+      pipeline.hyper_mode = HyperMode::kSwitched;
+    } else if (arg == "--fold") {
+      pipeline.constant_folding = true;
+    } else if (arg == "--clone") {
+      pipeline.cloning = true;
+    } else if (arg == "--batch" && i + 1 < argc) {
+      pipeline.batch = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      serve_opts.intra_op_threads = std::atoi(argv[++i]);
+    } else if (arg == "--queue-depth" && i + 1 < argc) {
+      serve_opts.queue_depth = std::atoi(argv[++i]);
+    } else if (arg == "--flush-ms" && i + 1 < argc) {
+      serve_opts.flush_timeout_ms = std::atof(argv[++i]);
+    } else if (arg == "--requests" && i + 1 < argc) {
+      load.requests = std::atoi(argv[++i]);
+    } else if (arg == "--clients" && i + 1 < argc) {
+      load.clients = std::atoi(argv[++i]);
+    } else if (arg == "--think-us" && i + 1 < argc) {
+      load.think_us = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  try {
+    std::printf("compiling %s (batch %d, %s hyperclustering)...\n",
+                spec.c_str(), pipeline.batch,
+                pipeline.hyper_mode == HyperMode::kSwitched ? "switched"
+                                                            : "plain");
+    CompiledModel cm = compile_model(load_any(spec), pipeline);
+    std::printf("%s: %d clusters, compile %.1f ms\n", cm.graph.name().c_str(),
+                cm.clustering.size(), cm.compile_seconds * 1e3);
+
+    serve::Server server(std::move(cm), serve_opts);
+    std::printf(
+        "serving: batch %d, queue depth %d, flush %.1f ms, intra-op %d; "
+        "load: %d clients x %d requests\n\n",
+        server.batch(), serve_opts.queue_depth, serve_opts.flush_timeout_ms,
+        serve_opts.intra_op_threads, load.clients, load.requests);
+
+    serve::LoadReport report = serve::run_closed_loop(server, load);
+    server.shutdown();
+
+    std::printf("%s\n", server.stats().to_string().c_str());
+    std::printf("load gen      : %d completed, %d rejected, %d failed in "
+                "%.1f s (%.1f req/s achieved)\n",
+                report.completed, report.rejected, report.failed,
+                report.wall_ms / 1e3, report.achieved_rps);
+    return report.failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
