@@ -1,0 +1,25 @@
+// Minimal JSON emission helpers shared by every exporter in the tree
+// (metrics registry, trace timeline, compile reports, serving snapshots).
+// Routing all emitters through json_escape is what keeps a node named
+// `conv_3x3"dw` or a Windows-style path in an error string from producing
+// unparseable trace files.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ramiel::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (no surrounding
+/// quotes added): `"` and `\` are backslash-escaped, control characters
+/// become \n, \t, \r, \b, \f or \u00XX.
+std::string json_escape(std::string_view s);
+
+/// json_escape with surrounding double quotes — a complete JSON string.
+std::string json_quote(std::string_view s);
+
+/// Formats a double as a JSON number. NaN and infinities (illegal in JSON)
+/// are emitted as null.
+std::string json_number(double v);
+
+}  // namespace ramiel::obs

@@ -1,0 +1,252 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "obs/json.h"
+#include "support/check.h"
+
+namespace ramiel::obs {
+namespace {
+
+/// Renders {a="x",b="y"}; empty labels render as nothing. `extra` lets the
+/// histogram exporter append an le="..." pair.
+std::string label_string(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + json_escape(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+std::string le_string(double bound) {
+  if (std::isinf(bound)) return "le=\"+Inf\"";
+  return "le=\"" + json_number(bound) + "\"";
+}
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+std::atomic<std::uint64_t>& Counter::shard_for_thread() {
+  // Thread-id hash is stable per thread, so a given worker always hits the
+  // same shard; different workers usually hit different cache lines.
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h % static_cast<std::size_t>(kShards)].v;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    RAMIEL_CHECK(bounds_[i - 1] < bounds_[i],
+                 "histogram bounds must be strictly increasing");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(double v) {
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<double> Histogram::latency_ms_buckets() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+          1000, 2500, 5000, 10000};
+}
+
+Registry::Family& Registry::family(const std::string& name, Type type,
+                                   const std::string& help,
+                                   const std::vector<double>* bounds) {
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& fam = it->second;
+  if (inserted) {
+    fam.type = type;
+    fam.help = help;
+    if (bounds != nullptr) fam.bounds = *bounds;
+  } else {
+    RAMIEL_CHECK(fam.type == type,
+                 "metric '" + name + "' re-registered with a different type");
+  }
+  return fam;
+}
+
+Registry::Series& Registry::series(Family& fam, const Labels& labels) {
+  for (Series& s : fam.series) {
+    if (s.labels == labels) return s;
+  }
+  fam.series.emplace_back();
+  fam.series.back().labels = labels;
+  return fam.series.back();
+}
+
+Counter* Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Series& s = series(family(name, Type::kCounter, help, nullptr),
+                     sorted(labels));
+  if (!s.counter) s.counter = std::make_unique<Counter>();
+  return s.counter.get();
+}
+
+Gauge* Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Series& s =
+      series(family(name, Type::kGauge, help, nullptr), sorted(labels));
+  if (!s.gauge) s.gauge = std::make_unique<Gauge>();
+  return s.gauge.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> bounds,
+                               const Labels& labels) {
+  if (bounds.empty()) bounds = Histogram::latency_ms_buckets();
+  std::lock_guard<std::mutex> lk(mu_);
+  Family& fam = family(name, Type::kHistogram, help, &bounds);
+  Series& s = series(fam, sorted(labels));
+  if (!s.histogram) s.histogram = std::make_unique<Histogram>(fam.bounds);
+  return s.histogram.get();
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out;
+  for (const auto& [name, fam] : families_) {
+    if (!fam.help.empty()) out += "# HELP " + name + " " + fam.help + "\n";
+    out += "# TYPE " + name + " ";
+    out += fam.type == Type::kCounter
+               ? "counter"
+               : (fam.type == Type::kGauge ? "gauge" : "histogram");
+    out += "\n";
+    for (const Series& s : fam.series) {
+      switch (fam.type) {
+        case Type::kCounter:
+          out += name + label_string(s.labels) + " " +
+                 std::to_string(s.counter->value()) + "\n";
+          break;
+        case Type::kGauge:
+          out += name + label_string(s.labels) + " " +
+                 json_number(s.gauge->value()) + "\n";
+          break;
+        case Type::kHistogram: {
+          const Histogram::Snapshot snap = s.histogram->snapshot();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+            cumulative += snap.counts[i];
+            const double bound = i < snap.bounds.size()
+                                     ? snap.bounds[i]
+                                     : std::numeric_limits<double>::infinity();
+            out += name + "_bucket" +
+                   label_string(s.labels, le_string(bound)) + " " +
+                   std::to_string(cumulative) + "\n";
+          }
+          out += name + "_sum" + label_string(s.labels) + " " +
+                 json_number(snap.sum) + "\n";
+          out += name + "_count" + label_string(s.labels) + " " +
+                 std::to_string(snap.count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "{";
+  bool first_fam = true;
+  for (const auto& [name, fam] : families_) {
+    if (!first_fam) out += ",";
+    first_fam = false;
+    out += json_quote(name) + ":{\"type\":";
+    out += fam.type == Type::kCounter
+               ? "\"counter\""
+               : (fam.type == Type::kGauge ? "\"gauge\"" : "\"histogram\"");
+    if (!fam.help.empty()) out += ",\"help\":" + json_quote(fam.help);
+    out += ",\"series\":[";
+    bool first_series = true;
+    for (const Series& s : fam.series) {
+      if (!first_series) out += ",";
+      first_series = false;
+      out += "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first_label) out += ",";
+        first_label = false;
+        out += json_quote(k) + ":" + json_quote(v);
+      }
+      out += "}";
+      switch (fam.type) {
+        case Type::kCounter:
+          out += ",\"value\":" + std::to_string(s.counter->value());
+          break;
+        case Type::kGauge:
+          out += ",\"value\":" + json_number(s.gauge->value());
+          break;
+        case Type::kHistogram: {
+          const Histogram::Snapshot snap = s.histogram->snapshot();
+          out += ",\"bounds\":[";
+          for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+            if (i > 0) out += ",";
+            out += json_number(snap.bounds[i]);
+          }
+          out += "],\"counts\":[";
+          for (std::size_t i = 0; i < snap.counts.size(); ++i) {
+            if (i > 0) out += ",";
+            out += std::to_string(snap.counts[i]);
+          }
+          out += "],\"sum\":" + json_number(snap.sum) +
+                 ",\"count\":" + std::to_string(snap.count);
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "}";
+  return out;
+}
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: outlive all users
+  return *instance;
+}
+
+}  // namespace ramiel::obs

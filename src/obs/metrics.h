@@ -1,0 +1,159 @@
+// Process-wide metrics registry (counters, gauges, fixed-bucket histograms)
+// with Prometheus-text and JSON exporters.
+//
+// Design constraints, in order:
+//   1. Hot-path writes must be cheap enough for runtime workers to bump
+//      per-message counters: Counter shards its atomics across cache lines
+//      so concurrent workers don't ping-pong one counter word; Gauge and
+//      Histogram are single relaxed atomics. No metric write ever takes a
+//      mutex.
+//   2. Metric objects are created once (registry lookup under a mutex) and
+//      then cached as raw pointers by the instrumented code; pointers stay
+//      valid for the process lifetime (the registry never erases).
+//   3. Series are identified Prometheus-style by (name, sorted labels), so
+//      several servers/executors in one process coexist as distinct series
+//      of one family (e.g. serve_requests_total{instance="0",...}).
+//
+// The process-wide instance is obs::registry(); tests that want isolation
+// construct their own Registry.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ramiel::obs {
+
+/// Sorted (key, value) label pairs identifying one series of a family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter, sharded to keep concurrent writers off each other's
+/// cache lines. value() sums the shards (not a consistent snapshot across
+/// concurrent writers, like any Prometheus counter read).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    shard_for_thread().fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  static constexpr int kShards = 16;
+
+  std::atomic<std::uint64_t>& shard_for_thread();
+
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins instantaneous value; add() is atomic (CAS loop), so
+/// several threads may accumulate into one gauge.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+/// (Prometheus `le` semantics); one implicit +Inf bucket catches the rest.
+/// observe() is two relaxed atomic adds plus a branchless upper_bound over
+/// a handful of doubles.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing (checked).
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;        // upper bounds, +Inf excluded
+    std::vector<std::uint64_t> counts; // per-bucket (bounds.size() + 1)
+    std::uint64_t count = 0;           // total observations
+    double sum = 0.0;                  // sum of observed values
+  };
+  Snapshot snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Default buckets for millisecond latencies (0.1 ms .. 10 s).
+  static std::vector<double> latency_ms_buckets();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> family -> labeled series lookup plus the exporters.
+class Registry {
+ public:
+  /// Gets or creates a series. A name registered once keeps its type and
+  /// (for histograms) bucket bounds; re-registering with a different type
+  /// throws. Returned pointers live as long as the registry.
+  Counter* counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge* gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  Histogram* histogram(const std::string& name, const std::string& help = "",
+                       std::vector<double> bounds = {},
+                       const Labels& labels = {});
+
+  /// Prometheus text exposition format (one HELP/TYPE header per family,
+  /// one line per series; histograms expand to _bucket/_sum/_count).
+  std::string to_prometheus() const;
+
+  /// The same data as one JSON object keyed by family name.
+  std::string to_json() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Type type = Type::kCounter;
+    std::string help;
+    std::vector<double> bounds;  // histogram families only
+    std::deque<Series> series;   // deque: growth never moves elements
+  };
+
+  Family& family(const std::string& name, Type type, const std::string& help,
+                 const std::vector<double>* bounds);
+  Series& series(Family& fam, const Labels& labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+/// The process-wide registry every built-in subsystem reports into.
+Registry& registry();
+
+}  // namespace ramiel::obs

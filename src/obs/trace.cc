@@ -1,0 +1,139 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace ramiel::obs {
+namespace {
+
+/// Chrome trace timestamps are microseconds; emit fractional µs so
+/// nanosecond-resolution kernel spans don't collapse to zero width.
+std::string ts_us(std::int64_t ns) {
+  return json_number(static_cast<double>(ns) / 1e3);
+}
+
+}  // namespace
+
+void Timeline::span(std::string name, std::string cat, int pid, int tid,
+                    std::int64_t start_ns, std::int64_t end_ns,
+                    std::vector<Arg> args) {
+  Event e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_ns = start_ns;
+  e.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Timeline::instant(std::string name, std::string cat, int pid, int tid,
+                       std::int64_t ts_ns, std::vector<Arg> args) {
+  Event e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'i';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_ns = ts_ns;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Timeline::counter(std::string name, int pid, std::int64_t ts_ns,
+                       double value) {
+  Event e;
+  e.name = std::move(name);
+  e.ph = 'C';
+  e.pid = pid;
+  e.ts_ns = ts_ns;
+  e.counter_value = value;
+  events_.push_back(std::move(e));
+}
+
+void Timeline::flow(std::string name, std::string cat, std::uint64_t id,
+                    int src_pid, int src_tid, std::int64_t send_ns,
+                    int dst_pid, int dst_tid, std::int64_t recv_ns) {
+  Event s;
+  s.name = name;
+  s.cat = cat;
+  s.ph = 's';
+  s.pid = src_pid;
+  s.tid = src_tid;
+  s.ts_ns = send_ns;
+  s.flow_id = id;
+  s.has_flow_id = true;
+  events_.push_back(std::move(s));
+
+  Event f;
+  f.name = std::move(name);
+  f.cat = std::move(cat);
+  f.ph = 'f';
+  f.pid = dst_pid;
+  f.tid = dst_tid;
+  // Perfetto requires the flow-end timestamp to be >= the start's.
+  f.ts_ns = recv_ns >= send_ns ? recv_ns : send_ns;
+  f.flow_id = id;
+  f.has_flow_id = true;
+  events_.push_back(std::move(f));
+}
+
+void Timeline::process_name(int pid, std::string name) {
+  Event e;
+  e.name = "process_name";
+  e.ph = 'M';
+  e.pid = pid;
+  e.args.emplace_back("name", std::move(name));
+  events_.push_back(std::move(e));
+}
+
+void Timeline::thread_name(int pid, int tid, std::string name) {
+  Event e;
+  e.name = "thread_name";
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.args.emplace_back("name", std::move(name));
+  events_.push_back(std::move(e));
+}
+
+std::string Timeline::to_chrome_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":" + json_quote(e.name);
+    if (!e.cat.empty()) out += ",\"cat\":" + json_quote(e.cat);
+    out += ",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":" + std::to_string(e.pid) +
+           ",\"tid\":" + std::to_string(e.tid);
+    if (e.ph != 'M') out += ",\"ts\":" + ts_us(e.ts_ns);
+    if (e.ph == 'X') out += ",\"dur\":" + ts_us(e.dur_ns);
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    if (e.has_flow_id) {
+      out += ",\"id\":" + std::to_string(e.flow_id);
+      if (e.ph == 'f') out += ",\"bp\":\"e\"";
+    }
+    if (e.ph == 'C') {
+      out += ",\"args\":{\"value\":" + json_number(e.counter_value) + "}";
+    } else if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const Arg& a : e.args) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += json_quote(a.key) + ":";
+        out += a.is_number ? json_number(a.num) : json_quote(a.str);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace ramiel::obs

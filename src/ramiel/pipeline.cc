@@ -1,39 +1,132 @@
 #include "ramiel/pipeline.h"
 
+#include <utility>
+
 #include "graph/shape_inference.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/stopwatch.h"
 
 namespace ramiel {
+namespace {
+
+/// Producer->consumer tensor edges among live nodes (what the clustering
+/// passes cut or internalize; reported before/after every pass).
+int count_live_edges(const Graph& g) {
+  int edges = 0;
+  for (const Node& n : g.nodes()) {
+    if (n.dead) continue;
+    for (ValueId v : n.inputs) {
+      const Value& val = g.value(v);
+      if (val.producer != kNoNode && !g.node(val.producer).dead) ++edges;
+    }
+  }
+  return edges;
+}
+
+/// Wraps one pipeline stage with before/after measurement. The critical
+/// path is recomputed after every stage (a single O(V+E) distance pass —
+/// negligible next to LC/merging) so the report shows how each pass moved
+/// the quantity the whole compiler optimizes.
+class PassTimer {
+ public:
+  PassTimer(std::string name, const Graph& graph, const CostModel& cost,
+            std::vector<PassReport>& out)
+      : graph_(graph), cost_(cost), out_(out) {
+    report_.pass = std::move(name);
+    report_.start_ns = Stopwatch::now_ns();
+    report_.nodes_before = graph.live_node_count();
+    report_.edges_before = count_live_edges(graph);
+  }
+
+  /// Finishes the measurement. `clusters` >= 0 marks a clustering stage.
+  void done(int clusters = -1) {
+    report_.end_ns = Stopwatch::now_ns();
+    report_.wall_ms =
+        static_cast<double>(report_.end_ns - report_.start_ns) / 1e6;
+    report_.nodes_after = graph_.live_node_count();
+    report_.edges_after = count_live_edges(graph_);
+    report_.critical_path = analyze_parallelism(graph_, cost_).critical_path;
+    report_.clusters = clusters;
+    out_.push_back(report_);
+  }
+
+ private:
+  const Graph& graph_;
+  const CostModel& cost_;
+  std::vector<PassReport>& out_;
+  PassReport report_;
+};
+
+struct CompileMetrics {
+  obs::Counter* compiles = obs::registry().counter(
+      "ramiel_compile_total", "compile_model() invocations");
+  obs::Histogram* compile_ms = obs::registry().histogram(
+      "ramiel_compile_wall_ms", "End-to-end compile wall time (ms)");
+};
+
+CompileMetrics& compile_metrics() {
+  static CompileMetrics* m = new CompileMetrics();
+  return *m;
+}
+
+}  // namespace
 
 CompiledModel compile_model(Graph graph, const PipelineOptions& options) {
   Stopwatch sw;
   CompiledModel out;
+  const CostModel& cost = options.cost;
 
   if (options.constant_folding) {
+    PassTimer t("constant_folding", graph, cost, out.pass_reports);
     out.fold_stats = constant_propagation_dce(graph);
     graph = graph.compacted();
+    t.done();
   }
   if (options.fuse_batch_norms) {
+    PassTimer t("fusion", graph, cost, out.pass_reports);
     out.batch_norms_folded = fold_batch_norms(graph);
+    t.done();
   }
   if (options.cloning) {
-    out.clone_stats = clone_tasks(graph, options.cost, options.cloning_options);
+    PassTimer t("cloning", graph, cost, out.pass_reports);
+    out.clone_stats = clone_tasks(graph, cost, options.cloning_options);
+    t.done();
   }
-  infer_shapes(graph);
-  graph.validate();
+  {
+    PassTimer t("shape_inference", graph, cost, out.pass_reports);
+    infer_shapes(graph);
+    graph.validate();
+    t.done();
+  }
 
-  out.analysis = analyze_parallelism(graph, options.cost);
+  out.analysis = analyze_parallelism(graph, cost);
 
-  Clustering lc = linear_clustering(graph, options.cost);
-  out.clusters_before_merge = lc.size();
-  out.clustering = merge_clusters(graph, options.cost, lc);
-
-  out.hyperclusters =
-      options.hyper_mode == HyperMode::kSwitched
-          ? build_switched_hyperclusters(graph, out.clustering, options.batch)
-          : build_hyperclusters(graph, out.clustering, options.batch);
+  Clustering lc;
+  {
+    PassTimer t("linear_clustering", graph, cost, out.pass_reports);
+    lc = linear_clustering(graph, cost);
+    out.clusters_before_merge = lc.size();
+    t.done(lc.size());
+  }
+  {
+    PassTimer t("cluster_merging", graph, cost, out.pass_reports);
+    out.clustering = merge_clusters(graph, cost, lc);
+    t.done(out.clustering.size());
+  }
+  {
+    PassTimer t("hyperclustering", graph, cost, out.pass_reports);
+    out.hyperclusters =
+        options.hyper_mode == HyperMode::kSwitched
+            ? build_switched_hyperclusters(graph, out.clustering,
+                                           options.batch)
+            : build_hyperclusters(graph, out.clustering, options.batch);
+    t.done(static_cast<int>(out.hyperclusters.workers.size()));
+  }
 
   if (options.generate_code) {
+    PassTimer t("codegen", graph, cost, out.pass_reports);
     CodegenOptions cg;
     cg.model_name = graph.name();
     cg.weights_path = graph.name() + ".rmb";
@@ -42,10 +135,70 @@ CompiledModel compile_model(Graph graph, const PipelineOptions& options) {
       out.code.hypercluster_source =
           generate_python_hyper(graph, out.hyperclusters, cg);
     }
+    t.done();
   }
   out.graph = std::move(graph);
   out.compile_seconds = sw.seconds();
+
+  compile_metrics().compiles->inc();
+  compile_metrics().compile_ms->observe(out.compile_seconds * 1e3);
   return out;
+}
+
+std::string compile_report_json(const CompiledModel& cm) {
+  using obs::json_number;
+  using obs::json_quote;
+  std::string out = "{";
+  out += "\"model\":" + json_quote(cm.graph.name());
+  out += ",\"compile_seconds\":" + json_number(cm.compile_seconds);
+  out += ",\"nodes\":" + std::to_string(cm.analysis.num_nodes);
+  out += ",\"total_weight\":" +
+         std::to_string(cm.analysis.total_weight);
+  out += ",\"critical_path\":" + std::to_string(cm.analysis.critical_path);
+  out += ",\"parallelism\":" + json_number(cm.analysis.parallelism);
+  out += ",\"clusters_before_merge\":" +
+         std::to_string(cm.clusters_before_merge);
+  out += ",\"clusters\":" + std::to_string(cm.clustering.size());
+  out += ",\"batch\":" + std::to_string(cm.hyperclusters.batch);
+  out += ",\"folded_nodes\":" + std::to_string(cm.fold_stats.folded_nodes);
+  out += ",\"dce_removed\":" + std::to_string(cm.fold_stats.dce_removed);
+  out += ",\"clones_created\":" +
+         std::to_string(cm.clone_stats.clones_created);
+  out += ",\"batch_norms_folded\":" + std::to_string(cm.batch_norms_folded);
+  out += ",\"passes\":[";
+  bool first = true;
+  for (const PassReport& p : cm.pass_reports) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"pass\":" + json_quote(p.pass);
+    out += ",\"wall_ms\":" + json_number(p.wall_ms);
+    out += ",\"nodes_before\":" + std::to_string(p.nodes_before);
+    out += ",\"nodes_after\":" + std::to_string(p.nodes_after);
+    out += ",\"edges_before\":" + std::to_string(p.edges_before);
+    out += ",\"edges_after\":" + std::to_string(p.edges_after);
+    out += ",\"critical_path\":" + std::to_string(p.critical_path);
+    out += ",\"clusters\":" + std::to_string(p.clusters);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void add_compile_trace(const CompiledModel& cm, obs::Timeline& timeline) {
+  timeline.process_name(obs::kCompilerPid, "compiler");
+  timeline.thread_name(obs::kCompilerPid, 0, cm.graph.name());
+  for (const PassReport& p : cm.pass_reports) {
+    std::vector<obs::Timeline::Arg> args = {
+        {"nodes_before", p.nodes_before},
+        {"nodes_after", p.nodes_after},
+        {"edges_before", p.edges_before},
+        {"edges_after", p.edges_after},
+        {"critical_path", static_cast<double>(p.critical_path)},
+    };
+    if (p.clusters >= 0) args.emplace_back("clusters", p.clusters);
+    timeline.span(p.pass, "compile", obs::kCompilerPid, 0, p.start_ns,
+                  p.end_ns, std::move(args));
+  }
 }
 
 }  // namespace ramiel

@@ -8,7 +8,9 @@
 // "CT(s)" compile-time column of Table VIII.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "codegen/python_codegen.h"
 #include "graph/cost_model.h"
@@ -19,6 +21,10 @@
 #include "passes/fusion.h"
 #include "passes/hypercluster.h"
 #include "passes/linear_clustering.h"
+
+namespace ramiel::obs {
+class Timeline;
+}  // namespace ramiel::obs
 
 namespace ramiel {
 
@@ -42,6 +48,27 @@ struct PipelineOptions {
   bool generate_code = true;
 };
 
+/// What one compiler stage did to the graph — the per-pass compile report
+/// (the ONNX-MLIR-style honesty ledger; `ramiel compile --report` dumps the
+/// full list as JSON). Timestamps are Stopwatch::now_ns() values, the same
+/// clock the runtime tracer uses, so pass spans and task spans share one
+/// timeline.
+struct PassReport {
+  std::string pass;              // "constant_folding", "linear_clustering", ...
+  double wall_ms = 0.0;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  int nodes_before = 0;          // live nodes entering the pass
+  int nodes_after = 0;
+  int edges_before = 0;          // producer->consumer tensor edges
+  int edges_after = 0;
+  /// Weighted critical-path length after the pass (the quantity LC zeroes
+  /// out cluster by cluster); -1 when not measured.
+  std::int64_t critical_path = -1;
+  /// Cluster count produced by a clustering stage; -1 elsewhere.
+  int clusters = -1;
+};
+
 /// Everything the pipeline produces for one model.
 struct CompiledModel {
   Graph graph;  // transformed graph (folded/cloned/compacted)
@@ -54,9 +81,19 @@ struct CompiledModel {
   CloningStats clone_stats;
   int batch_norms_folded = 0;
   double compile_seconds = 0.0;     // Table VIII "CT(s)"
+  std::vector<PassReport> pass_reports;  // one entry per stage that ran
 };
 
 /// Runs the pipeline on `graph` (consumed).
 CompiledModel compile_model(Graph graph, const PipelineOptions& options = {});
+
+/// Serializes the per-pass compile report as one JSON object
+/// (`ramiel compile --report=FILE` writes exactly this).
+std::string compile_report_json(const CompiledModel& cm);
+
+/// Appends the compile passes as spans on the compiler track of a unified
+/// trace timeline (obs::kCompilerPid), aligned with any runtime profile
+/// recorded in the same process.
+void add_compile_trace(const CompiledModel& cm, obs::Timeline& timeline);
 
 }  // namespace ramiel

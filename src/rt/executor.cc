@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <set>
+#include <tuple>
 
 #include "graph/op_eval.h"
+#include "obs/metrics.h"
 #include "support/check.h"
 #include "support/stopwatch.h"
 #include "support/string_util.h"
@@ -13,6 +16,47 @@
 
 namespace ramiel {
 namespace {
+
+/// Payload size of one message/activation (dense float32 tensors).
+std::int64_t tensor_bytes(const Tensor& t) {
+  return t.numel() * static_cast<std::int64_t>(sizeof(float));
+}
+
+/// Process-wide runtime counters, resolved once. Bumped per run() (not per
+/// task) so the hot path only touches the per-run WorkerProfile.
+struct RtMetrics {
+  obs::Counter* tasks = obs::registry().counter(
+      "ramiel_rt_tasks_total", "Graph tasks executed (node x sample)");
+  obs::Counter* messages = obs::registry().counter(
+      "ramiel_rt_messages_total", "Cross-worker tensor messages delivered");
+  obs::Counter* bytes_sent = obs::registry().counter(
+      "ramiel_rt_bytes_sent_total", "Cross-worker message payload bytes");
+  obs::Counter* runs = obs::registry().counter(
+      "ramiel_rt_runs_total", "Executor run() calls completed");
+  obs::Histogram* run_wall_ms = obs::registry().histogram(
+      "ramiel_rt_run_wall_ms", "Executor run() wall time (ms)");
+};
+
+RtMetrics& rt_metrics() {
+  static RtMetrics* m = new RtMetrics();
+  return *m;
+}
+
+void record_run_metrics(const std::vector<WorkerProfile>& wps,
+                        double wall_ms) {
+  RtMetrics& m = rt_metrics();
+  std::uint64_t tasks = 0, messages = 0, bytes = 0;
+  for (const WorkerProfile& w : wps) {
+    tasks += static_cast<std::uint64_t>(w.tasks);
+    messages += static_cast<std::uint64_t>(w.messages_sent);
+    bytes += static_cast<std::uint64_t>(w.bytes_sent);
+  }
+  m.tasks->inc(tasks);
+  m.messages->inc(messages);
+  m.bytes_sent->inc(bytes);
+  m.runs->inc();
+  m.run_wall_ms->observe(wall_ms);
+}
 
 /// Fetches one node input that is constant or a graph input; returns false
 /// when the value is produced by another node (caller resolves it).
@@ -123,10 +167,13 @@ std::vector<TensorMap> SequentialExecutor::run(
     }
   }
 
+  record_run_metrics({wp}, wall.millis());
   if (profile != nullptr) {
     profile->wall_ms = wall.millis();
     profile->workers = {wp};
     profile->events = std::move(events);
+    profile->messages.clear();
+    profile->queue_depths.clear();
   }
   return results;
 }
@@ -140,6 +187,12 @@ struct ParallelExecutor::RunState {
   std::mutex results_mu;
   std::vector<WorkerProfile> wps;
   std::vector<std::vector<TaskEvent>> wevents;
+  // Tracing-only side channels, one lane per worker (no cross-worker
+  // sharing, so no locks). Sends carry recv_ns == 0 until run() pairs them
+  // with the matching receive observation.
+  std::vector<std::vector<MessageEvent>> wsends;
+  std::vector<std::vector<MessageEvent>> wrecvs;
+  std::vector<std::vector<QueueDepthSample>> wdepths;
   std::exception_ptr first_error;
   std::mutex error_mu;
 };
@@ -164,6 +217,12 @@ ParallelExecutor::ParallelExecutor(const Graph* graph, Hyperclustering hc)
   }
 
   inboxes_ = std::vector<Inbox>(static_cast<std::size_t>(k));
+  depth_gauges_.reserve(static_cast<std::size_t>(k));
+  for (int w = 0; w < k; ++w) {
+    depth_gauges_.push_back(obs::registry().gauge(
+        "ramiel_rt_inbox_depth", "Undelivered messages in a worker's inbox",
+        {{"worker", std::to_string(w)}}));
+  }
   threads_.reserve(static_cast<std::size_t>(k));
   for (int w = 0; w < k; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -291,6 +350,15 @@ void ParallelExecutor::execute_tasks(int me, RunState& st,
       }
       Tensor received;
       if (inbox.try_get(MessageKey{v, s}, &received)) {
+        wp.bytes_received += tensor_bytes(received);
+        if (st.options.trace) {
+          const std::int64_t now = Stopwatch::now_ns();
+          st.wrecvs[static_cast<std::size_t>(me)].push_back(
+              MessageEvent{v, s, /*src_worker=*/-1, me, /*send_ns=*/0, now,
+                           tensor_bytes(received)});
+          st.wdepths[static_cast<std::size_t>(me)].push_back(
+              QueueDepthSample{me, now, static_cast<int>(inbox.pending())});
+        }
         loc[v] = received;
         inputs.push_back(std::move(received));
         continue;
@@ -323,9 +391,24 @@ void ParallelExecutor::execute_tasks(int me, RunState& st,
         if (wc != me && wc >= 0) destinations.insert(wc);
       }
       for (int dest : destinations) {
-        inboxes_[static_cast<std::size_t>(dest)].put(MessageKey{ov, s},
-                                                     outputs[i]);
+        // Stamp before the put: the receiver can consume (and stamp its
+        // recv_ns) the instant put releases the inbox lock, so stamping
+        // after would let recv_ns precede send_ns under scheduling delay.
+        const std::int64_t send_ns =
+            st.options.trace ? Stopwatch::now_ns() : 0;
+        const std::size_t depth = inboxes_[static_cast<std::size_t>(dest)].put(
+            MessageKey{ov, s}, outputs[i]);
+        depth_gauges_[static_cast<std::size_t>(dest)]->set(
+            static_cast<double>(depth));
         ++wp.messages_sent;
+        wp.bytes_sent += tensor_bytes(outputs[i]);
+        if (st.options.trace) {
+          st.wsends[static_cast<std::size_t>(me)].push_back(
+              MessageEvent{ov, s, me, dest, send_ns, /*recv_ns=*/0,
+                           tensor_bytes(outputs[i])});
+          st.wdepths[static_cast<std::size_t>(me)].push_back(
+              QueueDepthSample{dest, send_ns, static_cast<int>(depth)});
+        }
       }
       loc[ov] = std::move(outputs[i]);
     }
@@ -384,6 +467,9 @@ std::vector<TensorMap> ParallelExecutor::run(
   st.results.resize(static_cast<std::size_t>(batch));
   st.wps.resize(static_cast<std::size_t>(k));
   st.wevents.resize(static_cast<std::size_t>(k));
+  st.wsends.resize(static_cast<std::size_t>(k));
+  st.wrecvs.resize(static_cast<std::size_t>(k));
+  st.wdepths.resize(static_cast<std::size_t>(k));
   for (int s = 0; s < batch; ++s) {
     collect_static_outputs(g, batch_inputs[static_cast<std::size_t>(s)],
                            &st.results[static_cast<std::size_t>(s)]);
@@ -407,13 +493,38 @@ std::vector<TensorMap> ParallelExecutor::run(
 
   if (st.first_error) std::rethrow_exception(st.first_error);
 
+  record_run_metrics(st.wps, wall_ms);
   if (profile != nullptr) {
     profile->wall_ms = wall_ms;
-    profile->workers = std::move(st.wps);
     profile->events.clear();
     for (auto& ev : st.wevents) {
       profile->events.insert(profile->events.end(), ev.begin(), ev.end());
     }
+    // Pair each send with the receive that consumed it. The producing node
+    // of a value is unique, so (value, sample, destination) identifies one
+    // message; sends that were never consumed keep recv_ns == 0.
+    profile->messages.clear();
+    std::map<std::tuple<ValueId, int, int>, std::size_t> by_key;
+    for (const auto& sends : st.wsends) {
+      for (const MessageEvent& m : sends) {
+        by_key[{m.value, m.sample, m.dst_worker}] = profile->messages.size();
+        profile->messages.push_back(m);
+      }
+    }
+    for (const auto& recvs : st.wrecvs) {
+      for (const MessageEvent& m : recvs) {
+        auto it = by_key.find({m.value, m.sample, m.dst_worker});
+        if (it != by_key.end()) {
+          profile->messages[it->second].recv_ns = m.recv_ns;
+        }
+      }
+    }
+    profile->queue_depths.clear();
+    for (const auto& depths : st.wdepths) {
+      profile->queue_depths.insert(profile->queue_depths.end(),
+                                   depths.begin(), depths.end());
+    }
+    profile->workers = std::move(st.wps);
   }
   return std::move(st.results);
 }

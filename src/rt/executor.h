@@ -39,6 +39,10 @@
 #include "rt/profiler.h"
 #include "tensor/tensor.h"
 
+namespace ramiel::obs {
+class Gauge;
+}  // namespace ramiel::obs
+
 namespace ramiel {
 
 struct OpContext;
@@ -112,6 +116,10 @@ class ParallelExecutor {
   std::vector<std::vector<std::vector<NodeId>>> streams_;
 
   std::vector<Inbox> inboxes_;
+  /// Registry gauges mirroring each inbox's depth (series
+  /// ramiel_rt_inbox_depth{worker="i"}), updated on every put with the
+  /// depth the put already computed — one relaxed atomic store.
+  std::vector<obs::Gauge*> depth_gauges_;
   std::vector<std::thread> threads_;
 
   std::mutex run_mu_;  // serializes concurrent run() callers

@@ -25,14 +25,20 @@ using MessageKey = std::pair<ValueId, int>;
 /// One worker's incoming mailbox (many producers, one consumer).
 class Inbox {
  public:
-  /// Deposits a tensor; wakes the receiver if it is waiting.
-  void put(const MessageKey& key, Tensor tensor) {
+  /// Deposits a tensor; wakes the receiver if it is waiting. Returns the
+  /// number of undelivered messages after the deposit — a free queue-depth
+  /// sample for the tracer/gauges (taken under the lock already held, so
+  /// observability costs no extra synchronization).
+  std::size_t put(const MessageKey& key, Tensor tensor) {
+    std::size_t depth;
     {
       std::lock_guard<std::mutex> lk(mu_);
       slots_.emplace(key, std::move(tensor));
+      depth = slots_.size();
       ++version_;
     }
     cv_.notify_all();
+    return depth;
   }
 
   /// Blocks until the key arrives; removes and returns the tensor. Returns

@@ -1,6 +1,9 @@
 #include "rt/profiler.h"
 
-#include <sstream>
+#include <string>
+
+#include "graph/op_kind.h"
+#include "obs/trace.h"
 
 namespace ramiel {
 
@@ -18,22 +21,44 @@ double Profile::utilization() const {
          (wall_ms * static_cast<double>(workers.size()));
 }
 
-std::string Profile::to_chrome_trace(const Graph& graph) const {
-  std::ostringstream os;
-  os << "[";
-  bool first = true;
-  for (const TaskEvent& e : events) {
-    if (!first) os << ",";
-    first = false;
-    const Node& n = graph.node(e.node);
-    os << "\n{\"name\":\"" << n.name << "\",\"cat\":\""
-       << op_kind_name(n.kind) << "\",\"ph\":\"X\",\"ts\":"
-       << e.start_ns / 1000 << ",\"dur\":" << (e.end_ns - e.start_ns) / 1000
-       << ",\"pid\":0,\"tid\":" << e.worker << ",\"args\":{\"sample\":"
-       << e.sample << "}}";
+std::int64_t Profile::total_bytes_sent() const {
+  std::int64_t total = 0;
+  for (const WorkerProfile& w : workers) total += w.bytes_sent;
+  return total;
+}
+
+void Profile::to_timeline(const Graph& graph, obs::Timeline& timeline,
+                          std::uint64_t flow_id_base) const {
+  timeline.process_name(obs::kRuntimePid, "runtime");
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    timeline.thread_name(obs::kRuntimePid, static_cast<int>(w),
+                         "worker " + std::to_string(w));
   }
-  os << "\n]\n";
-  return os.str();
+  for (const TaskEvent& e : events) {
+    const Node& n = graph.node(e.node);
+    timeline.span(n.name, std::string(op_kind_name(n.kind)),
+                  obs::kRuntimePid, e.worker,
+                  e.start_ns, e.end_ns,
+                  {obs::Timeline::Arg{"sample", e.sample}});
+  }
+  std::uint64_t flow_id = flow_id_base;
+  for (const MessageEvent& m : messages) {
+    if (m.recv_ns == 0) continue;  // sent but never consumed (padding etc.)
+    timeline.flow("msg " + graph.value(m.value).name, "message", flow_id++,
+                  obs::kRuntimePid, m.src_worker, m.send_ns, obs::kRuntimePid,
+                  m.dst_worker, m.recv_ns);
+  }
+  for (const QueueDepthSample& q : queue_depths) {
+    timeline.counter("inbox depth w" + std::to_string(q.worker),
+                     obs::kRuntimePid, q.ts_ns,
+                     static_cast<double>(q.depth));
+  }
+}
+
+std::string Profile::to_chrome_trace(const Graph& graph) const {
+  obs::Timeline timeline;
+  to_timeline(graph, timeline);
+  return timeline.to_chrome_json();
 }
 
 }  // namespace ramiel

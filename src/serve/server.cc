@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "support/check.h"
 #include "support/stopwatch.h"
 #include "support/string_util.h"
@@ -26,6 +27,7 @@ std::future<Response> Server::submit(TensorMap inputs) {
   request.enqueue_ns = Stopwatch::now_ns();
   std::future<Response> result = request.promise.get_future();
   stats_.on_submit();
+  stats_.queue_depth_gauge()->set(static_cast<double>(queue_.depth()));
   if (!queue_.try_push(std::move(request))) {
     stats_.on_reject();
     Response rejection;
@@ -45,6 +47,27 @@ void Server::shutdown() {
   if (batcher_.joinable()) batcher_.join();
 }
 
+Profile Server::slowest_batch_profile() const {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  return slowest_;
+}
+
+void Server::append_trace(obs::Timeline& timeline) const {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  timeline.process_name(obs::kServerPid, "server");
+  timeline.thread_name(obs::kServerPid, 0, "batcher");
+  for (const BatchDispatch& d : dispatches_) {
+    timeline.span("batch", "dispatch", obs::kServerPid, 0, d.start_ns,
+                  d.end_ns,
+                  {obs::Timeline::Arg{"real", d.real},
+                   obs::Timeline::Arg{"slots", d.slots},
+                   obs::Timeline::Arg{"fill", static_cast<double>(d.real) /
+                                                  static_cast<double>(
+                                                      d.slots)}});
+  }
+  slowest_.to_timeline(model_.graph, timeline);
+}
+
 void Server::serve_loop() {
   const int slots = executor_.batch();
   BatcherOptions batcher_opts;
@@ -52,10 +75,12 @@ void Server::serve_loop() {
   batcher_opts.flush_timeout_ms = options_.flush_timeout_ms;
   RunOptions run_opts;
   run_opts.intra_op_threads = options_.intra_op_threads;
+  run_opts.trace = options_.trace;
 
   std::vector<Request> batch;
   while (collect_batch(queue_, batcher_opts, &batch)) {
     const int real = static_cast<int>(batch.size());
+    stats_.queue_depth_gauge()->set(static_cast<double>(queue_.depth()));
     // The hypercluster executor wants exactly `slots` samples; short batches
     // are padded with copies of the first sample and the padded outputs are
     // discarded (batch_fill in the stats is exactly the cost of this).
@@ -65,10 +90,17 @@ void Server::serve_loop() {
     for (int i = real; i < slots; ++i) inputs.push_back(inputs[0]);
 
     Profile profile;
+    const std::int64_t dispatch_ns = Stopwatch::now_ns();
     try {
       std::vector<TensorMap> outputs =
           executor_.run(inputs, run_opts, &profile);
       stats_.on_batch(real, slots, profile);
+      if (options_.trace) {
+        std::lock_guard<std::mutex> lk(trace_mu_);
+        dispatches_.push_back(
+            BatchDispatch{dispatch_ns, Stopwatch::now_ns(), real, slots});
+        if (profile.wall_ms > slowest_.wall_ms) slowest_ = profile;
+      }
       const std::int64_t done_ns = Stopwatch::now_ns();
       for (int i = 0; i < real; ++i) {
         Request& r = batch[static_cast<std::size_t>(i)];

@@ -20,9 +20,12 @@
 // and joins the batcher — no accepted request is ever dropped.
 #pragma once
 
+#include <cstdint>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "ramiel/pipeline.h"
 #include "rt/executor.h"
@@ -42,6 +45,10 @@ struct ServeOptions {
   /// Kernel threads per cluster worker.
   /// Deployment override: RAMIEL_INTRA_OP_THREADS.
   int intra_op_threads = env_intra_op_threads(1);
+  /// Trace every batch dispatch (task events, message flows, queue depths)
+  /// and retain the profile of the slowest one — what ramiel_serve
+  /// --trace-out dumps. Off by default: tracing allocates per-task events.
+  bool trace = false;
 };
 
 class Server {
@@ -66,12 +73,34 @@ class Server {
 
   ServerStats stats() const { return stats_.snapshot(); }
 
+  /// Profile of the slowest batch observed so far (empty Profile until the
+  /// first batch completes). Only populated when ServeOptions.trace is on —
+  /// the worst batch is exactly the one whose timeline answers "where did
+  /// the tail latency go".
+  Profile slowest_batch_profile() const;
+
+  /// Appends the serving view to a unified trace (trace mode only): one
+  /// span per batch dispatch on the server track (obs::kServerPid, args:
+  /// real/slots fill), plus the slowest batch's full runtime profile —
+  /// task spans, message-flow arrows and queue-depth counters on the
+  /// runtime track. Combine with add_compile_trace(model(), timeline) for
+  /// the complete compile→serve timeline.
+  void append_trace(obs::Timeline& timeline) const;
+
   int batch() const { return executor_.batch(); }
   std::size_t queue_depth() const { return queue_.depth(); }
   const Graph& graph() const { return model_.graph; }
   const CompiledModel& model() const { return model_; }
 
  private:
+  /// One executor dispatch as seen by the batcher (trace mode only).
+  struct BatchDispatch {
+    std::int64_t start_ns = 0;
+    std::int64_t end_ns = 0;
+    int real = 0;   // requests carried
+    int slots = 0;  // batch capacity
+  };
+
   void serve_loop();
 
   CompiledModel model_;
@@ -79,6 +108,11 @@ class Server {
   ParallelExecutor executor_;
   RequestQueue queue_;
   StatsCollector stats_;
+
+  mutable std::mutex trace_mu_;
+  Profile slowest_;  // trace mode: profile of the slowest batch so far
+  std::vector<BatchDispatch> dispatches_;  // trace mode: every batch span
+
   std::thread batcher_;
 };
 

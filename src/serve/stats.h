@@ -1,11 +1,20 @@
 // Serving metrics.
 //
-// StatsCollector is the server's thread-safe accumulator; ServerStats is
-// the immutable snapshot handed to callers. Latency percentiles come from a
-// fixed-size reservoir (latest 64Ki samples) so a long-lived server's
-// memory stays bounded; per-worker busy/slack totals reuse the runtime's
-// Profile — the same "profile database" that motivates hyperclustering in
-// the paper now doubles as the production utilization metric.
+// StatsCollector is the server's thread-safe accumulator, rebased onto the
+// obs metrics registry: every counter/gauge/histogram it maintains is a
+// labeled series (instance="N") in a Registry — by default the process-wide
+// obs::registry() — so a Prometheus scrape or obs JSON export sees exactly
+// what snapshot() reports, and hot-path updates are lock-free atomics
+// rather than a collector-wide mutex. ServerStats is the immutable snapshot
+// handed to callers.
+//
+// Latency percentiles come from a fixed-size reservoir (latest 64Ki
+// samples, the one mutex-guarded structure left) so a long-lived server's
+// memory stays bounded; the registry histogram carries the same latencies
+// in fixed buckets for scraping. Per-worker busy/slack totals reuse the
+// runtime's Profile — the same "profile database" that motivates
+// hyperclustering in the paper now doubles as the production utilization
+// metric.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "rt/profiler.h"
 
 namespace ramiel::serve {
@@ -39,6 +49,7 @@ struct ServerStats {
   double exec_wall_ms = 0.0;     // summed executor wall time
   double worker_busy_ms = 0.0;   // summed kernel time across workers
   double worker_slack_ms = 0.0;  // summed receive-wait across workers
+  std::uint64_t bytes_moved = 0; // cross-worker message payload bytes
   int num_workers = 0;
   LatencySummary latency;
 
@@ -56,12 +67,17 @@ struct ServerStats {
 
   /// Multi-line human-readable report (used by the CLI and bench).
   std::string to_string() const;
+
+  /// One JSON object with every field above (the --metrics-out JSONL line;
+  /// `ts_ms` is the caller-supplied snapshot timestamp).
+  std::string to_json(double ts_ms = 0.0) const;
 };
 
-/// Thread-safe accumulator behind Server::stats().
+/// Thread-safe accumulator behind Server::stats(). Pass a registry to
+/// isolate series in tests; the default shares obs::registry().
 class StatsCollector {
  public:
-  StatsCollector();
+  explicit StatsCollector(obs::Registry* registry = nullptr);
 
   void on_submit();
   void on_reject();
@@ -72,14 +88,41 @@ class StatsCollector {
 
   ServerStats snapshot() const;
 
+  /// The instance label value of this collector's registry series.
+  const std::string& instance() const { return instance_; }
+
  private:
   static constexpr std::size_t kReservoirCap = 1u << 16;
 
+  std::string instance_;
+
+  // Registry-owned series (labeled instance=instance_); lock-free updates.
+  obs::Counter* submitted_;
+  obs::Counter* served_;
+  obs::Counter* rejected_;
+  obs::Counter* failed_;
+  obs::Counter* batches_;
+  obs::Counter* batch_slots_;
+  obs::Counter* batch_samples_;
+  obs::Counter* bytes_moved_;
+  obs::Gauge* exec_wall_ms_;
+  obs::Gauge* worker_busy_ms_;
+  obs::Gauge* worker_slack_ms_;
+  obs::Gauge* num_workers_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* latency_hist_;
+
+  // Exact-percentile reservoir (scrapes use the histogram instead).
   mutable std::mutex mu_;
-  ServerStats totals_;  // latency/uptime filled in at snapshot time
   std::vector<double> latencies_;   // ring once kReservoirCap is reached
   std::uint64_t latency_count_ = 0;
   std::int64_t start_ns_ = 0;
+
+ public:
+  /// Gauge mirroring the server's request-queue depth (set by the server
+  /// on every submit/batch; exposed for scraping as
+  /// ramiel_serve_queue_depth{instance=...}).
+  obs::Gauge* queue_depth_gauge() { return queue_depth_; }
 };
 
 }  // namespace ramiel::serve

@@ -46,4 +46,8 @@ int env_serve_queue_depth(int fallback) {
   return positive_env_int("RAMIEL_SERVE_QUEUE_DEPTH", fallback);
 }
 
+int env_metrics_interval_ms(int fallback) {
+  return positive_env_int("RAMIEL_METRICS_INTERVAL_MS", fallback);
+}
+
 }  // namespace ramiel

@@ -28,4 +28,8 @@ int env_intra_op_threads(int fallback);
 /// request queue.
 int env_serve_queue_depth(int fallback);
 
+/// RAMIEL_METRICS_INTERVAL_MS — period of the serving metrics emitter's
+/// snapshots (JSONL append + Prometheus textfile rewrite).
+int env_metrics_interval_ms(int fallback);
+
 }  // namespace ramiel

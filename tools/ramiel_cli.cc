@@ -8,14 +8,18 @@
 //   ramiel analyze <model|path.rml>
 //       Table I metrics + cluster counts + fold statistics.
 //   ramiel compile <model|path.rml> [-o DIR] [--fold] [--clone] [--batch N]
-//                  [--switched]
+//                  [--switched] [--report FILE]
 //       Full pipeline; writes <name>_parallel.py, <name>_seq.py, <name>.dot.
+//       --report dumps the per-pass compile report (wall time, node/edge
+//       counts before→after, clusters, critical path per pass) as JSON.
 //   ramiel run <model|path.rml> [--fold] [--clone] [--batch N] [--threads N]
 //              [--trace-out FILE]
 //       Executes sequentially + in parallel (real threads), verifies the
 //       outputs agree, and prints simulated multicore timings. --trace-out
-//       writes the parallel run's Chrome trace-event JSON for Perfetto /
-//       chrome://tracing inspection of per-worker busy and slack spans.
+//       writes a unified Chrome trace-event JSON — compile passes on the
+//       compiler track plus the parallel run's task spans, message-flow
+//       arrows and inbox-depth counters — for Perfetto / chrome://tracing
+//       slack inspection.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +28,7 @@
 
 #include "graph/dot.h"
 #include "models/zoo.h"
+#include "obs/trace.h"
 #include "onnx/model_io.h"
 #include "ramiel/pipeline.h"
 #include "rt/executor.h"
@@ -42,7 +47,7 @@ int usage() {
                "  ramiel export <model> <out.rml|out.rmb>\n"
                "  ramiel analyze <model|file.rml>\n"
                "  ramiel compile <model|file.rml> [-o DIR] [--fold] [--clone]"
-               " [--fuse-bn] [--batch N] [--switched]\n"
+               " [--fuse-bn] [--batch N] [--switched] [--report FILE]\n"
                "  ramiel run <model|file.rml> [--fold] [--clone] [--batch N]"
                " [--threads N] [--trace-out FILE]\n");
   return 2;
@@ -63,7 +68,8 @@ Graph load_any(const std::string& spec) {
 struct Cli {
   std::string model;
   std::string out_dir = ".";
-  std::string trace_out;  // chrome://tracing JSON of the parallel run
+  std::string trace_out;  // unified chrome://tracing JSON (compile + run)
+  std::string report_out;  // per-pass compile report JSON
   PipelineOptions options;
   int threads = 1;
 };
@@ -85,6 +91,8 @@ bool parse_flags(int argc, char** argv, int start, Cli* cli) {
       cli->threads = std::atoi(argv[++i]);
     } else if (arg == "--trace-out" && i + 1 < argc) {
       cli->trace_out = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      cli->report_out = argv[++i];
     } else if (arg == "-o" && i + 1 < argc) {
       cli->out_dir = argv[++i];
     } else {
@@ -145,6 +153,9 @@ int cmd_compile(const Cli& cli) {
     write_file(base + "_hyper.py", cm.code.hypercluster_source);
   }
   write_file(base + ".dot", to_dot(cm.graph, cm.clustering.cluster_of));
+  if (!cli.report_out.empty()) {
+    write_file(cli.report_out, compile_report_json(cm));
+  }
   std::printf(
       "%s: %d clusters, %d queue messages, batch %d, compile %.1f ms\n",
       cm.graph.name().c_str(), cm.clustering.size(), cm.code.num_messages,
@@ -170,7 +181,10 @@ int cmd_run(const Cli& cli) {
   auto a = seq.run(inputs, run_opts, &sp);
   auto b = par.run(inputs, run_opts, &pp);
   if (!cli.trace_out.empty()) {
-    write_file(cli.trace_out, pp.to_chrome_trace(cm.graph));
+    obs::Timeline timeline;
+    add_compile_trace(cm, timeline);
+    pp.to_timeline(cm.graph, timeline);
+    write_file(cli.trace_out, timeline.to_chrome_json());
   }
   bool match = true;
   for (int s = 0; s < batch; ++s) {

@@ -16,17 +16,28 @@
 //     --requests N     total requests to serve (default 200)
 //     --clients C      concurrent closed-loop clients (default 8)
 //     --think-us U     per-client think time between requests (default 0)
+//     --trace-out F    unified Chrome trace JSON: compile passes, every
+//                      batch dispatch, and the slowest batch's task spans,
+//                      message-flow arrows and inbox-depth counters
+//     --metrics-out F  append one ServerStats JSON line per interval
+//                      (period: $RAMIEL_METRICS_INTERVAL_MS, default 1000)
+//     --prom-out F     rewrite a Prometheus textfile each interval with the
+//                      full obs registry (serve + runtime + compiler)
 //
 // Prints the ServerStats report: throughput, latency percentiles,
 // batch-fill ratio, rejections, and per-worker utilization.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "models/zoo.h"
+#include "obs/trace.h"
 #include "onnx/model_io.h"
 #include "ramiel/pipeline.h"
 #include "serve/loadgen.h"
+#include "serve/metrics_emitter.h"
 #include "serve/server.h"
 #include "support/string_util.h"
 
@@ -41,7 +52,9 @@ int usage() {
                "                    [--threads N] [--queue-depth N]"
                " [--flush-ms X]\n"
                "                    [--requests N] [--clients C]"
-               " [--think-us U]\n");
+               " [--think-us U]\n"
+               "                    [--trace-out FILE] [--metrics-out FILE]"
+               " [--prom-out FILE]\n");
   return 2;
 }
 
@@ -70,6 +83,8 @@ int main(int argc, char** argv) {
   serve::LoadOptions load;
   load.clients = 8;
   load.requests = 200;
+  std::string trace_out;
+  serve::MetricsEmitterOptions emitter_opts;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -93,6 +108,13 @@ int main(int argc, char** argv) {
       load.clients = std::atoi(argv[++i]);
     } else if (arg == "--think-us" && i + 1 < argc) {
       load.think_us = std::atoi(argv[++i]);
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+      serve_opts.trace = true;
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      emitter_opts.jsonl_path = argv[++i];
+    } else if (arg == "--prom-out" && i + 1 < argc) {
+      emitter_opts.prom_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return usage();
@@ -115,8 +137,33 @@ int main(int argc, char** argv) {
         server.batch(), serve_opts.queue_depth, serve_opts.flush_timeout_ms,
         serve_opts.intra_op_threads, load.clients, load.requests);
 
+    std::unique_ptr<serve::MetricsEmitter> emitter;
+    if (!emitter_opts.jsonl_path.empty() || !emitter_opts.prom_path.empty()) {
+      emitter = std::make_unique<serve::MetricsEmitter>(&server, emitter_opts);
+    }
+
     serve::LoadReport report = serve::run_closed_loop(server, load);
     server.shutdown();
+    if (emitter) {
+      emitter->stop();
+      if (!emitter_opts.jsonl_path.empty()) {
+        std::printf("wrote %s (%d snapshots)\n",
+                    emitter_opts.jsonl_path.c_str(), emitter->emits());
+      }
+      if (!emitter_opts.prom_path.empty()) {
+        std::printf("wrote %s\n", emitter_opts.prom_path.c_str());
+      }
+    }
+    if (!trace_out.empty()) {
+      obs::Timeline timeline;
+      add_compile_trace(server.model(), timeline);
+      server.append_trace(timeline);
+      std::ofstream os(trace_out);
+      os << timeline.to_chrome_json();
+      std::printf("wrote %s (%zu trace events, slowest batch %.2f ms)\n",
+                  trace_out.c_str(), timeline.size(),
+                  server.slowest_batch_profile().wall_ms);
+    }
 
     std::printf("%s\n", server.stats().to_string().c_str());
     std::printf("load gen      : %d completed, %d rejected, %d failed in "
