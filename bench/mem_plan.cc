@@ -1,0 +1,63 @@
+// Memory-planner effectiveness across the model zoo: per model, the naive
+// peak (every intermediate heap-allocated and held until run end, the
+// pre-planner behaviour), the statically planned arena peak, and the arena
+// bytes the executor actually reserved after a warm run. "measured" equals
+// "planned" by construction — the executor sizes each worker arena from the
+// plan — so a mismatch flags a planner/runtime drift. in-place counts
+// outputs that reuse a dying input's slot; avoided counts kernel outputs
+// served from the arena during one run (allocations that skipped the heap).
+//
+// Knobs: RAMIEL_BENCH_BATCH (default 4).
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "rt/executor.h"
+#include "rt/inputs.h"
+
+int main() {
+  using namespace ramiel;
+  const int batch = env_int("RAMIEL_BENCH_BATCH", 4);
+
+  bench::print_header(
+      "Static memory planning — naive vs planned peak vs measured arena\n"
+      "(per-cluster arenas, best-fit offsets, in-place reuse; batch below)");
+  std::printf("batch %d\n\n", batch);
+  std::printf("%-14s %4s | %11s %11s %6s | %11s %8s %8s\n", "Model", "wkrs",
+              "naive KiB", "plan KiB", "plan%", "arena KiB", "in-place",
+              "avoided");
+
+  double worst_ratio = 0.0;
+  for (const std::string& name : models::model_names()) {
+    PipelineOptions opts;
+    opts.batch = batch;
+    opts.generate_code = false;
+    CompiledModel cm = compile_model(models::build(name), opts);
+    const mem::MemPlan& plan = cm.mem_plan;
+
+    ParallelExecutor exec(&cm.graph, cm.hyperclusters, &plan);
+    Rng rng(7);
+    auto inputs = make_example_inputs(cm.graph, batch, rng);
+    Profile profile;
+    exec.run(inputs, {}, &profile);
+
+    int avoided = 0;
+    for (const WorkerProfile& w : profile.workers) avoided += w.allocs_avoided;
+    const double ratio =
+        plan.naive_bytes == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(plan.peak_bytes) /
+                  static_cast<double>(plan.naive_bytes);
+    if (ratio > worst_ratio) worst_ratio = ratio;
+
+    std::printf("%-14s %4zu | %11.1f %11.1f %5.1f%% | %11.1f %8d %8d\n",
+                name.c_str(), plan.workers.size(), plan.naive_bytes / 1024.0,
+                plan.peak_bytes / 1024.0, ratio,
+                exec.arena_bytes_allocated() / 1024.0, plan.in_place_count,
+                avoided);
+  }
+
+  std::printf("\nworst planned/naive ratio: %.1f%% (paper-style target:"
+              " <= 60%% on most models)\n", worst_ratio);
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "mem/arena.h"
+
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "mem/plan.h"
+
+namespace ramiel::mem {
+
+MemArena::~MemArena() { release(); }
+
+MemArena::MemArena(MemArena&& o) noexcept
+    : data_(std::exchange(o.data_, nullptr)),
+      capacity_(std::exchange(o.capacity_, 0)) {}
+
+MemArena& MemArena::operator=(MemArena&& o) noexcept {
+  if (this != &o) {
+    release();
+    data_ = std::exchange(o.data_, nullptr);
+    capacity_ = std::exchange(o.capacity_, 0);
+  }
+  return *this;
+}
+
+void MemArena::release() {
+  if (data_ != nullptr) {
+    ::operator delete(data_, std::align_val_t{kSlotAlign});
+    data_ = nullptr;
+    capacity_ = 0;
+  }
+}
+
+bool MemArena::ensure(std::size_t bytes) {
+  if (bytes <= capacity_) return false;
+  const bool grew = data_ != nullptr;
+  release();
+  data_ = static_cast<float*>(
+      ::operator new(bytes, std::align_val_t{kSlotAlign}));
+  capacity_ = bytes;
+  return grew;
+}
+
+float* SlotSink::take(std::size_t numel) {
+  const int alloc_index = allocs_seen_++;
+  for (Slot& s : slots_) {
+    if (s.used || s.numel != numel) continue;
+    if (s.in_place && alloc_index != 0) continue;
+    s.used = true;
+    ++taken_;
+    if (!s.in_place) std::memset(s.ptr, 0, numel * sizeof(float));
+    return s.ptr;
+  }
+  return nullptr;
+}
+
+}  // namespace ramiel::mem

@@ -1,0 +1,181 @@
+#include "mem/planner.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "mem/liveness.h"
+#include "support/check.h"
+
+namespace ramiel::mem {
+namespace {
+
+/// Sorted-by-offset hole list with coalescing on free.
+class FreeList {
+ public:
+  /// Returns the offset of the smallest hole that fits `bytes`, or -1.
+  std::int64_t take_best_fit(std::int64_t bytes) {
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(holes_.size()); ++i) {
+      if (holes_[static_cast<std::size_t>(i)].bytes < bytes) continue;
+      if (best < 0 || holes_[static_cast<std::size_t>(i)].bytes <
+                          holes_[static_cast<std::size_t>(best)].bytes) {
+        best = i;
+      }
+    }
+    if (best < 0) return -1;
+    Hole& h = holes_[static_cast<std::size_t>(best)];
+    const std::int64_t offset = h.offset;
+    h.offset += bytes;
+    h.bytes -= bytes;
+    if (h.bytes == 0) holes_.erase(holes_.begin() + best);
+    return offset;
+  }
+
+  /// Returns [offset, offset+bytes) to the pool, merging adjacent holes.
+  void give_back(std::int64_t offset, std::int64_t bytes) {
+    auto it = std::lower_bound(
+        holes_.begin(), holes_.end(), offset,
+        [](const Hole& h, std::int64_t off) { return h.offset < off; });
+    it = holes_.insert(it, Hole{offset, bytes});
+    // Merge with the following hole.
+    auto next = it + 1;
+    if (next != holes_.end() && it->offset + it->bytes == next->offset) {
+      it->bytes += next->bytes;
+      it = holes_.erase(next) - 1;
+    }
+    // Merge with the preceding hole.
+    if (it != holes_.begin()) {
+      auto prev = it - 1;
+      if (prev->offset + prev->bytes == it->offset) {
+        prev->bytes += it->bytes;
+        holes_.erase(it);
+      }
+    }
+  }
+
+ private:
+  struct Hole {
+    std::int64_t offset;
+    std::int64_t bytes;
+  };
+  std::vector<Hole> holes_;
+};
+
+/// True when every input and the output of `n` have shape `out` — the
+/// condition for the binary elementwise same-shape fast path (1:1 index,
+/// read-then-write), which is what makes overwriting an input safe.
+bool all_operands_match(const Graph& g, const Node& n, const Shape& out) {
+  for (ValueId v : n.inputs) {
+    if (!(g.value(v).shape == out)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StreamPlan plan_stream(const Graph& g, const Hyperclustering& hc, int worker,
+                       int sample) {
+  const StreamLiveness lv = analyze_stream(g, hc, worker, sample);
+
+  StreamPlan sp;
+  FreeList holes;
+  std::int64_t top = 0;  // high-water mark of the stream region
+  // Live slots ordered by expiry: (last_step, slot index).
+  std::priority_queue<std::pair<int, int>, std::vector<std::pair<int, int>>,
+                      std::greater<>>
+      active;
+  std::vector<char> transferred;  // slot donated in place; death frees nothing
+
+  for (const ValueInterval& iv : lv.intervals) {
+    if (iv.heap) continue;
+
+    while (!active.empty() && active.top().first < iv.def_step) {
+      const int si = active.top().second;
+      active.pop();
+      if (!transferred[static_cast<std::size_t>(si)]) {
+        const ValueSlot& dead = sp.slots[static_cast<std::size_t>(si)];
+        holes.give_back(dead.offset, dead.bytes);
+      }
+    }
+
+    ValueSlot slot;
+    slot.value = iv.value;
+    slot.numel = iv.numel;
+    slot.bytes = aligned_size(iv.bytes);
+    slot.def_step = iv.def_step;
+    slot.last_step = iv.last_step;
+    sp.naive_bytes += slot.bytes;
+
+    // In-place: inherit the slot of an input dying at this very step.
+    const Node& n = g.node(g.value(iv.value).producer);
+    const bool unary_ok = op_inplace_unary(n.kind);
+    const bool binary_ok = op_inplace_binary(n.kind) &&
+                           all_operands_match(g, n, g.value(iv.value).shape);
+    if (unary_ok || binary_ok) {
+      for (ValueId in : n.inputs) {
+        auto rit = lv.root_of.find(in);
+        if (rit == lv.root_of.end()) continue;
+        const ValueId root = rit->second;
+        const ValueInterval& src =
+            lv.intervals[static_cast<std::size_t>(lv.interval_of.at(root))];
+        if (src.heap || src.last_step != iv.def_step ||
+            src.numel != iv.numel) {
+          continue;
+        }
+        auto sit = sp.slot_of.find(root);
+        if (sit == sp.slot_of.end()) continue;
+        if (transferred[static_cast<std::size_t>(sit->second)]) continue;
+        const ValueSlot& donor = sp.slots[static_cast<std::size_t>(sit->second)];
+        slot.offset = donor.offset;
+        slot.bytes = donor.bytes;
+        slot.in_place = true;
+        slot.in_place_src = root;
+        transferred[static_cast<std::size_t>(sit->second)] = 1;
+        ++sp.in_place_count;
+        break;
+      }
+    }
+
+    if (!slot.in_place) {
+      std::int64_t offset = holes.take_best_fit(slot.bytes);
+      if (offset < 0) {
+        offset = top;
+        top += slot.bytes;
+      }
+      slot.offset = offset;
+    }
+
+    const int index = static_cast<int>(sp.slots.size());
+    sp.slot_of[slot.value] = index;
+    sp.slots.push_back(slot);
+    transferred.push_back(0);
+    active.emplace(slot.last_step, index);
+  }
+
+  sp.peak_bytes = top;
+  return sp;
+}
+
+MemPlan plan_memory(const Graph& g, const Hyperclustering& hc) {
+  MemPlan plan;
+  for (int w = 0; w < static_cast<int>(hc.workers.size()); ++w) {
+    WorkerPlan wp;
+    for (int s = 0; s < hc.batch; ++s) {
+      StreamPlan sp = plan_stream(g, hc, w, s);
+      wp.stream_base.push_back(wp.arena_bytes);
+      wp.arena_bytes += sp.peak_bytes;
+      wp.naive_bytes += sp.naive_bytes;
+      wp.in_place_count += sp.in_place_count;
+      wp.streams.push_back(std::move(sp));
+    }
+    plan.peak_bytes += wp.arena_bytes;
+    plan.naive_bytes += wp.naive_bytes;
+    plan.in_place_count += wp.in_place_count;
+    plan.workers.push_back(std::move(wp));
+  }
+  return plan;
+}
+
+}  // namespace ramiel::mem

@@ -1,0 +1,32 @@
+// Offset planner: packs liveness intervals into per-stream arena regions.
+//
+// Each (worker, sample) stream is planned independently with a best-fit
+// free-list allocator over byte offsets: intervals are visited in def order,
+// expired slots return their ranges to a coalescing hole list, and each new
+// interval takes the smallest hole that fits (extending the high-water mark
+// when none does). Offsets and sizes are rounded to kSlotAlign.
+//
+// In-place reuse: when a node is a unary map or a same-shape binary
+// elementwise op and one of its inputs dies exactly at the node's step with
+// the same element count as the output, the output inherits the input's
+// slot instead of opening a new range. The kernels for these ops read each
+// element at the index they write it, so overwriting the dying input is
+// safe; the runtime skips zero-filling such slots.
+#pragma once
+
+#include "graph/graph.h"
+#include "mem/plan.h"
+#include "passes/hypercluster.h"
+
+namespace ramiel::mem {
+
+/// Plans the arena region of one (worker, sample) stream.
+StreamPlan plan_stream(const Graph& graph, const Hyperclustering& hc,
+                       int worker, int sample);
+
+/// Plans every stream of every worker; per-sample regions are laid out
+/// back-to-back inside each worker's arena (samples interleave
+/// nondeterministically at runtime, so they never share ranges).
+MemPlan plan_memory(const Graph& graph, const Hyperclustering& hc);
+
+}  // namespace ramiel::mem

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "graph/shape_inference.h"
+#include "mem/planner.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -124,6 +125,11 @@ CompiledModel compile_model(Graph graph, const PipelineOptions& options) {
             : build_hyperclusters(graph, out.clustering, options.batch);
     t.done(static_cast<int>(out.hyperclusters.workers.size()));
   }
+  if (options.mem_planning) {
+    PassTimer t("mem_planning", graph, cost, out.pass_reports);
+    out.mem_plan = mem::plan_memory(graph, out.hyperclusters);
+    t.done(static_cast<int>(out.mem_plan.workers.size()));
+  }
 
   if (options.generate_code) {
     PassTimer t("codegen", graph, cost, out.pass_reports);
@@ -165,6 +171,29 @@ std::string compile_report_json(const CompiledModel& cm) {
   out += ",\"clones_created\":" +
          std::to_string(cm.clone_stats.clones_created);
   out += ",\"batch_norms_folded\":" + std::to_string(cm.batch_norms_folded);
+  out += ",\"memory\":{";
+  out += "\"planned\":" + std::string(cm.mem_plan.empty() ? "false" : "true");
+  out += ",\"peak_bytes\":" + std::to_string(cm.mem_plan.peak_bytes);
+  out += ",\"naive_bytes\":" + std::to_string(cm.mem_plan.naive_bytes);
+  out += ",\"reuse_ratio\":" + json_number(cm.mem_plan.reuse_ratio());
+  out += ",\"in_place\":" + std::to_string(cm.mem_plan.in_place_count);
+  out += ",\"clusters\":[";
+  for (std::size_t w = 0; w < cm.mem_plan.workers.size(); ++w) {
+    const mem::WorkerPlan& wp = cm.mem_plan.workers[w];
+    if (w > 0) out += ",";
+    out += "\n{\"worker\":" + std::to_string(w);
+    out += ",\"peak_bytes\":" + std::to_string(wp.arena_bytes);
+    out += ",\"naive_bytes\":" + std::to_string(wp.naive_bytes);
+    const double ratio =
+        wp.naive_bytes <= 0
+            ? 0.0
+            : 1.0 - static_cast<double>(wp.arena_bytes) /
+                        static_cast<double>(wp.naive_bytes);
+    out += ",\"reuse_ratio\":" + json_number(ratio);
+    out += ",\"in_place\":" + std::to_string(wp.in_place_count);
+    out += "}";
+  }
+  out += "]}";
   out += ",\"passes\":[";
   bool first = true;
   for (const PassReport& p : cm.pass_reports) {

@@ -14,6 +14,7 @@
 
 #include "codegen/python_codegen.h"
 #include "graph/cost_model.h"
+#include "mem/plan.h"
 #include "passes/analysis.h"
 #include "passes/cloning.h"
 #include "passes/cluster_merging.h"
@@ -46,6 +47,10 @@ struct PipelineOptions {
   CostModel cost;
   /// Generate the parallel + sequential Python sources (Algorithm 4).
   bool generate_code = true;
+  /// Compute the static memory plan for the hyperclustered streams
+  /// (src/mem/). The plan is advisory: executors constructed without it run
+  /// fully on the heap.
+  bool mem_planning = true;
 };
 
 /// What one compiler stage did to the graph — the per-pass compile report
@@ -76,6 +81,7 @@ struct CompiledModel {
   int clusters_before_merge = 0;    // Table II "Before"
   Clustering clustering;            // merged clusters (Table II "After")
   Hyperclustering hyperclusters;    // batch-aware task lists
+  mem::MemPlan mem_plan;            // static arena plan (empty if disabled)
   CodegenResult code;
   FoldStats fold_stats;
   CloningStats clone_stats;

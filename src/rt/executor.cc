@@ -35,6 +35,12 @@ struct RtMetrics {
       "ramiel_rt_runs_total", "Executor run() calls completed");
   obs::Histogram* run_wall_ms = obs::registry().histogram(
       "ramiel_rt_run_wall_ms", "Executor run() wall time (ms)");
+  obs::Counter* allocs_avoided = obs::registry().counter(
+      "ramiel_mem_alloc_avoided_total",
+      "Kernel output allocations served from a planned arena slot");
+  obs::Counter* arena_grows = obs::registry().counter(
+      "ramiel_mem_arena_grow_total",
+      "Times a nonempty worker arena had to be reallocated larger");
 };
 
 RtMetrics& rt_metrics() {
@@ -45,15 +51,17 @@ RtMetrics& rt_metrics() {
 void record_run_metrics(const std::vector<WorkerProfile>& wps,
                         double wall_ms) {
   RtMetrics& m = rt_metrics();
-  std::uint64_t tasks = 0, messages = 0, bytes = 0;
+  std::uint64_t tasks = 0, messages = 0, bytes = 0, avoided = 0;
   for (const WorkerProfile& w : wps) {
     tasks += static_cast<std::uint64_t>(w.tasks);
     messages += static_cast<std::uint64_t>(w.messages_sent);
     bytes += static_cast<std::uint64_t>(w.bytes_sent);
+    avoided += static_cast<std::uint64_t>(w.allocs_avoided);
   }
   m.tasks->inc(tasks);
   m.messages->inc(messages);
   m.bytes_sent->inc(bytes);
+  if (avoided > 0) m.allocs_avoided->inc(avoided);
   m.runs->inc();
   m.run_wall_ms->observe(wall_ms);
 }
@@ -197,7 +205,8 @@ struct ParallelExecutor::RunState {
   std::mutex error_mu;
 };
 
-ParallelExecutor::ParallelExecutor(const Graph* graph, Hyperclustering hc)
+ParallelExecutor::ParallelExecutor(const Graph* graph, Hyperclustering hc,
+                                   const mem::MemPlan* mem_plan)
     : graph_(graph), hc_(std::move(hc)) {
   RAMIEL_CHECK(graph != nullptr, "graph must not be null");
   RAMIEL_CHECK(!hc_.workers.empty(), "hyperclustering has no workers");
@@ -213,6 +222,41 @@ ParallelExecutor::ParallelExecutor(const Graph* graph, Hyperclustering hc)
     per_sample.resize(static_cast<std::size_t>(hc_.batch));
     for (const HyperTask& task : hc_.workers[static_cast<std::size_t>(w)]) {
       per_sample[static_cast<std::size_t>(task.sample)].push_back(task.node);
+    }
+  }
+
+  if (mem_plan != nullptr && !mem_plan->empty()) {
+    RAMIEL_CHECK(static_cast<int>(mem_plan->workers.size()) == k,
+                 "memory plan was computed for a different hyperclustering");
+    plan_ = *mem_plan;
+    arenas_ = std::vector<mem::MemArena>(static_cast<std::size_t>(k));
+    node_slots_.resize(static_cast<std::size_t>(k));
+    for (int w = 0; w < k; ++w) {
+      const mem::WorkerPlan& wp = plan_.workers[static_cast<std::size_t>(w)];
+      auto& per_sample = node_slots_[static_cast<std::size_t>(w)];
+      per_sample.resize(static_cast<std::size_t>(hc_.batch));
+      for (int s = 0; s < hc_.batch; ++s) {
+        const mem::StreamPlan& sp = wp.streams[static_cast<std::size_t>(s)];
+        const std::int64_t base = wp.stream_base[static_cast<std::size_t>(s)];
+        for (const mem::ValueSlot& slot : sp.slots) {
+          const NodeId producer = graph_->value(slot.value).producer;
+          per_sample[static_cast<std::size_t>(s)][producer].push_back(
+              PlannedOut{slot.value,
+                         static_cast<std::size_t>(base + slot.offset) /
+                             sizeof(float),
+                         slot.numel, slot.in_place});
+        }
+      }
+      obs::registry()
+          .gauge("ramiel_mem_planned_peak_bytes",
+                 "Planned arena capacity for a worker's streams",
+                 {{"worker", std::to_string(w)}})
+          ->set(static_cast<double>(wp.arena_bytes));
+      obs::registry()
+          .gauge("ramiel_mem_naive_bytes",
+                 "Per-run fresh-allocation bytes the plan replaces",
+                 {{"worker", std::to_string(w)}})
+          ->set(static_cast<double>(wp.naive_bytes));
     }
   }
 
@@ -241,6 +285,12 @@ ParallelExecutor::~ParallelExecutor() {
 std::uint64_t ParallelExecutor::runs_completed() const {
   std::lock_guard<std::mutex> lk(ctl_mu_);
   return runs_completed_;
+}
+
+std::size_t ParallelExecutor::arena_bytes_allocated() const {
+  std::size_t total = 0;
+  for (const mem::MemArena& a : arenas_) total += a.capacity_bytes();
+  return total;
 }
 
 void ParallelExecutor::worker_loop(int me) {
@@ -310,6 +360,11 @@ void ParallelExecutor::execute_tasks(int me, RunState& st,
   Inbox& inbox = inboxes_[static_cast<std::size_t>(me)];
   const auto& streams = streams_[static_cast<std::size_t>(me)];
 
+  const bool planned = !plan_.empty();
+  mem::SlotSink sink;
+  float* const arena_base =
+      planned ? arenas_[static_cast<std::size_t>(me)].data() : nullptr;
+
   std::vector<std::size_t> cursor(static_cast<std::size_t>(batch), 0);
   std::vector<std::unordered_map<ValueId, Tensor>> local(
       static_cast<std::size_t>(batch));
@@ -366,8 +421,29 @@ void ParallelExecutor::execute_tasks(int me, RunState& st,
       return false;  // input not yet delivered
     }
 
+    // Planned outputs of this task, if any: prime the sink so the kernel's
+    // output allocations land in their arena slots.
+    const std::vector<PlannedOut>* planned_outs = nullptr;
+    if (planned) {
+      const auto& table = node_slots_[static_cast<std::size_t>(me)][su];
+      auto pit = table.find(id);
+      if (pit != table.end()) planned_outs = &pit->second;
+    }
+
     const std::int64_t t0 = Stopwatch::now_ns();
-    std::vector<Tensor> outputs = eval_node(n, inputs, ctx);
+    std::vector<Tensor> outputs;
+    if (planned_outs != nullptr) {
+      sink.clear();
+      for (const PlannedOut& po : *planned_outs) {
+        sink.add(arena_base + po.offset_floats,
+                 static_cast<std::size_t>(po.numel), po.in_place);
+      }
+      mem::ScopedAllocSink guard(&sink);
+      outputs = eval_node(n, inputs, ctx);
+      wp.allocs_avoided += sink.taken();
+    } else {
+      outputs = eval_node(n, inputs, ctx);
+    }
     const std::int64_t t1 = Stopwatch::now_ns();
     wp.busy_ns += t1 - t0;
     ++wp.tasks;
@@ -378,9 +454,29 @@ void ParallelExecutor::execute_tasks(int me, RunState& st,
 
     for (std::size_t i = 0; i < outputs.size(); ++i) {
       const ValueId ov = n.outputs[i];
+      // Insurance against an op aliasing its input without being in the
+      // planner's alias list: a planned, non-in-place output sharing storage
+      // with an input would have its bytes reused while the alias class
+      // still needs them — detach it to the heap instead.
+      if (planned_outs != nullptr) {
+        for (const PlannedOut& po : *planned_outs) {
+          if (po.value != ov || po.in_place) continue;
+          for (const Tensor& in : inputs) {
+            if (outputs[i].shares_storage_with(in)) {
+              outputs[i] = outputs[i].clone();
+              break;
+            }
+          }
+          break;
+        }
+      }
       if (is_graph_output(g, ov)) {
+        // Results outlive the run; arena-backed tensors must not (their
+        // slots are rewritten by the next run), so detach them here.
+        Tensor out =
+            outputs[i].owns_storage() ? outputs[i] : outputs[i].clone();
         std::lock_guard<std::mutex> lk(st.results_mu);
-        st.results[su].emplace(g.value(ov).name, outputs[i]);
+        st.results[su].emplace(g.value(ov).name, std::move(out));
       }
       // Send to every other worker that consumes this value for this
       // sample (deduplicated).
@@ -460,6 +556,19 @@ std::vector<TensorMap> ParallelExecutor::run(
   // Workers are parked, so resetting the inboxes cannot race; this also
   // clears any poison/undelivered messages left by a failed previous run.
   for (Inbox& inbox : inboxes_) inbox.reset();
+
+  // Size the arenas while no tensor can point into them (same parked-worker
+  // argument; the ctl_mu_ handshake below publishes the new base pointers).
+  if (!plan_.empty()) {
+    std::uint64_t grows = 0;
+    for (int w = 0; w < k; ++w) {
+      if (arenas_[static_cast<std::size_t>(w)].ensure(static_cast<std::size_t>(
+              plan_.workers[static_cast<std::size_t>(w)].arena_bytes))) {
+        ++grows;
+      }
+    }
+    if (grows > 0) rt_metrics().arena_grows->inc(grows);
+  }
 
   RunState st;
   st.batch_inputs = &batch_inputs;

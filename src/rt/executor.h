@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "mem/arena.h"
+#include "mem/plan.h"
 #include "passes/hypercluster.h"
 #include "rt/mailbox.h"
 #include "rt/profiler.h"
@@ -79,8 +81,12 @@ class ParallelExecutor {
  public:
   /// The graph must outlive the executor. `hc.batch` fixes the batch size
   /// accepted by run(). Worker threads start immediately and park until the
-  /// first run().
-  ParallelExecutor(const Graph* graph, Hyperclustering hc);
+  /// first run(). When `mem_plan` is non-null (and non-empty) the executor
+  /// copies it and backs planned intermediates with persistent per-worker
+  /// arenas instead of per-run heap allocations; null runs fully on the
+  /// heap (`--mem-plan=off`).
+  ParallelExecutor(const Graph* graph, Hyperclustering hc,
+                   const mem::MemPlan* mem_plan = nullptr);
   ~ParallelExecutor();
 
   ParallelExecutor(const ParallelExecutor&) = delete;
@@ -103,8 +109,24 @@ class ParallelExecutor {
   /// confirm thread reuse rather than re-creation.
   std::uint64_t runs_completed() const;
 
+  /// True when this executor runs with a (non-empty) memory plan.
+  bool mem_plan_enabled() const { return !plan_.empty(); }
+
+  /// Bytes currently held by the per-worker arenas (0 before the first
+  /// planned run, and always 0 with the plan disabled).
+  std::size_t arena_bytes_allocated() const;
+
  private:
   struct RunState;
+
+  /// Arena placement of one planned output of a node: where the SlotSink
+  /// should put the kernel's allocation for it.
+  struct PlannedOut {
+    ValueId value;
+    std::size_t offset_floats;  // from the worker arena base
+    std::int64_t numel;
+    bool in_place;
+  };
 
   void worker_loop(int me);
   void execute_tasks(int me, RunState& st, const OpContext& ctx);
@@ -114,6 +136,14 @@ class ParallelExecutor {
   /// streams_[worker][sample] = that worker's tasks for that sample, in the
   /// cluster's topological order (invariant across runs, computed once).
   std::vector<std::vector<std::vector<NodeId>>> streams_;
+
+  /// Static memory plan (empty = disabled) and its runtime arenas.
+  mem::MemPlan plan_;
+  std::vector<mem::MemArena> arenas_;  // one per worker, persistent
+  /// node_slots_[worker][sample][node] = planned outputs of that task,
+  /// precomputed from plan_ so the hot path is one hash lookup.
+  std::vector<std::vector<std::unordered_map<NodeId, std::vector<PlannedOut>>>>
+      node_slots_;
 
   std::vector<Inbox> inboxes_;
   /// Registry gauges mirroring each inbox's depth (series

@@ -57,6 +57,7 @@ struct WorkerProfile {
   int messages_sent = 0;
   std::int64_t bytes_sent = 0;     // payload bytes shipped to other workers
   std::int64_t bytes_received = 0; // payload bytes pulled from the inbox
+  int allocs_avoided = 0;          // kernel outputs served from the arena
 };
 
 /// Whole-run profile.

@@ -13,7 +13,8 @@ namespace ramiel::serve {
 Server::Server(CompiledModel model, ServeOptions options)
     : model_(std::move(model)),
       options_(options),
-      executor_(&model_.graph, model_.hyperclusters),
+      executor_(&model_.graph, model_.hyperclusters,
+                options.mem_plan ? &model_.mem_plan : nullptr),
       queue_(static_cast<std::size_t>(options.queue_depth)) {
   RAMIEL_CHECK(options.queue_depth >= 1, "queue depth must be >= 1");
   batcher_ = std::thread([this] { serve_loop(); });

@@ -49,6 +49,10 @@ struct ServeOptions {
   /// and retain the profile of the slowest one — what ramiel_serve
   /// --trace-out dumps. Off by default: tracing allocates per-task events.
   bool trace = false;
+  /// Back intermediates with the model's static memory plan: each worker
+  /// keeps a persistent arena reused across every batch (src/mem/).
+  /// Deployment override: RAMIEL_MEM_PLAN=arena|off.
+  bool mem_plan = env_mem_plan_default(true);
 };
 
 class Server {

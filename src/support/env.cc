@@ -50,4 +50,11 @@ int env_metrics_interval_ms(int fallback) {
   return positive_env_int("RAMIEL_METRICS_INTERVAL_MS", fallback);
 }
 
+bool env_mem_plan_default(bool fallback) {
+  const std::string v = env_str("RAMIEL_MEM_PLAN", "");
+  if (v == "arena" || v == "on" || v == "1" || v == "true") return true;
+  if (v == "off" || v == "0" || v == "false") return false;
+  return fallback;
+}
+
 }  // namespace ramiel

@@ -32,4 +32,9 @@ int env_serve_queue_depth(int fallback);
 /// snapshots (JSONL append + Prometheus textfile rewrite).
 int env_metrics_interval_ms(int fallback);
 
+/// RAMIEL_MEM_PLAN — whether executors back intermediates with planned
+/// arenas ("arena"/"on"/"1") or plain heap allocation ("off"/"0"/"false").
+/// Unset or unrecognized values return `fallback`.
+bool env_mem_plan_default(bool fallback);
+
 }  // namespace ramiel

@@ -7,18 +7,50 @@
 
 namespace ramiel {
 
-Tensor::Tensor() : Tensor(Shape{}) {}
+namespace {
+thread_local AllocSink* t_alloc_sink = nullptr;
+}  // namespace
 
-Tensor::Tensor(Shape shape)
-    : shape_(std::move(shape)),
-      buf_(std::make_shared<std::vector<float>>(
-          static_cast<std::size_t>(shape_.numel()))) {}
+AllocSink* set_thread_alloc_sink(AllocSink* sink) {
+  AllocSink* prev = t_alloc_sink;
+  t_alloc_sink = sink;
+  return prev;
+}
+
+Tensor::Tensor() : shape_(Shape{0}) {}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  const auto n = static_cast<std::size_t>(shape_.numel());
+  if (t_alloc_sink != nullptr) {
+    if (float* slot = t_alloc_sink->take(n)) {
+      ptr_ = slot;
+      size_ = n;
+      return;
+    }
+  }
+  owner_ = std::make_shared<std::vector<float>>(n);
+  ptr_ = owner_->data();
+  size_ = n;
+}
 
 Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)) {
   RAMIEL_CHECK(static_cast<std::int64_t>(data.size()) == shape_.numel(),
                str_cat("data size ", data.size(), " does not match shape ",
                        shape_.to_string()));
-  buf_ = std::make_shared<std::vector<float>>(std::move(data));
+  owner_ = std::make_shared<std::vector<float>>(std::move(data));
+  ptr_ = owner_->data();
+  size_ = owner_->size();
+}
+
+Tensor Tensor::from_external(Shape shape, float* data, std::size_t size) {
+  RAMIEL_CHECK(static_cast<std::int64_t>(size) == shape.numel(),
+               str_cat("external buffer of ", size,
+                       " floats does not match shape ", shape.to_string()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.ptr_ = data;
+  t.size_ = size;
+  return t;
 }
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
@@ -56,8 +88,13 @@ Tensor Tensor::reshaped(Shape new_shape) const {
 }
 
 Tensor Tensor::clone() const {
-  Tensor t(shape_);
-  std::copy(buf_->begin(), buf_->end(), t.buf_->begin());
+  // Owning by construction — bypasses the AllocSink so a clone taken to
+  // rescue a tensor from arena storage cannot land back in the arena.
+  Tensor t;
+  t.shape_ = shape_;
+  t.owner_ = std::make_shared<std::vector<float>>(ptr_, ptr_ + size_);
+  t.ptr_ = t.owner_->data();
+  t.size_ = size_;
   return t;
 }
 

@@ -6,6 +6,19 @@
 // Python passes torch tensors through multiprocessing queues). Storage is
 // treated as immutable once a tensor has been published to another cluster;
 // kernels always allocate fresh outputs.
+//
+// Storage comes in two modes:
+//   - owning: a refcounted heap buffer (the default; lifetime managed by
+//     the last Tensor referencing it);
+//   - non-owning: a raw view into externally managed memory — the static
+//     memory planner's per-worker arenas (src/mem/). The arena owner
+//     guarantees the slot outlives every reader; such tensors must never
+//     escape the run that produced them (the executor clones them back to
+//     owning storage at the result boundary).
+//
+// While an AllocSink is installed on the calling thread, Tensor(Shape)
+// offers the allocation to the sink first; this is how kernels write into
+// planner-assigned arena slots without knowing about the planner at all.
 #pragma once
 
 #include <cstdint>
@@ -18,17 +31,40 @@
 
 namespace ramiel {
 
+/// Thread-local allocation interceptor installed by the memory-planner
+/// runtime (src/mem/): while installed, Tensor(Shape) asks the sink for
+/// backing storage before falling back to a fresh heap buffer.
+class AllocSink {
+ public:
+  virtual ~AllocSink() = default;
+
+  /// Returns a buffer of exactly `numel` floats (already zeroed, matching
+  /// the heap path's zero-initialization, unless the slot is an in-place
+  /// destination), or nullptr to decline and let the tensor heap-allocate.
+  virtual float* take(std::size_t numel) = 0;
+};
+
+/// Installs `sink` for the calling thread (nullptr uninstalls); returns the
+/// previously installed sink so scopes can nest.
+AllocSink* set_thread_alloc_sink(AllocSink* sink);
+
 /// Dense row-major float32 tensor.
 class Tensor {
  public:
-  /// Empty rank-0 tensor holding a single zero element.
+  /// Empty tensor: shape [0], zero elements, zero capacity — no storage is
+  /// allocated. (Use Tensor::scalar for a rank-0 one-element tensor.)
   Tensor();
 
-  /// Allocates an uninitialized tensor of `shape`.
+  /// Allocates a zero-initialized tensor of `shape` (or adopts a slot from
+  /// the thread's AllocSink when one is installed).
   explicit Tensor(Shape shape);
 
   /// Wraps existing data (copied) with `shape`. Sizes must agree.
   Tensor(Shape shape, std::vector<float> data);
+
+  /// Non-owning view over externally managed memory (`size` floats). The
+  /// caller guarantees the memory outlives every tensor sharing it.
+  static Tensor from_external(Shape shape, float* data, std::size_t size);
 
   /// All-zeros tensor.
   static Tensor zeros(Shape shape);
@@ -49,27 +85,35 @@ class Tensor {
   std::int64_t numel() const { return shape_.numel(); }
 
   /// Read-only view of all elements.
-  std::span<const float> data() const { return {buf_->data(), buf_->size()}; }
+  std::span<const float> data() const { return {ptr_, size_}; }
 
   /// Mutable view. Only valid before the tensor is shared (use during
   /// construction inside kernels).
-  std::span<float> mutable_data() { return {buf_->data(), buf_->size()}; }
+  std::span<float> mutable_data() { return {ptr_, size_}; }
 
   /// Element access by flat index.
-  float at(std::int64_t i) const { return (*buf_)[static_cast<std::size_t>(i)]; }
+  float at(std::int64_t i) const { return ptr_[static_cast<std::size_t>(i)]; }
 
   /// Reinterprets the buffer under a new shape with equal numel (zero-copy).
   Tensor reshaped(Shape new_shape) const;
 
   /// True if both tensors share the same storage buffer.
-  bool shares_storage_with(const Tensor& o) const { return buf_ == o.buf_; }
+  bool shares_storage_with(const Tensor& o) const {
+    return ptr_ != nullptr && ptr_ == o.ptr_;
+  }
 
-  /// Deep copy with fresh storage.
+  /// True when this tensor's storage is refcounted (or empty); false for
+  /// non-owning views into arena memory, which must not outlive their run.
+  bool owns_storage() const { return owner_ != nullptr || ptr_ == nullptr; }
+
+  /// Deep copy with fresh owning storage (never consults the AllocSink).
   Tensor clone() const;
 
  private:
   Shape shape_;
-  std::shared_ptr<std::vector<float>> buf_;
+  std::shared_ptr<std::vector<float>> owner_;  // null in non-owning mode
+  float* ptr_ = nullptr;
+  std::size_t size_ = 0;
 };
 
 /// True when shapes match and elements differ by at most `atol` + `rtol`*|b|.

@@ -1,0 +1,179 @@
+// A deliberately unforgiving RFC 8259 validator for exporter tests: no
+// trailing commas, no unescaped control characters, no bare NaN/Infinity,
+// full input consumed. Exporter bugs that Chrome's lenient loader would
+// paper over fail here. Shared by every test that round-trips a JSON
+// emitter (obs_test.cc, mem_test.cc).
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+namespace ramiel::testutil {
+
+class StrictJson {
+ public:
+  static bool valid(std::string_view s, std::string* err = nullptr) {
+    StrictJson p(s);
+    const bool ok = p.value() && (p.ws(), p.i_ == s.size());
+    if (!ok && err != nullptr) {
+      *err = p.err_.empty() ? "trailing garbage at offset " +
+                                  std::to_string(p.i_)
+                            : p.err_;
+    }
+    return ok;
+  }
+
+ private:
+  explicit StrictJson(std::string_view s) : s_(s) {}
+
+  bool fail(const std::string& what) {
+    if (err_.empty()) err_ = what + " at offset " + std::to_string(i_);
+    return false;
+  }
+  void ws() {
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t' ||
+                              s_[i_] == '\n' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+  bool consume(char c) {
+    if (i_ < s_.size() && s_[i_] == c) {
+      ++i_;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(i_, lit.size()) != lit) return fail("bad literal");
+    i_ += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (i_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[i_]);
+      if (c == '"') {
+        ++i_;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character");
+      if (c == '\\') {
+        ++i_;
+        if (i_ >= s_.size()) return fail("dangling escape");
+        const char e = s_[i_];
+        if (e == 'u') {
+          for (int k = 1; k <= 4; ++k) {
+            if (i_ + static_cast<std::size_t>(k) >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    s_[i_ + static_cast<std::size_t>(k)]))) {
+              return fail("bad \\u escape");
+            }
+          }
+          i_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      }
+      ++i_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    if (i_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+      return fail("expected digit");
+    }
+    while (i_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+    return true;
+  }
+
+  bool number() {
+    if (i_ < s_.size() && s_[i_] == '-') ++i_;
+    if (i_ < s_.size() && s_[i_] == '0') {
+      ++i_;  // no leading zeros
+    } else if (!digits()) {
+      return false;
+    }
+    if (i_ < s_.size() && s_[i_] == '.') {
+      ++i_;
+      if (!digits()) return false;
+    }
+    if (i_ < s_.size() && (s_[i_] == 'e' || s_[i_] == 'E')) {
+      ++i_;
+      if (i_ < s_.size() && (s_[i_] == '+' || s_[i_] == '-')) ++i_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!consume('{')) return false;
+    ws();
+    if (i_ < s_.size() && s_[i_] == '}') return ++i_, true;
+    while (true) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (!consume(':')) return false;
+      if (!value()) return false;
+      ws();
+      if (i_ < s_.size() && s_[i_] == ',') {
+        ++i_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool array() {
+    if (!consume('[')) return false;
+    ws();
+    if (i_ < s_.size() && s_[i_] == ']') return ++i_, true;
+    while (true) {
+      if (!value()) return false;
+      ws();
+      if (i_ < s_.size() && s_[i_] == ',') {
+        ++i_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  bool value() {
+    ws();
+    if (i_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[i_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t i_ = 0;
+  std::string err_;
+};
+
+inline ::testing::AssertionResult strictly_valid(const std::string& json) {
+  std::string err;
+  if (StrictJson::valid(json, &err)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << err << "\nin JSON:\n"
+         << json.substr(0, 2000);
+}
+
+}  // namespace ramiel::testutil

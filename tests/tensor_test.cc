@@ -61,6 +61,30 @@ TEST(Tensor, RandomRespectsRange) {
   }
 }
 
+TEST(Tensor, DefaultConstructedHasZeroCapacity) {
+  // Regression: the default tensor used to carry a zero-filled scalar-sized
+  // buffer; it must be truly empty (shape [0], no storage at all) so
+  // placeholder tensors in hot runtime maps cost nothing.
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+  EXPECT_TRUE(t.data().empty());
+  EXPECT_TRUE(t.mutable_data().empty());
+  EXPECT_TRUE(t.owns_storage());
+  EXPECT_EQ(t.shape(), Shape{0});
+}
+
+TEST(Tensor, CloneDetachesToOwningStorage) {
+  Tensor a = Tensor::vec({1.0f, 2.0f, 3.0f});
+  Tensor view = Tensor::from_external(Shape{3},
+                                      const_cast<float*>(a.data().data()), 3);
+  EXPECT_FALSE(view.owns_storage());
+  EXPECT_TRUE(view.shares_storage_with(a));
+  Tensor c = view.clone();
+  EXPECT_TRUE(c.owns_storage());
+  EXPECT_FALSE(c.shares_storage_with(a));
+  EXPECT_TRUE(allclose(a, c));
+}
+
 TEST(Allclose, DetectsShapeAndValueMismatch) {
   Tensor a = Tensor::full(Shape{2}, 1.0f);
   Tensor b = Tensor::full(Shape{2}, 1.0f + 1e-7f);

@@ -13,13 +13,14 @@
 //       --report dumps the per-pass compile report (wall time, node/edge
 //       counts before→after, clusters, critical path per pass) as JSON.
 //   ramiel run <model|path.rml> [--fold] [--clone] [--batch N] [--threads N]
-//              [--trace-out FILE]
+//              [--mem-plan off|arena] [--trace-out FILE]
 //       Executes sequentially + in parallel (real threads), verifies the
 //       outputs agree, and prints simulated multicore timings. --trace-out
 //       writes a unified Chrome trace-event JSON — compile passes on the
 //       compiler track plus the parallel run's task spans, message-flow
 //       arrows and inbox-depth counters — for Perfetto / chrome://tracing
-//       slack inspection.
+//       slack inspection. --mem-plan arena (the default; env override
+//       RAMIEL_MEM_PLAN) backs intermediates with the static arena plan.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +35,7 @@
 #include "rt/executor.h"
 #include "rt/inputs.h"
 #include "sim/simulator.h"
+#include "support/env.h"
 #include "support/string_util.h"
 
 namespace {
@@ -49,7 +51,7 @@ int usage() {
                "  ramiel compile <model|file.rml> [-o DIR] [--fold] [--clone]"
                " [--fuse-bn] [--batch N] [--switched] [--report FILE]\n"
                "  ramiel run <model|file.rml> [--fold] [--clone] [--batch N]"
-               " [--threads N] [--trace-out FILE]\n");
+               " [--threads N] [--mem-plan off|arena] [--trace-out FILE]\n");
   return 2;
 }
 
@@ -72,7 +74,22 @@ struct Cli {
   std::string report_out;  // per-pass compile report JSON
   PipelineOptions options;
   int threads = 1;
+  bool mem_plan = env_mem_plan_default(true);
 };
+
+bool parse_mem_plan(const std::string& value, Cli* cli) {
+  if (value == "arena" || value == "on") {
+    cli->mem_plan = true;
+    return true;
+  }
+  if (value == "off") {
+    cli->mem_plan = false;
+    return true;
+  }
+  std::fprintf(stderr, "--mem-plan expects 'off' or 'arena', got '%s'\n",
+               value.c_str());
+  return false;
+}
 
 bool parse_flags(int argc, char** argv, int start, Cli* cli) {
   for (int i = start; i < argc; ++i) {
@@ -93,6 +110,12 @@ bool parse_flags(int argc, char** argv, int start, Cli* cli) {
       cli->trace_out = argv[++i];
     } else if (arg == "--report" && i + 1 < argc) {
       cli->report_out = argv[++i];
+    } else if (arg == "--mem-plan" && i + 1 < argc) {
+      if (!parse_mem_plan(argv[++i], cli)) return false;
+    } else if (arg.rfind("--mem-plan=", 0) == 0) {
+      if (!parse_mem_plan(arg.substr(std::strlen("--mem-plan=")), cli)) {
+        return false;
+      }
     } else if (arg == "-o" && i + 1 < argc) {
       cli->out_dir = argv[++i];
     } else {
@@ -172,7 +195,8 @@ int cmd_run(const Cli& cli) {
   Rng rng(1);
   auto inputs = make_example_inputs(cm.graph, batch, rng);
   SequentialExecutor seq(&cm.graph);
-  ParallelExecutor par(&cm.graph, cm.hyperclusters);
+  ParallelExecutor par(&cm.graph, cm.hyperclusters,
+                       cli.mem_plan ? &cm.mem_plan : nullptr);
   RunOptions run_opts;
   run_opts.intra_op_threads = cli.threads;
   run_opts.trace = !cli.trace_out.empty();
@@ -199,6 +223,19 @@ int cmd_run(const Cli& cli) {
   std::printf("outputs match : %s\n", match ? "yes" : "NO");
   std::printf("host wall     : seq %.1f ms, par %.1f ms (recv slack %.1f ms)\n",
               sp.wall_ms, pp.wall_ms, pp.total_slack_ms());
+  if (par.mem_plan_enabled()) {
+    int avoided = 0;
+    for (const WorkerProfile& w : pp.workers) avoided += w.allocs_avoided;
+    std::printf(
+        "memory plan   : arena %.1f KiB (naive %.1f KiB, %.0f%% reuse),"
+        " %d in-place, %d allocs avoided\n",
+        static_cast<double>(cm.mem_plan.peak_bytes) / 1024.0,
+        static_cast<double>(cm.mem_plan.naive_bytes) / 1024.0,
+        cm.mem_plan.reuse_ratio() * 100.0, cm.mem_plan.in_place_count,
+        avoided);
+  } else {
+    std::printf("memory plan   : off (heap allocation per intermediate)\n");
+  }
 
   CostProfile profile = measure_costs(cm.graph, 3, rng);
   SimOptions sim;

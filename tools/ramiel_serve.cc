@@ -13,6 +13,9 @@
 //     --queue-depth N  admission-control bound (default
 //                      $RAMIEL_SERVE_QUEUE_DEPTH or 256)
 //     --flush-ms X     dynamic-batching flush timeout (default 2.0)
+//     --mem-plan M     'arena' (default; $RAMIEL_MEM_PLAN) backs
+//                      intermediates with the static arena plan, 'off'
+//                      heap-allocates per intermediate
 //     --requests N     total requests to serve (default 200)
 //     --clients C      concurrent closed-loop clients (default 8)
 //     --think-us U     per-client think time between requests (default 0)
@@ -50,7 +53,7 @@ int usage() {
                "usage: ramiel_serve <model|file.rml> [--batch N] [--switched]"
                " [--fold] [--clone]\n"
                "                    [--threads N] [--queue-depth N]"
-               " [--flush-ms X]\n"
+               " [--flush-ms X] [--mem-plan off|arena]\n"
                "                    [--requests N] [--clients C]"
                " [--think-us U]\n"
                "                    [--trace-out FILE] [--metrics-out FILE]"
@@ -102,6 +105,18 @@ int main(int argc, char** argv) {
       serve_opts.queue_depth = std::atoi(argv[++i]);
     } else if (arg == "--flush-ms" && i + 1 < argc) {
       serve_opts.flush_timeout_ms = std::atof(argv[++i]);
+    } else if ((arg == "--mem-plan" && i + 1 < argc) ||
+               arg.rfind("--mem-plan=", 0) == 0) {
+      const std::string value =
+          arg == "--mem-plan" ? argv[++i] : arg.substr(arg.find('=') + 1);
+      if (value == "arena" || value == "on") {
+        serve_opts.mem_plan = true;
+      } else if (value == "off") {
+        serve_opts.mem_plan = false;
+      } else {
+        std::fprintf(stderr, "--mem-plan expects 'off' or 'arena'\n");
+        return usage();
+      }
     } else if (arg == "--requests" && i + 1 < argc) {
       load.requests = std::atoi(argv[++i]);
     } else if (arg == "--clients" && i + 1 < argc) {
@@ -132,10 +147,11 @@ int main(int argc, char** argv) {
 
     serve::Server server(std::move(cm), serve_opts);
     std::printf(
-        "serving: batch %d, queue depth %d, flush %.1f ms, intra-op %d; "
-        "load: %d clients x %d requests\n\n",
+        "serving: batch %d, queue depth %d, flush %.1f ms, intra-op %d, "
+        "mem-plan %s; load: %d clients x %d requests\n\n",
         server.batch(), serve_opts.queue_depth, serve_opts.flush_timeout_ms,
-        serve_opts.intra_op_threads, load.clients, load.requests);
+        serve_opts.intra_op_threads, serve_opts.mem_plan ? "arena" : "off",
+        load.clients, load.requests);
 
     std::unique_ptr<serve::MetricsEmitter> emitter;
     if (!emitter_opts.jsonl_path.empty() || !emitter_opts.prom_path.empty()) {
