@@ -2,14 +2,160 @@
 // the cost profiles (conv2d, matmul, pooling) plus the channel primitives
 // the cluster runtime is built on. Useful for spotting kernel regressions
 // that would silently skew every simulated table.
+//
+// Every GEMM/conv benchmark is registered twice — `<name>/.../scalar` pins
+// the portable reference loops, `<name>/.../vector` the packed cache-blocked
+// path (AVX2+FMA when the host has it) — so a scalar-vs-vector speedup is one
+// grep over the output. GFLOPS counters report arithmetic throughput.
+//
+//   kernel_microbench --json-out=FILE   # google-benchmark JSON to FILE
+//
+// plus all standard --benchmark_* flags.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "rt/mailbox.h"
 #include "support/rng.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 
 namespace ramiel {
 namespace {
+
+/// Pins the kernel dispatch to one path for a benchmark's lifetime.
+class ScopedPath {
+ public:
+  explicit ScopedPath(kernels::Path p) { kernels::force_kernel_path(p); }
+  ~ScopedPath() { kernels::force_kernel_path(std::nullopt); }
+};
+
+using ShapeArgs = std::vector<std::int64_t>;
+using ShapeBenchFn = void (*)(benchmark::State&, kernels::Path,
+                              const ShapeArgs&);
+
+/// Registers `fn` under `<name>/.../scalar` and `<name>/.../vector`.
+void register_paths(const char* name, ShapeBenchFn fn,
+                    std::vector<ShapeArgs> shape_args = {{}}) {
+  for (int path = 0; path < 2; ++path) {
+    const kernels::Path p =
+        path == 0 ? kernels::Path::kScalar : kernels::Path::kVector;
+    for (const ShapeArgs& shape : shape_args) {
+      std::string full = name;
+      for (std::int64_t d : shape) full += "/" + std::to_string(d);
+      full += path == 0 ? "/scalar" : "/vector";
+      benchmark::RegisterBenchmark(
+          full.c_str(),
+          [fn, p, shape](benchmark::State& state) { fn(state, p, shape); });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SGEMM: square sizes (256^3 is the blocked-vs-scalar acceptance shape) and
+// the BERT-base projection/FFN shapes that dominate transformer inference.
+// ---------------------------------------------------------------------------
+
+void BM_SGEMM(benchmark::State& state, kernels::Path path,
+              const ShapeArgs& shape) {
+  ScopedPath sp(path);
+  const std::int64_t M = shape[0];
+  const std::int64_t N = shape[1];
+  const std::int64_t K = shape[2];
+  Rng rng(7);
+  Tensor a = Tensor::random(Shape{M, K}, rng);
+  Tensor b = Tensor::random(Shape{K, N}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(2 * M * N * K) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+void BM_GemmBiasRelu(benchmark::State& state, kernels::Path path,
+                     const ShapeArgs& shape) {
+  ScopedPath sp(path);
+  const std::int64_t M = shape[0];
+  const std::int64_t N = shape[1];
+  const std::int64_t K = shape[2];
+  Rng rng(8);
+  Tensor a = Tensor::random(Shape{M, K}, rng);
+  Tensor b = Tensor::random(Shape{K, N}, rng);
+  Tensor bias = Tensor::random(Shape{N}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gemm(a, b, bias, false, false,
+                                  kernels::Activation::kRelu));
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(2 * M * N * K) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d: model-zoo shapes. {C, K, H, stride} with 3x3 kernels, pad 1 —
+// ResNet stage shapes plus a SqueezeNet expand layer.
+// ---------------------------------------------------------------------------
+
+void BM_ConvZoo(benchmark::State& state, kernels::Path path,
+                const ShapeArgs& shape) {
+  ScopedPath sp(path);
+  const std::int64_t C = shape[0];
+  const std::int64_t K = shape[1];
+  const std::int64_t H = shape[2];
+  const int stride = static_cast<int>(shape[3]);
+  Rng rng(9);
+  Tensor x = Tensor::random(Shape{1, C, H, H}, rng);
+  Tensor w = Tensor::random(Shape{K, C, 3, 3}, rng);
+  Conv2dParams p;
+  p.pad_h = p.pad_w = 1;
+  p.stride_h = p.stride_w = stride;
+  const std::int64_t OH = (H + 2 - 3) / stride + 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d(x, w, std::nullopt, p));
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      static_cast<double>(2 * K * C * 9 * OH * OH) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+
+void BM_ConvFusedBiasRelu(benchmark::State& state, kernels::Path path,
+                          const ShapeArgs&) {
+  ScopedPath sp(path);
+  Rng rng(10);
+  Tensor x = Tensor::random(Shape{1, 64, 28, 28}, rng);
+  Tensor w = Tensor::random(Shape{64, 64, 3, 3}, rng);
+  Tensor bias = Tensor::random(Shape{64}, rng);
+  Conv2dParams p;
+  p.pad_h = p.pad_w = 1;
+  p.act = kernels::Activation::kRelu;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d(x, w, bias, p));
+  }
+}
+
+void register_kernel_benchmarks() {
+  register_paths("BM_SGEMM", BM_SGEMM,
+                 {{256, 256, 256},     // blocked-vs-scalar acceptance shape
+                  {128, 768, 768},     // BERT-base QKV/output projection
+                  {128, 3072, 768},    // BERT-base FFN expand
+                  {128, 768, 3072}});  // BERT-base FFN contract
+  register_paths("BM_GemmBiasRelu", BM_GemmBiasRelu, {{128, 768, 768}});
+  register_paths("BM_ConvZoo", BM_ConvZoo,
+                 {{64, 64, 56, 1},     // ResNet conv2_x
+                  {128, 128, 28, 1},   // ResNet conv3_x
+                  {256, 256, 14, 1},   // ResNet conv4_x
+                  {64, 128, 56, 2},    // ResNet downsample
+                  {48, 192, 27, 1}});  // SqueezeNet expand3x3
+  register_paths("BM_ConvFusedBiasRelu", BM_ConvFusedBiasRelu);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy fixed-path benchmarks (whatever dispatch picks on this host).
+// ---------------------------------------------------------------------------
 
 void BM_Conv2d3x3(benchmark::State& state) {
   const auto ch = state.range(0);
@@ -99,4 +245,29 @@ BENCHMARK(BM_InboxPutGet);
 }  // namespace
 }  // namespace ramiel
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --json-out=FILE is sugar for google-benchmark's out/out_format pair.
+  std::vector<std::string> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    constexpr const char* kFlag = "--json-out=";
+    if (it->rfind(kFlag, 0) == 0) {
+      const std::string file = it->substr(std::strlen(kFlag));
+      it = args.erase(it);
+      it = args.insert(it, "--benchmark_out=" + file);
+      it = args.insert(it + 1, "--benchmark_out_format=json");
+    } else {
+      ++it;
+    }
+  }
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (std::string& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+
+  ramiel::register_kernel_benchmarks();
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

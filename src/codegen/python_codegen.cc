@@ -51,6 +51,20 @@ def recv(queue, buffer, tag):
 
 }  // namespace
 
+namespace {
+
+/// Re-expands the fused-epilogue "act" attr (set by fuse_activations) in the
+/// generated PyTorch, which has no fused conv/gemm epilogue to target.
+std::string wrap_fused_activation(const Node& n, std::string expr) {
+  if (!n.attrs.has("act")) return expr;
+  const std::string& act = n.attrs.get_str("act");
+  if (act == "relu") return str_cat("torch.relu(", expr, ")");
+  if (act == "sigmoid") return str_cat("torch.sigmoid(", expr, ")");
+  return expr;
+}
+
+}  // namespace
+
 std::string torch_expression(const Node& n,
                              const std::vector<std::string>& in) {
   switch (n.kind) {
@@ -61,7 +75,7 @@ std::string torch_expression(const Node& n,
                       ", padding=", n.attrs.get_int("pad", 0),
                       ", dilation=", n.attrs.get_int("dilation", 1),
                       ", groups=", n.attrs.get_int("groups", 1), ")");
-      return expr;
+      return wrap_fused_activation(n, std::move(expr));
     }
     case OpKind::kMaxPool:
     case OpKind::kAvgPool: {
@@ -89,7 +103,7 @@ std::string torch_expression(const Node& n,
       if (n.attrs.get_int("trans_b", 0) != 0) b = str_cat(b, ".t()");
       std::string expr = str_cat("torch.matmul(", a, ", ", b, ")");
       if (in.size() > 2) expr = str_cat(expr, " + ", in[2]);
-      return expr;
+      return wrap_fused_activation(n, std::move(expr));
     }
     case OpKind::kRelu:
       return str_cat("torch.relu(", in[0], ")");

@@ -17,6 +17,19 @@ void expect_arity(const Node& n, std::size_t got, std::size_t min_want,
                        " inputs, got ", got));
 }
 
+/// Fused-epilogue activation recorded on Conv2d/Gemm nodes by the
+/// activation-fusion pass ("" / "relu" / "sigmoid").
+kernels::Activation fused_activation(const Node& n) {
+  if (!n.attrs.has("act")) return kernels::Activation::kNone;
+  const std::string& act = n.attrs.get_str("act");
+  if (act == "relu") return kernels::Activation::kRelu;
+  if (act == "sigmoid") return kernels::Activation::kSigmoid;
+  RAMIEL_CHECK(act.empty(), str_cat("node '", n.name,
+                                    "' has unknown fused activation '", act,
+                                    "'"));
+  return kernels::Activation::kNone;
+}
+
 std::vector<std::int64_t> ints_from_tensor(const Tensor& t) {
   std::vector<std::int64_t> out;
   out.reserve(static_cast<std::size_t>(t.numel()));
@@ -43,6 +56,7 @@ std::vector<Tensor> eval_node(const Node& n, const std::vector<Tensor>& in,
       p.dilation_h = p.dilation_w =
           static_cast<int>(n.attrs.get_int("dilation", 1));
       p.groups = static_cast<int>(n.attrs.get_int("groups", 1));
+      p.act = fused_activation(n);
       std::optional<Tensor> bias;
       if (in.size() == 3) bias = in[2];
       return {conv2d(in[0], in[1], bias, p, ctx)};
@@ -74,7 +88,8 @@ std::vector<Tensor> eval_node(const Node& n, const std::vector<Tensor>& in,
       std::optional<Tensor> bias;
       if (in.size() == 3) bias = in[2];
       return {gemm(in[0], in[1], bias, n.attrs.get_int("trans_a", 0) != 0,
-                   n.attrs.get_int("trans_b", 0) != 0, ctx)};
+                   n.attrs.get_int("trans_b", 0) != 0, fused_activation(n),
+                   ctx)};
     }
     case OpKind::kRelu:
       expect_arity(n, in.size(), 1, 1);

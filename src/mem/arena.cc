@@ -12,13 +12,17 @@ MemArena::~MemArena() { release(); }
 
 MemArena::MemArena(MemArena&& o) noexcept
     : data_(std::exchange(o.data_, nullptr)),
-      capacity_(std::exchange(o.capacity_, 0)) {}
+      capacity_(std::exchange(o.capacity_, 0)),
+      scratch_(std::exchange(o.scratch_, nullptr)),
+      scratch_capacity_(std::exchange(o.scratch_capacity_, 0)) {}
 
 MemArena& MemArena::operator=(MemArena&& o) noexcept {
   if (this != &o) {
     release();
     data_ = std::exchange(o.data_, nullptr);
     capacity_ = std::exchange(o.capacity_, 0);
+    scratch_ = std::exchange(o.scratch_, nullptr);
+    scratch_capacity_ = std::exchange(o.scratch_capacity_, 0);
   }
   return *this;
 }
@@ -29,16 +33,76 @@ void MemArena::release() {
     data_ = nullptr;
     capacity_ = 0;
   }
+  if (scratch_ != nullptr) {
+    ::operator delete(scratch_, std::align_val_t{kSlotAlign});
+    scratch_ = nullptr;
+    scratch_capacity_ = 0;
+  }
 }
 
 bool MemArena::ensure(std::size_t bytes) {
   if (bytes <= capacity_) return false;
   const bool grew = data_ != nullptr;
-  release();
+  if (data_ != nullptr) {
+    ::operator delete(data_, std::align_val_t{kSlotAlign});
+    data_ = nullptr;
+    capacity_ = 0;
+  }
   data_ = static_cast<float*>(
       ::operator new(bytes, std::align_val_t{kSlotAlign}));
   capacity_ = bytes;
   return grew;
+}
+
+bool MemArena::ensure_scratch(std::size_t bytes) {
+  if (bytes <= scratch_capacity_) return false;
+  const bool grew = scratch_ != nullptr;
+  if (scratch_ != nullptr) {
+    ::operator delete(scratch_, std::align_val_t{kSlotAlign});
+    scratch_ = nullptr;
+    scratch_capacity_ = 0;
+  }
+  scratch_ = static_cast<float*>(
+      ::operator new(bytes, std::align_val_t{kSlotAlign}));
+  scratch_capacity_ = bytes;
+  return grew;
+}
+
+namespace {
+
+// Keep successive scratch sub-buffers cache-line aligned.
+std::size_t round_up_floats(std::size_t numel) {
+  const std::size_t per_line = kSlotAlign / sizeof(float);
+  return (numel + per_line - 1) / per_line * per_line;
+}
+
+}  // namespace
+
+float* SlotSink::take_scratch(std::size_t numel) {
+  if (scratch_arena_ == nullptr || numel == 0) return nullptr;
+  const std::size_t rounded = round_up_floats(numel);
+  const std::size_t need_bytes = (scratch_off_ + rounded) * sizeof(float);
+  if (need_bytes > scratch_arena_->scratch_capacity_bytes()) {
+    // Growing is only safe with no scratch outstanding; otherwise the
+    // reallocation would dangle the earlier sub-buffers.
+    if (scratch_off_ != 0) return nullptr;
+    scratch_arena_->ensure_scratch(need_bytes);
+  }
+  float* p = scratch_arena_->scratch_data() + scratch_off_;
+  scratch_off_ += rounded;
+  return p;
+}
+
+void SlotSink::release_scratch(float* ptr, std::size_t numel) {
+  if (scratch_arena_ == nullptr) return;
+  const std::size_t rounded = round_up_floats(numel);
+  // LIFO release: only the most recent take can be returned. Anything else
+  // indicates a heap buffer or out-of-order release; ignore it — the bump
+  // offset resets with the next SlotSink::clear() anyway.
+  if (rounded <= scratch_off_ &&
+      ptr == scratch_arena_->scratch_data() + (scratch_off_ - rounded)) {
+    scratch_off_ -= rounded;
+  }
 }
 
 float* SlotSink::take(std::size_t numel) {

@@ -40,11 +40,22 @@ class MemArena {
   float* data() { return data_; }
   std::size_t capacity_bytes() const { return capacity_; }
 
+  /// Grows the kernel-scratch block (separate from the planned-slot block:
+  /// scratch never backs a Tensor and its lifetime is one kernel call) to
+  /// at least `bytes`. Only safe while no scratch is outstanding — SlotSink
+  /// guarantees that by only growing at bump offset zero.
+  bool ensure_scratch(std::size_t bytes);
+
+  float* scratch_data() { return scratch_; }
+  std::size_t scratch_capacity_bytes() const { return scratch_capacity_; }
+
  private:
   void release();
 
   float* data_ = nullptr;
   std::size_t capacity_ = 0;
+  float* scratch_ = nullptr;
+  std::size_t scratch_capacity_ = 0;
 };
 
 /// AllocSink primed with one node's planned output slots. Matching is by
@@ -60,6 +71,7 @@ class SlotSink final : public AllocSink {
     slots_.clear();
     taken_ = 0;
     allocs_seen_ = 0;
+    scratch_off_ = 0;
   }
 
   void add(float* ptr, std::size_t numel, bool in_place) {
@@ -73,6 +85,17 @@ class SlotSink final : public AllocSink {
 
   float* take(std::size_t numel) override;
 
+  /// Binds the arena whose scratch block serves take_scratch(). Unbound
+  /// (the default), every scratch request declines to the heap.
+  void set_scratch_arena(MemArena* arena) { scratch_arena_ = arena; }
+
+  /// Bump-allocates kernel scratch from the arena's scratch block. The
+  /// block may only grow while empty (offset zero) — a grow with scratch
+  /// outstanding would dangle earlier pointers — so nested requests that
+  /// do not fit decline to the heap instead.
+  float* take_scratch(std::size_t numel) override;
+  void release_scratch(float* ptr, std::size_t numel) override;
+
  private:
   struct Slot {
     float* ptr;
@@ -83,6 +106,8 @@ class SlotSink final : public AllocSink {
   std::vector<Slot> slots_;
   int taken_ = 0;
   int allocs_seen_ = 0;
+  MemArena* scratch_arena_ = nullptr;
+  std::size_t scratch_off_ = 0;  // floats
 };
 
 /// Installs a sink on the current thread for the lifetime of the scope,

@@ -1,5 +1,6 @@
 #include "passes/fusion.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/check.h"
@@ -107,6 +108,49 @@ int fold_batch_norms(Graph& graph) {
   }
   if (folded > 0) graph.validate();
   return folded;
+}
+
+int fuse_activations(Graph& graph) {
+  int fused = 0;
+  std::vector<NodeId> acts;
+  for (const Node& n : graph.nodes()) {
+    if (!n.dead && (n.kind == OpKind::kRelu || n.kind == OpKind::kSigmoid)) {
+      acts.push_back(n.id);
+    }
+  }
+
+  for (NodeId act_id : acts) {
+    const Node& act = graph.node(act_id);
+    if (act.dead || act.inputs.size() != 1) continue;
+
+    // A graph output must keep its value (and name): fusing would rebind
+    // the model's interface to the producer's output.
+    const ValueId act_out = act.outputs[0];
+    if (std::find(graph.outputs().begin(), graph.outputs().end(), act_out) !=
+        graph.outputs().end()) {
+      continue;
+    }
+
+    // The producer must be a Conv2d/Gemm feeding *only* this activation —
+    // another consumer would need the pre-activation tensor the fused
+    // kernel no longer produces.
+    const Value& x = graph.value(act.inputs[0]);
+    if (x.producer == kNoNode || x.consumers.size() != 1) continue;
+    Node& prod = graph.node(x.producer);
+    if (prod.dead ||
+        (prod.kind != OpKind::kConv2d && prod.kind != OpKind::kGemm)) {
+      continue;
+    }
+    if (prod.attrs.has("act")) continue;  // one epilogue per node
+
+    prod.attrs.set("act", act.kind == OpKind::kRelu ? std::string("relu")
+                                                    : std::string("sigmoid"));
+    graph.replace_value_uses(act_out, prod.outputs[0]);
+    graph.kill_node(act_id);
+    ++fused;
+  }
+  if (fused > 0) graph.validate();
+  return fused;
 }
 
 }  // namespace ramiel

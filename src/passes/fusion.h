@@ -21,4 +21,15 @@ namespace ramiel {
 /// of BatchNorm nodes eliminated.
 int fold_batch_norms(Graph& graph);
 
+/// Folds a Relu/Sigmoid whose sole producer is a Conv2d or Gemm (and which
+/// is that producer's only consumer) into the producer's kernel epilogue:
+/// the producer gets attrs["act"] = "relu"|"sigmoid" — which the kernel
+/// backend applies during the GEMM/conv write-back, so the pre-activation
+/// tensor never materializes — and the activation node dies. Returns the
+/// number of activations fused. Activations whose output is a graph output
+/// are left alone (the output value's name is the model's interface). Runs
+/// after fold_batch_norms so a Conv->BN->Relu chain collapses into one
+/// fused conv.
+int fuse_activations(Graph& graph);
+
 }  // namespace ramiel

@@ -90,6 +90,11 @@ CompiledModel compile_model(Graph graph, const PipelineOptions& options) {
     out.batch_norms_folded = fold_batch_norms(graph);
     t.done();
   }
+  if (options.fuse_activations) {
+    PassTimer t("activation_fusion", graph, cost, out.pass_reports);
+    out.activations_fused = fuse_activations(graph);
+    t.done();
+  }
   if (options.cloning) {
     PassTimer t("cloning", graph, cost, out.pass_reports);
     out.clone_stats = clone_tasks(graph, cost, options.cloning_options);
@@ -171,6 +176,7 @@ std::string compile_report_json(const CompiledModel& cm) {
   out += ",\"clones_created\":" +
          std::to_string(cm.clone_stats.clones_created);
   out += ",\"batch_norms_folded\":" + std::to_string(cm.batch_norms_folded);
+  out += ",\"activations_fused\":" + std::to_string(cm.activations_fused);
   out += ",\"memory\":{";
   out += "\"planned\":" + std::string(cm.mem_plan.empty() ? "false" : "true");
   out += ",\"peak_bytes\":" + std::to_string(cm.mem_plan.peak_bytes);

@@ -40,6 +40,9 @@ struct PipelineOptions {
   /// Fold Conv+BatchNorm pairs (extension: the conclusion's "more powerful
   /// graph reductions").
   bool fuse_batch_norms = false;
+  /// Fold Relu/Sigmoid into the preceding Conv2d/Gemm kernel epilogue so the
+  /// activation runs during the GEMM write-back instead of as its own task.
+  bool fuse_activations = false;
   CloningOptions cloning_options;
   /// Inference batch size; > 1 triggers hyperclustering (§III-E).
   int batch = 1;
@@ -86,6 +89,7 @@ struct CompiledModel {
   FoldStats fold_stats;
   CloningStats clone_stats;
   int batch_norms_folded = 0;
+  int activations_fused = 0;
   double compile_seconds = 0.0;     // Table VIII "CT(s)"
   std::vector<PassReport> pass_reports;  // one entry per stage that ran
 };

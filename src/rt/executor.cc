@@ -364,6 +364,12 @@ void ParallelExecutor::execute_tasks(int me, RunState& st,
   mem::SlotSink sink;
   float* const arena_base =
       planned ? arenas_[static_cast<std::size_t>(me)].data() : nullptr;
+  // Kernel scratch (GEMM pack buffers, im2col panels) also comes from this
+  // worker's arena whenever the plan is active; without a plan kernels fall
+  // back to heap scratch on their own.
+  if (planned) {
+    sink.set_scratch_arena(&arenas_[static_cast<std::size_t>(me)]);
+  }
 
   std::vector<std::size_t> cursor(static_cast<std::size_t>(batch), 0);
   std::vector<std::unordered_map<ValueId, Tensor>> local(
@@ -432,11 +438,13 @@ void ParallelExecutor::execute_tasks(int me, RunState& st,
 
     const std::int64_t t0 = Stopwatch::now_ns();
     std::vector<Tensor> outputs;
-    if (planned_outs != nullptr) {
+    if (planned) {
       sink.clear();
-      for (const PlannedOut& po : *planned_outs) {
-        sink.add(arena_base + po.offset_floats,
-                 static_cast<std::size_t>(po.numel), po.in_place);
+      if (planned_outs != nullptr) {
+        for (const PlannedOut& po : *planned_outs) {
+          sink.add(arena_base + po.offset_floats,
+                   static_cast<std::size_t>(po.numel), po.in_place);
+        }
       }
       mem::ScopedAllocSink guard(&sink);
       outputs = eval_node(n, inputs, ctx);

@@ -1,12 +1,143 @@
+#include "obs/metrics.h"
 #include "support/check.h"
 #include "support/string_util.h"
+#include "tensor/kernels/kernels.h"
+#include "tensor/kernels/scratch.h"
 #include "tensor/ops.h"
 
 namespace ramiel {
+namespace {
 
-// Direct convolution. The output-channel x batch loop is the parallel axis:
-// each (n, k) pair is independent, which gives conv2d the intra-op
-// parallelism profile the paper leans on for Table V.
+struct ConvMetrics {
+  obs::Counter* vector = obs::registry().counter(
+      "ramiel_kernel_conv_vector_total",
+      "conv2d calls lowered to implicit GEMM (vector path)");
+  obs::Counter* scalar = obs::registry().counter(
+      "ramiel_kernel_conv_scalar_total",
+      "conv2d calls executed by the direct scalar loops");
+  obs::Counter* im2col_bytes = obs::registry().counter(
+      "ramiel_kernel_im2col_scratch_bytes_total",
+      "Bytes of im2col panel scratch requested by conv2d");
+};
+
+ConvMetrics& conv_metrics() {
+  static ConvMetrics* m = new ConvMetrics();
+  return *m;
+}
+
+struct ConvDims {
+  std::int64_t N, C, H, W;    // input
+  std::int64_t K, Cg, R, S;   // weight
+  std::int64_t OH, OW;        // output
+};
+
+// Direct 7-loop convolution: the portable reference, and the production
+// path for depthwise/grouped convs where the im2col matrix degenerates
+// (Cg*R*S is tiny, so GEMM lowering only adds packing traffic).
+void conv2d_direct(const ConvDims& d, const Conv2dParams& p, const float* in,
+                   const float* wt, const float* bptr, float* dst,
+                   const OpContext& ctx) {
+  const std::int64_t kper_group = d.K / p.groups;
+  dispatch_parallel_for(
+      ctx, d.N * d.K, 2 * d.OH * d.OW * d.Cg * d.R * d.S,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t nk = lo; nk < hi; ++nk) {
+          const std::int64_t n = nk / d.K;
+          const std::int64_t k = nk % d.K;
+          const std::int64_t g = k / kper_group;
+          const std::int64_t c0 = g * d.Cg;
+          for (std::int64_t oh = 0; oh < d.OH; ++oh) {
+            for (std::int64_t ow = 0; ow < d.OW; ++ow) {
+              float acc = bptr ? bptr[k] : 0.0f;
+              for (std::int64_t c = 0; c < d.Cg; ++c) {
+                for (std::int64_t r = 0; r < d.R; ++r) {
+                  const std::int64_t ih =
+                      oh * p.stride_h - p.pad_h + r * p.dilation_h;
+                  if (ih < 0 || ih >= d.H) continue;
+                  for (std::int64_t s = 0; s < d.S; ++s) {
+                    const std::int64_t iw =
+                        ow * p.stride_w - p.pad_w + s * p.dilation_w;
+                    if (iw < 0 || iw >= d.W) continue;
+                    acc += in[static_cast<std::size_t>(
+                               ((n * d.C + c0 + c) * d.H + ih) * d.W + iw)] *
+                           wt[static_cast<std::size_t>(
+                               ((k * d.Cg + c) * d.R + r) * d.S + s)];
+                  }
+                }
+              }
+              dst[static_cast<std::size_t>(((n * d.K + k) * d.OH + oh) * d.OW +
+                                           ow)] = acc;
+            }
+          }
+        }
+      });
+  if (p.act != kernels::Activation::kNone) {
+    kernels::apply_activation(p.act, dst, d.N * d.K * d.OH * d.OW);
+  }
+}
+
+/// Writes the im2col matrix for one image: row (c, r, s), column
+/// (oh, ow) — i.e. a (Cg*R*S) x (OH*OW) panel, zero where the receptive
+/// field falls into padding. Row-major, so each GEMM B-panel pack reads it
+/// sequentially. Rows are the parallel axis.
+void im2col(const ConvDims& d, const Conv2dParams& p, const float* in,
+            std::int64_t n, std::int64_t c0, float* col,
+            const OpContext& ctx) {
+  const std::int64_t rows = d.Cg * d.R * d.S;
+  const std::int64_t cols = d.OH * d.OW;
+  dispatch_parallel_for(ctx, rows, cols, [&](std::int64_t lo,
+                                             std::int64_t hi) {
+    for (std::int64_t row = lo; row < hi; ++row) {
+      const std::int64_t c = row / (d.R * d.S);
+      const std::int64_t r = (row / d.S) % d.R;
+      const std::int64_t s = row % d.S;
+      const float* src = in + ((n * d.C + c0 + c) * d.H) * d.W;
+      float* out_row = col + row * cols;
+      for (std::int64_t oh = 0; oh < d.OH; ++oh) {
+        const std::int64_t ih = oh * p.stride_h - p.pad_h + r * p.dilation_h;
+        float* out = out_row + oh * d.OW;
+        if (ih < 0 || ih >= d.H) {
+          for (std::int64_t ow = 0; ow < d.OW; ++ow) out[ow] = 0.0f;
+          continue;
+        }
+        const float* src_h = src + ih * d.W;
+        for (std::int64_t ow = 0; ow < d.OW; ++ow) {
+          const std::int64_t iw = ow * p.stride_w - p.pad_w + s * p.dilation_w;
+          out[ow] = (iw < 0 || iw >= d.W) ? 0.0f : src_h[iw];
+        }
+      }
+    }
+  });
+}
+
+// Implicit GEMM: out[n, k, :] = act(W[k, :] * im2col(x_n) + bias[k]).
+// A = weights [K x Cg*R*S] (already row-major contiguous), B = the im2col
+// panel, C = the output image plane; the per-channel bias and activation
+// ride the GEMM epilogue, so the pre-activation tensor never materializes.
+void conv2d_im2col(const ConvDims& d, const Conv2dParams& p, const float* in,
+                   const float* wt, const float* bptr, float* dst,
+                   const OpContext& ctx) {
+  const std::int64_t rows = d.Cg * d.R * d.S;
+  const std::int64_t cols = d.OH * d.OW;
+  conv_metrics().im2col_bytes->inc(
+      static_cast<std::uint64_t>(rows * cols) * sizeof(float));
+  kernels::KernelScratch col(static_cast<std::size_t>(rows * cols));
+
+  kernels::Epilogue ep;
+  ep.act = p.act;
+  if (bptr != nullptr) {
+    ep.bias = bptr;
+    ep.bias_stride_m = 1;  // per output channel == per GEMM row
+  }
+  for (std::int64_t n = 0; n < d.N; ++n) {
+    im2col(d, p, in, n, /*c0=*/0, col.data(), ctx);
+    kernels::sgemm(d.K, cols, rows, wt, rows, 1, col.data(), cols, 1,
+                   dst + n * d.K * cols, cols, ep, ctx);
+  }
+}
+
+}  // namespace
+
 Tensor conv2d(const Tensor& input, const Tensor& weight,
               const std::optional<Tensor>& bias, const Conv2dParams& p,
               const OpContext& ctx) {
@@ -16,58 +147,38 @@ Tensor conv2d(const Tensor& input, const Tensor& weight,
                                        is.to_string()));
   RAMIEL_CHECK(ws.rank() == 4, str_cat("conv2d weight must be KCRS, got ",
                                        ws.to_string()));
-  const std::int64_t N = is.dim(0), C = is.dim(1), H = is.dim(2), W = is.dim(3);
-  const std::int64_t K = ws.dim(0), Cg = ws.dim(1), R = ws.dim(2), S = ws.dim(3);
-  RAMIEL_CHECK(p.groups >= 1 && C % p.groups == 0 && K % p.groups == 0,
+  ConvDims d;
+  d.N = is.dim(0), d.C = is.dim(1), d.H = is.dim(2), d.W = is.dim(3);
+  d.K = ws.dim(0), d.Cg = ws.dim(1), d.R = ws.dim(2), d.S = ws.dim(3);
+  RAMIEL_CHECK(p.groups >= 1 && d.C % p.groups == 0 && d.K % p.groups == 0,
                "conv2d group count must divide channels");
-  RAMIEL_CHECK(Cg == C / p.groups,
-               str_cat("conv2d weight channel dim ", Cg, " != C/groups = ",
-                       C / p.groups));
+  RAMIEL_CHECK(d.Cg == d.C / p.groups,
+               str_cat("conv2d weight channel dim ", d.Cg, " != C/groups = ",
+                       d.C / p.groups));
   if (bias) {
-    RAMIEL_CHECK(bias->shape().rank() == 1 && bias->shape().dim(0) == K,
+    RAMIEL_CHECK(bias->shape().rank() == 1 && bias->shape().dim(0) == d.K,
                  "conv2d bias must be [K]");
   }
-  const std::int64_t OH =
-      (H + 2 * p.pad_h - p.dilation_h * (R - 1) - 1) / p.stride_h + 1;
-  const std::int64_t OW =
-      (W + 2 * p.pad_w - p.dilation_w * (S - 1) - 1) / p.stride_w + 1;
-  RAMIEL_CHECK(OH > 0 && OW > 0, "conv2d output would be empty");
+  d.OH = (d.H + 2 * p.pad_h - p.dilation_h * (d.R - 1) - 1) / p.stride_h + 1;
+  d.OW = (d.W + 2 * p.pad_w - p.dilation_w * (d.S - 1) - 1) / p.stride_w + 1;
+  RAMIEL_CHECK(d.OH > 0 && d.OW > 0, "conv2d output would be empty");
 
-  Tensor out(Shape{N, K, OH, OW});
-  auto in = input.data();
-  auto wt = weight.data();
-  auto dst = out.mutable_data();
+  Tensor out(Shape{d.N, d.K, d.OH, d.OW});
+  const float* in = input.data().data();
+  const float* wt = weight.data().data();
+  float* dst = out.mutable_data().data();
   const float* bptr = bias ? bias->data().data() : nullptr;
-  const std::int64_t kper_group = K / p.groups;
 
-  dispatch_parallel_for(ctx, N * K, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t nk = lo; nk < hi; ++nk) {
-      const std::int64_t n = nk / K;
-      const std::int64_t k = nk % K;
-      const std::int64_t g = k / kper_group;
-      const std::int64_t c0 = g * Cg;
-      for (std::int64_t oh = 0; oh < OH; ++oh) {
-        for (std::int64_t ow = 0; ow < OW; ++ow) {
-          float acc = bptr ? bptr[k] : 0.0f;
-          for (std::int64_t c = 0; c < Cg; ++c) {
-            for (std::int64_t r = 0; r < R; ++r) {
-              const std::int64_t ih = oh * p.stride_h - p.pad_h + r * p.dilation_h;
-              if (ih < 0 || ih >= H) continue;
-              for (std::int64_t s = 0; s < S; ++s) {
-                const std::int64_t iw =
-                    ow * p.stride_w - p.pad_w + s * p.dilation_w;
-                if (iw < 0 || iw >= W) continue;
-                acc += in[static_cast<std::size_t>(
-                           ((n * C + c0 + c) * H + ih) * W + iw)] *
-                       wt[static_cast<std::size_t>(((k * Cg + c) * R + r) * S + s)];
-              }
-            }
-          }
-          dst[static_cast<std::size_t>(((n * K + k) * OH + oh) * OW + ow)] = acc;
-        }
-      }
-    }
-  });
+  // Grouped/depthwise convs keep the direct loops (their im2col panels are
+  // too skinny to amortize packing); dense convs lower to implicit GEMM on
+  // the vector path.
+  if (p.groups == 1 && kernels::active_path() == kernels::Path::kVector) {
+    conv_metrics().vector->inc();
+    conv2d_im2col(d, p, in, wt, bptr, dst, ctx);
+  } else {
+    conv_metrics().scalar->inc();
+    conv2d_direct(d, p, in, wt, bptr, dst, ctx);
+  }
   return out;
 }
 
@@ -80,7 +191,8 @@ Tensor resize_nearest(const Tensor& input, int scale, const OpContext& ctx) {
   Tensor out(Shape{N, C, OH, OW});
   auto in = input.data();
   auto dst = out.mutable_data();
-  dispatch_parallel_for(ctx, N * C, [&](std::int64_t lo, std::int64_t hi) {
+  dispatch_parallel_for(ctx, N * C, OH * OW, [&](std::int64_t lo,
+                                                 std::int64_t hi) {
     for (std::int64_t nc = lo; nc < hi; ++nc) {
       const float* src = in.data() + nc * H * W;
       float* d = dst.data() + nc * OH * OW;

@@ -1,5 +1,4 @@
 #include <cmath>
-#include <functional>
 
 #include "support/check.h"
 #include "support/string_util.h"
@@ -8,7 +7,11 @@
 namespace ramiel {
 namespace {
 
-Tensor unary(const Tensor& x, const std::function<float(float)>& f) {
+// Statically dispatched: the functor inlines into the loop (the previous
+// std::function indirection cost a call per element), letting the compiler
+// vectorize cheap ops like relu/neg.
+template <typename F>
+Tensor unary(const Tensor& x, F f) {
   Tensor out(x.shape());
   auto in = x.data();
   auto dst = out.mutable_data();
@@ -31,8 +34,8 @@ Shape broadcast_shape(const Shape& a, const Shape& b) {
   return Shape(std::move(dims));
 }
 
-Tensor binary(const Tensor& a, const Tensor& b,
-              const std::function<float(float, float)>& f) {
+template <typename F>
+Tensor binary(const Tensor& a, const Tensor& b, F f) {
   // Fast path: identical shapes.
   if (a.shape() == b.shape()) {
     Tensor out(a.shape());

@@ -1,0 +1,50 @@
+// Runtime kernel-path dispatch: RAMIEL_KERNEL env knob + CPUID probe.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/kernels/kernels.h"
+#include "tensor/kernels/microkernel.h"
+
+namespace ramiel::kernels {
+namespace {
+
+Path env_path() {
+  const char* env = std::getenv("RAMIEL_KERNEL");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) return Path::kScalar;
+  // Unknown values (and "vector") select the vector path — it degrades to
+  // the portable microkernel on its own, so it is always a safe default.
+  return Path::kVector;
+}
+
+bool cpu_has_avx2_fma() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// -1 = follow the env default; otherwise a Path value pinned by tests.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+Path active_path() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Path>(forced);
+  static const Path env = env_path();
+  return env;
+}
+
+bool vector_microkernel_available() {
+  static const bool ok = cpu_has_avx2_fma() && avx2_microkernel() != nullptr;
+  return ok;
+}
+
+void force_kernel_path(std::optional<Path> path) {
+  g_forced.store(path ? static_cast<int>(*path) : -1,
+                 std::memory_order_relaxed);
+}
+
+}  // namespace ramiel::kernels

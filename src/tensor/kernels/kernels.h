@@ -1,0 +1,76 @@
+// High-performance CPU kernel backend.
+//
+// Two dispatch levels sit underneath matmul/gemm/conv2d:
+//
+//   kScalar — portable reference loops (the seed implementation, kept as
+//             the always-correct fallback and the A/B baseline);
+//   kVector — packed-panel SGEMM with MC/KC/NC cache blocking and an
+//             MR x NR register-tiled microkernel. The microkernel itself
+//             is chosen at runtime: an explicit AVX2+FMA kernel on hosts
+//             that have it (CPUID probe), a portable scalar microkernel
+//             otherwise — so kVector is safe to select everywhere.
+//
+// Path selection: RAMIEL_KERNEL=scalar|vector (default vector), resolved
+// once per process; force_kernel_path() overrides for tests/benchmarks.
+//
+// Epilogues: bias add and Relu/Sigmoid are folded into the GEMM write-back
+// (the kernel-level counterpart of graph-side fusion like fold_batch_norms),
+// so a fused Conv+Relu never materializes the pre-activation tensor.
+//
+// Scratch: pack buffers and im2col panels come from KernelScratch, which
+// asks the thread's AllocSink first (the memory planner's per-worker arena,
+// see src/mem/) and falls back to the heap — the arena is never required
+// for correctness.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "tensor/thread_pool.h"
+
+namespace ramiel::kernels {
+
+enum class Path { kScalar, kVector };
+
+/// The path the backend will use for the next kernel call (env + override
+/// resolved; independent of which microkernel the CPU probe picked).
+Path active_path();
+
+/// True when the runtime CPUID probe found AVX2+FMA and the explicit
+/// vector microkernel is in use (false -> packed driver runs the portable
+/// scalar microkernel).
+bool vector_microkernel_available();
+
+/// Test/bench hook: pin the path regardless of RAMIEL_KERNEL. Pass
+/// std::nullopt to return to env-based selection.
+void force_kernel_path(std::optional<Path> path);
+
+/// Activation folded into the kernel write-back.
+enum class Activation { kNone, kRelu, kSigmoid };
+
+/// Fused write-back transform: C = act(C_acc + bias). The bias term for
+/// element (m, n) is bias[m * bias_stride_m + n * bias_stride_n]; a
+/// per-column bias (ONNX Gemm) uses {0, 1}, a per-channel conv bias uses
+/// {1, 0}, a scalar bias {0, 0}. bias == nullptr means no bias.
+struct Epilogue {
+  const float* bias = nullptr;
+  std::int64_t bias_stride_m = 0;
+  std::int64_t bias_stride_n = 0;
+  Activation act = Activation::kNone;
+};
+
+/// C[M,N] (row-major, leading dimension ldc) = act(A * B + bias).
+/// A is addressed as A[m * rs_a + k * cs_a], B as B[k * rs_b + n * cs_b],
+/// so transposed operands are just swapped strides — packing reads each
+/// element exactly once either way. Parallelism: splits over cache-blocked
+/// row tiles (vector path) or rows (scalar path) via ctx.
+void sgemm(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+           std::int64_t rs_a, std::int64_t cs_a, const float* B,
+           std::int64_t rs_b, std::int64_t cs_b, float* C, std::int64_t ldc,
+           const Epilogue& ep, const OpContext& ctx);
+
+/// Applies `act` in place over n values (used by the conv direct path so a
+/// fused activation behaves identically on every path).
+void apply_activation(Activation act, float* data, std::int64_t n);
+
+}  // namespace ramiel::kernels

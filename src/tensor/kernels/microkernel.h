@@ -1,0 +1,43 @@
+// Internal contract between the blocked SGEMM driver and its microkernels.
+//
+// A microkernel computes one MR x NR register tile:
+//
+//   acc[MR][NR] = sum_{k < kc} a_panel[k][MR] (x) b_panel[k][NR]
+//
+// over panels packed by the driver (a_panel: k-major with MR consecutive
+// row elements per k; b_panel: k-major with NR consecutive column elements
+// per k). It always computes the full tile — the driver pads panels with
+// zeros at the M/N edges and masks the write-back — and always *overwrites*
+// acc, leaving accumulation across KC blocks, bias and activation to the
+// driver's merge step. That keeps the hot loop free of branches and every
+// epilogue decision in one portable place.
+#pragma once
+
+#include <cstdint>
+
+namespace ramiel::kernels {
+
+// Register tile. MR=6 rows x NR=16 columns fits AVX2: 12 ymm accumulators
+// + 2 B loads + 1 A broadcast = 15 of 16 registers.
+inline constexpr std::int64_t kMR = 6;
+inline constexpr std::int64_t kNR = 16;
+
+// Cache blocking. KC x NR B-panels (16 KiB) stream through L1; the MC x KC
+// A-block (~72 KiB) sits in L2 while every B-panel of the NC stripe crosses
+// it; NC bounds the packed-B stripe (KC x NC = 2 MiB) to L3-ish sizes.
+inline constexpr std::int64_t kMC = 72;
+inline constexpr std::int64_t kKC = 256;
+inline constexpr std::int64_t kNC = 2048;
+
+/// acc is a 64-byte-aligned MR x NR row-major buffer, always fully written.
+using MicroKernelFn = void (*)(std::int64_t kc, const float* a_panel,
+                               const float* b_panel, float* acc);
+
+void microkernel_scalar(std::int64_t kc, const float* a_panel,
+                        const float* b_panel, float* acc);
+
+/// Compiled with AVX2+FMA codegen in its own TU; only ever called after a
+/// runtime CPUID check. Null on targets where the compiler can't emit AVX2.
+MicroKernelFn avx2_microkernel();
+
+}  // namespace ramiel::kernels

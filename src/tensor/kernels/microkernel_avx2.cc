@@ -1,0 +1,101 @@
+// Explicit AVX2+FMA microkernel. This TU is compiled with -mavx2 -mfma
+// (see src/tensor/CMakeLists.txt) and must contain nothing that runs on
+// hosts without those features: the only exported symbol is a function
+// pointer the dispatcher reads *after* its CPUID probe succeeds.
+#include "tensor/kernels/microkernel.h"
+
+#if defined(__x86_64__) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace ramiel::kernels {
+namespace {
+
+// 6x16 register tile: two 8-lane accumulators per row.
+void ukr_avx2(std::int64_t kc, const float* a_panel, const float* b_panel,
+              float* acc) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+
+  const float* a = a_panel;
+  const float* b = b_panel;
+
+  // One k step: 2 B loads + 6 A broadcasts feed 12 FMAs, so the loop is
+  // FMA-throughput-bound on any 2-FMA-port core. Unroll by 2 to hide the
+  // loop-carried bookkeeping and give the scheduler two independent load
+  // streams per iteration; both panels are packed k-major, so the prefetch
+  // distance is a fixed small stride.
+#define RAMIEL_UKR_STEP(AK, BK)                      \
+  do {                                               \
+    const __m256 b0 = _mm256_loadu_ps((BK));         \
+    const __m256 b1 = _mm256_loadu_ps((BK) + 8);     \
+    __m256 av = _mm256_broadcast_ss((AK) + 0);       \
+    c00 = _mm256_fmadd_ps(av, b0, c00);              \
+    c01 = _mm256_fmadd_ps(av, b1, c01);              \
+    av = _mm256_broadcast_ss((AK) + 1);              \
+    c10 = _mm256_fmadd_ps(av, b0, c10);              \
+    c11 = _mm256_fmadd_ps(av, b1, c11);              \
+    av = _mm256_broadcast_ss((AK) + 2);              \
+    c20 = _mm256_fmadd_ps(av, b0, c20);              \
+    c21 = _mm256_fmadd_ps(av, b1, c21);              \
+    av = _mm256_broadcast_ss((AK) + 3);              \
+    c30 = _mm256_fmadd_ps(av, b0, c30);              \
+    c31 = _mm256_fmadd_ps(av, b1, c31);              \
+    av = _mm256_broadcast_ss((AK) + 4);              \
+    c40 = _mm256_fmadd_ps(av, b0, c40);              \
+    c41 = _mm256_fmadd_ps(av, b1, c41);              \
+    av = _mm256_broadcast_ss((AK) + 5);              \
+    c50 = _mm256_fmadd_ps(av, b0, c50);              \
+    c51 = _mm256_fmadd_ps(av, b1, c51);              \
+  } while (0)
+
+  std::int64_t k = 0;
+  for (; k + 3 < kc; k += 4) {
+    _mm_prefetch(reinterpret_cast<const char*>(b + 8 * kNR), _MM_HINT_T0);
+    RAMIEL_UKR_STEP(a, b);
+    RAMIEL_UKR_STEP(a + kMR, b + kNR);
+    RAMIEL_UKR_STEP(a + 2 * kMR, b + 2 * kNR);
+    RAMIEL_UKR_STEP(a + 3 * kMR, b + 3 * kNR);
+    a += 4 * kMR;
+    b += 4 * kNR;
+  }
+  for (; k < kc; ++k) {
+    RAMIEL_UKR_STEP(a, b);
+    a += kMR;
+    b += kNR;
+  }
+#undef RAMIEL_UKR_STEP
+
+  _mm256_store_ps(acc + 0 * kNR, c00);
+  _mm256_store_ps(acc + 0 * kNR + 8, c01);
+  _mm256_store_ps(acc + 1 * kNR, c10);
+  _mm256_store_ps(acc + 1 * kNR + 8, c11);
+  _mm256_store_ps(acc + 2 * kNR, c20);
+  _mm256_store_ps(acc + 2 * kNR + 8, c21);
+  _mm256_store_ps(acc + 3 * kNR, c30);
+  _mm256_store_ps(acc + 3 * kNR + 8, c31);
+  _mm256_store_ps(acc + 4 * kNR, c40);
+  _mm256_store_ps(acc + 4 * kNR + 8, c41);
+  _mm256_store_ps(acc + 5 * kNR, c50);
+  _mm256_store_ps(acc + 5 * kNR + 8, c51);
+}
+
+}  // namespace
+
+MicroKernelFn avx2_microkernel() { return &ukr_avx2; }
+
+}  // namespace ramiel::kernels
+
+#else  // non-x86 target or compiler without AVX2 codegen
+
+namespace ramiel::kernels {
+
+MicroKernelFn avx2_microkernel() { return nullptr; }
+
+}  // namespace ramiel::kernels
+
+#endif

@@ -1,0 +1,25 @@
+#include "tensor/kernels/microkernel.h"
+
+namespace ramiel::kernels {
+
+// Portable microkernel over the packed panels. The fixed-trip inner loops
+// over an accumulator array auto-vectorize to whatever the baseline target
+// offers (SSE2 on x86-64), which keeps the packed driver profitable even
+// without the explicit AVX2 kernel.
+void microkernel_scalar(std::int64_t kc, const float* a_panel,
+                        const float* b_panel, float* acc) {
+  float c[kMR][kNR] = {};
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const float* a = a_panel + k * kMR;
+    const float* b = b_panel + k * kNR;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const float av = a[r];
+      for (std::int64_t j = 0; j < kNR; ++j) c[r][j] += av * b[j];
+    }
+  }
+  for (std::int64_t r = 0; r < kMR; ++r) {
+    for (std::int64_t j = 0; j < kNR; ++j) acc[r * kNR + j] = c[r][j];
+  }
+}
+
+}  // namespace ramiel::kernels

@@ -1,0 +1,46 @@
+#include "tensor/kernels/scratch.h"
+
+#include "obs/metrics.h"
+#include "tensor/tensor.h"
+
+namespace ramiel::kernels {
+namespace {
+
+struct ScratchMetrics {
+  obs::Counter* arena = obs::registry().counter(
+      "ramiel_kernel_scratch_arena_total",
+      "Kernel scratch acquisitions served by a worker arena");
+  obs::Counter* heap = obs::registry().counter(
+      "ramiel_kernel_scratch_heap_total",
+      "Kernel scratch acquisitions that fell back to the heap");
+};
+
+ScratchMetrics& metrics() {
+  static ScratchMetrics* m = new ScratchMetrics();
+  return *m;
+}
+
+}  // namespace
+
+KernelScratch::KernelScratch(std::size_t numel) : numel_(numel) {
+  if (numel_ == 0) return;
+  if (AllocSink* sink = thread_alloc_sink()) {
+    if (float* p = sink->take_scratch(numel_)) {
+      ptr_ = p;
+      from_sink_ = true;
+      metrics().arena->inc();
+      return;
+    }
+  }
+  heap_.resize(numel_);
+  ptr_ = heap_.data();
+  metrics().heap->inc();
+}
+
+KernelScratch::~KernelScratch() {
+  if (from_sink_) {
+    thread_alloc_sink()->release_scratch(ptr_, numel_);
+  }
+}
+
+}  // namespace ramiel::kernels

@@ -1,0 +1,260 @@
+// Packed-panel SGEMM driver: the single matrix-product engine behind
+// matmul, gemm and the conv2d implicit-GEMM lowering.
+//
+// Vector path (BLIS-style):
+//
+//   for each NC column stripe:
+//     for each KC depth block:
+//       pack B[kc x nc] into NR-wide k-major panels   (parallel over panels)
+//       for each MC row tile:                         (parallel over tiles)
+//         pack A[mc x kc] into MR-wide k-major panels (per-lane scratch)
+//         for each NR panel x MR subtile: microkernel -> merge into C
+//
+// The merge step owns accumulation across KC blocks and the fused epilogue
+// (bias + activation on the last block), so the microkernel stays a pure
+// register-tile FMA loop. Intra-op threads split over cache-blocked row
+// tiles — each lane packs its own A tiles into its own scratch slice, and
+// the two dispatch_parallel_for calls per (stripe, block) act as barriers
+// so no lane reads a B panel that is still being packed.
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "support/check.h"
+#include "tensor/kernels/kernels.h"
+#include "tensor/kernels/microkernel.h"
+#include "tensor/kernels/scratch.h"
+
+namespace ramiel::kernels {
+namespace {
+
+struct GemmMetrics {
+  obs::Counter* vector = obs::registry().counter(
+      "ramiel_kernel_gemm_vector_total",
+      "SGEMM calls executed by the packed/blocked vector path");
+  obs::Counter* scalar = obs::registry().counter(
+      "ramiel_kernel_gemm_scalar_total",
+      "SGEMM calls executed by the scalar reference path");
+};
+
+GemmMetrics& gemm_metrics() {
+  static GemmMetrics* m = new GemmMetrics();
+  return *m;
+}
+
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+inline float activate(Activation act, float v) {
+  switch (act) {
+    case Activation::kNone:
+      return v;
+    case Activation::kRelu:
+      return v > 0.0f ? v : 0.0f;
+    case Activation::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-v));
+  }
+  return v;
+}
+
+inline float bias_at(const Epilogue& ep, std::int64_t m, std::int64_t n) {
+  return ep.bias == nullptr
+             ? 0.0f
+             : ep.bias[m * ep.bias_stride_m + n * ep.bias_stride_n];
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference path: the seed kernel plus the fused epilogue. Rows are
+// the parallel axis; k-outer/n-inner keeps the row accumulator streaming.
+// ---------------------------------------------------------------------------
+
+void sgemm_scalar(std::int64_t M, std::int64_t N, std::int64_t K,
+                  const float* A, std::int64_t rs_a, std::int64_t cs_a,
+                  const float* B, std::int64_t rs_b, std::int64_t cs_b,
+                  float* C, std::int64_t ldc, const Epilogue& ep,
+                  const OpContext& ctx) {
+  dispatch_parallel_for(ctx, M, 2 * K * N, [&](std::int64_t lo,
+                                               std::int64_t hi) {
+    for (std::int64_t m = lo; m < hi; ++m) {
+      float* po = C + m * ldc;
+      for (std::int64_t n = 0; n < N; ++n) po[n] = bias_at(ep, m, n);
+      for (std::int64_t k = 0; k < K; ++k) {
+        const float av = A[m * rs_a + k * cs_a];
+        const float* pb = B + k * rs_b;
+        for (std::int64_t n = 0; n < N; ++n) po[n] += av * pb[n * cs_b];
+      }
+      if (ep.act != Activation::kNone) {
+        for (std::int64_t n = 0; n < N; ++n) po[n] = activate(ep.act, po[n]);
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Packed/blocked vector path
+// ---------------------------------------------------------------------------
+
+/// Packs A[m0 .. m0+mc, k0 .. k0+kc] into MR-wide k-major panels, zero-
+/// padding the ragged last row tile so the microkernel never branches.
+void pack_a(float* dst, const float* A, std::int64_t rs_a, std::int64_t cs_a,
+            std::int64_t m0, std::int64_t mc, std::int64_t k0,
+            std::int64_t kc) {
+  const std::int64_t tiles = ceil_div(mc, kMR);
+  for (std::int64_t i = 0; i < tiles; ++i) {
+    float* tile = dst + i * kMR * kc;
+    for (std::int64_t k = 0; k < kc; ++k) {
+      for (std::int64_t r = 0; r < kMR; ++r) {
+        const std::int64_t row = i * kMR + r;
+        tile[k * kMR + r] =
+            row < mc ? A[(m0 + row) * rs_a + (k0 + k) * cs_a] : 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs one NR-wide column panel of B[k0 .. k0+kc, n0 .. n0+nvalid).
+void pack_b_panel(float* dst, const float* B, std::int64_t rs_b,
+                  std::int64_t cs_b, std::int64_t k0, std::int64_t kc,
+                  std::int64_t n0, std::int64_t nvalid) {
+  for (std::int64_t k = 0; k < kc; ++k) {
+    const float* src = B + (k0 + k) * rs_b + n0 * cs_b;
+    float* row = dst + k * kNR;
+    for (std::int64_t j = 0; j < kNR; ++j) {
+      row[j] = j < nvalid ? src[j * cs_b] : 0.0f;
+    }
+  }
+}
+
+/// Folds one microkernel tile into C: accumulate across KC blocks, apply
+/// the epilogue on the last block, mask the M/N edges.
+void merge_tile(float* C, std::int64_t ldc, std::int64_t m0, std::int64_t n0,
+                std::int64_t rows, std::int64_t cols, const float* acc,
+                bool first, bool last, const Epilogue& ep) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float* dst = C + (m0 + r) * ldc + n0;
+    const float* a = acc + r * kNR;
+    if (!last) {
+      if (first) {
+        for (std::int64_t j = 0; j < cols; ++j) dst[j] = a[j];
+      } else {
+        for (std::int64_t j = 0; j < cols; ++j) dst[j] += a[j];
+      }
+      continue;
+    }
+    for (std::int64_t j = 0; j < cols; ++j) {
+      float v = (first ? 0.0f : dst[j]) + a[j];
+      v += bias_at(ep, m0 + r, n0 + j);
+      dst[j] = activate(ep.act, v);
+    }
+  }
+}
+
+void sgemm_blocked(std::int64_t M, std::int64_t N, std::int64_t K,
+                   const float* A, std::int64_t rs_a, std::int64_t cs_a,
+                   const float* B, std::int64_t rs_b, std::int64_t cs_b,
+                   float* C, std::int64_t ldc, const Epilogue& ep,
+                   const OpContext& ctx, MicroKernelFn ukr) {
+  const std::int64_t mtiles_total = ceil_div(M, kMC);
+  const std::int64_t lanes =
+      std::max<std::int64_t>(1, std::min<std::int64_t>(
+                                    std::max(1, ctx.threads), mtiles_total));
+
+  // One scratch blob: the packed-B stripe, then one packed-A slice per lane.
+  const std::int64_t kc_max = std::min(K, kKC);
+  const std::int64_t nc_max = std::min(N, kNC);
+  const std::int64_t bp_floats = kc_max * ceil_div(nc_max, kNR) * kNR;
+  const std::int64_t ap_floats = std::min(M, kMC) <= 0
+                                     ? 0
+                                     : ceil_div(std::min(M, kMC), kMR) * kMR *
+                                           kc_max;
+  KernelScratch scratch(
+      static_cast<std::size_t>(bp_floats + lanes * ap_floats));
+  float* const bp = scratch.data();
+  float* const ap0 = bp + bp_floats;
+
+  for (std::int64_t n0 = 0; n0 < N; n0 += kNC) {
+    const std::int64_t nc = std::min(kNC, N - n0);
+    const std::int64_t npan = ceil_div(nc, kNR);
+    for (std::int64_t k0 = 0; k0 < K; k0 += kKC) {
+      const std::int64_t kc = std::min(kKC, K - k0);
+      const bool first = k0 == 0;
+      const bool last = k0 + kc == K;
+
+      dispatch_parallel_for(
+          ctx, npan, 2 * kc * kNR, [&](std::int64_t lo, std::int64_t hi) {
+            for (std::int64_t j = lo; j < hi; ++j) {
+              pack_b_panel(bp + j * kc * kNR, B, rs_b, cs_b, k0, kc,
+                           n0 + j * kNR, nc - j * kNR);
+            }
+          });
+
+      // Lanes get contiguous tile ranges; each lane owns one A-pack slice.
+      const std::int64_t parts = std::min(lanes, mtiles_total);
+      const std::int64_t part_cost =
+          2 * ceil_div(mtiles_total, parts) * kMC * kc * nc;
+      dispatch_parallel_for(
+          ctx, parts, part_cost, [&](std::int64_t plo, std::int64_t phi) {
+            alignas(64) float acc[kMR * kNR];
+            for (std::int64_t p = plo; p < phi; ++p) {
+              float* ap = ap0 + p * ap_floats;
+              const std::int64_t t_begin = p * mtiles_total / parts;
+              const std::int64_t t_end = (p + 1) * mtiles_total / parts;
+              for (std::int64_t t = t_begin; t < t_end; ++t) {
+                const std::int64_t m0 = t * kMC;
+                const std::int64_t mc = std::min(kMC, M - m0);
+                const std::int64_t subtiles = ceil_div(mc, kMR);
+                pack_a(ap, A, rs_a, cs_a, m0, mc, k0, kc);
+                for (std::int64_t j = 0; j < npan; ++j) {
+                  const float* bpj = bp + j * kc * kNR;
+                  const std::int64_t cols =
+                      std::min(kNR, nc - j * kNR);
+                  for (std::int64_t i = 0; i < subtiles; ++i) {
+                    ukr(kc, ap + i * kMR * kc, bpj, acc);
+                    merge_tile(C, ldc, m0 + i * kMR, n0 + j * kNR,
+                               std::min(kMR, mc - i * kMR), cols, acc, first,
+                               last, ep);
+                  }
+                }
+              }
+            }
+          });
+    }
+  }
+}
+
+}  // namespace
+
+void apply_activation(Activation act, float* data, std::int64_t n) {
+  if (act == Activation::kNone) return;
+  for (std::int64_t i = 0; i < n; ++i) data[i] = activate(act, data[i]);
+}
+
+void sgemm(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+           std::int64_t rs_a, std::int64_t cs_a, const float* B,
+           std::int64_t rs_b, std::int64_t cs_b, float* C, std::int64_t ldc,
+           const Epilogue& ep, const OpContext& ctx) {
+  if (M <= 0 || N <= 0) return;
+  if (K <= 0) {
+    // Degenerate product: C = act(bias).
+    for (std::int64_t m = 0; m < M; ++m) {
+      for (std::int64_t n = 0; n < N; ++n) {
+        C[m * ldc + n] = activate(ep.act, bias_at(ep, m, n));
+      }
+    }
+    return;
+  }
+  if (active_path() == Path::kVector) {
+    gemm_metrics().vector->inc();
+    const MicroKernelFn ukr = vector_microkernel_available()
+                                  ? avx2_microkernel()
+                                  : &microkernel_scalar;
+    sgemm_blocked(M, N, K, A, rs_a, cs_a, B, rs_b, cs_b, C, ldc, ep, ctx,
+                  ukr);
+  } else {
+    gemm_metrics().scalar->inc();
+    sgemm_scalar(M, N, K, A, rs_a, cs_a, B, rs_b, cs_b, C, ldc, ep, ctx);
+  }
+}
+
+}  // namespace ramiel::kernels

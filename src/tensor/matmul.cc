@@ -1,11 +1,14 @@
 #include "support/check.h"
 #include "support/string_util.h"
+#include "tensor/kernels/kernels.h"
 #include "tensor/ops.h"
 
 namespace ramiel {
 
-// Batched matmul with broadcast over leading dims. The (batch, row-block)
-// space is the parallel axis.
+// Batched matmul with broadcast over leading dims. Every per-batch product
+// runs on the kernels::sgemm backend; the common Linear-layer case (full
+// batch on the left, shared rank-2 weights on the right) collapses into one
+// (batch*M, K) x (K, N) GEMM so the blocked driver sees the whole row space.
 Tensor matmul(const Tensor& a, const Tensor& b, const OpContext& ctx) {
   const Shape& as = a.shape();
   const Shape& bs = b.shape();
@@ -45,29 +48,26 @@ Tensor matmul(const Tensor& a, const Tensor& b, const OpContext& ctx) {
   RAMIEL_CHECK(b_batch == batch || b_batch == 1,
                "matmul: unsupported partial batch broadcast on rhs");
 
-  auto da = a.data();
-  auto db = b.data();
-  auto dst = out.mutable_data();
-  dispatch_parallel_for(ctx, batch * M, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t bm = lo; bm < hi; ++bm) {
-      const std::int64_t bi = bm / M;
-      const std::int64_t m = bm % M;
-      const float* pa = da.data() + bi * a_stride + m * Ka;
-      const float* pb = db.data() + bi * b_stride;
-      float* po = dst.data() + (bi * M + m) * N;
-      for (std::int64_t n = 0; n < N; ++n) po[n] = 0.0f;
-      for (std::int64_t k = 0; k < Ka; ++k) {
-        const float av = pa[k];
-        const float* pbk = pb + k * N;
-        for (std::int64_t n = 0; n < N; ++n) po[n] += av * pbk[n];
-      }
-    }
-  });
+  const float* da = a.data().data();
+  const float* db = b.data().data();
+  float* dst = out.mutable_data().data();
+  const kernels::Epilogue ep;
+
+  if (b_stride == 0 && a_stride != 0) {
+    // Shared weights: one tall GEMM over the flattened (batch, M) rows.
+    kernels::sgemm(batch * M, N, Ka, da, Ka, 1, db, N, 1, dst, N, ep, ctx);
+    return out;
+  }
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    kernels::sgemm(M, N, Ka, da + bi * a_stride, Ka, 1, db + bi * b_stride, N,
+                   1, dst + bi * M * N, N, ep, ctx);
+  }
   return out;
 }
 
 Tensor gemm(const Tensor& a, const Tensor& b, const std::optional<Tensor>& bias,
-            bool trans_a, bool trans_b, const OpContext& ctx) {
+            bool trans_a, bool trans_b, kernels::Activation act,
+            const OpContext& ctx) {
   const Shape& as = a.shape();
   const Shape& bs = b.shape();
   RAMIEL_CHECK(as.rank() == 2 && bs.rank() == 2, "gemm operands must be rank 2");
@@ -78,31 +78,23 @@ Tensor gemm(const Tensor& a, const Tensor& b, const std::optional<Tensor>& bias,
   RAMIEL_CHECK(K == Kb, "gemm inner dims mismatch");
 
   Tensor out(Shape{M, N});
-  auto da = a.data();
-  auto db = b.data();
-  auto dst = out.mutable_data();
-  const float* bptr = bias ? bias->data().data() : nullptr;
   const std::int64_t bias_n = bias ? bias->numel() : 0;
   RAMIEL_CHECK(!bias || bias_n == N || bias_n == 1,
                "gemm bias must broadcast over rows");
 
-  dispatch_parallel_for(ctx, M, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t m = lo; m < hi; ++m) {
-      float* po = dst.data() + m * N;
-      for (std::int64_t n = 0; n < N; ++n) {
-        po[n] = bptr ? (bias_n == 1 ? bptr[0] : bptr[n]) : 0.0f;
-      }
-      for (std::int64_t k = 0; k < K; ++k) {
-        const float av = trans_a ? da[static_cast<std::size_t>(k * M + m)]
-                                 : da[static_cast<std::size_t>(m * K + k)];
-        for (std::int64_t n = 0; n < N; ++n) {
-          const float bv = trans_b ? db[static_cast<std::size_t>(n * K + k)]
-                                   : db[static_cast<std::size_t>(k * N + n)];
-          po[n] += av * bv;
-        }
-      }
-    }
-  });
+  kernels::Epilogue ep;
+  ep.act = act;
+  if (bias) {
+    ep.bias = bias->data().data();
+    ep.bias_stride_n = bias_n == 1 ? 0 : 1;
+  }
+  // Transposition is just a stride swap; packing reads through it.
+  const std::int64_t rs_a = trans_a ? 1 : K;
+  const std::int64_t cs_a = trans_a ? M : 1;
+  const std::int64_t rs_b = trans_b ? 1 : N;
+  const std::int64_t cs_b = trans_b ? K : 1;
+  kernels::sgemm(M, N, K, a.data().data(), rs_a, cs_a, b.data().data(), rs_b,
+                 cs_b, out.mutable_data().data(), N, ep, ctx);
   return out;
 }
 

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "tensor/kernels/kernels.h"
 #include "tensor/tensor.h"
 #include "tensor/thread_pool.h"
 
@@ -30,6 +31,9 @@ struct Conv2dParams {
   int pad_h = 0, pad_w = 0;     // symmetric padding
   int dilation_h = 1, dilation_w = 1;
   int groups = 1;
+  /// Activation fused into the conv write-back (set by the activation-fusion
+  /// pass; applied identically on the implicit-GEMM and direct paths).
+  kernels::Activation act = kernels::Activation::kNone;
 };
 
 /// 2-D convolution: input [N,C,H,W], weight [K,C/g,R,S], optional bias [K].
@@ -69,9 +73,11 @@ Tensor matmul(const Tensor& a, const Tensor& b,
               const OpContext& ctx = OpContext::serial());
 
 /// GEMM: a [M,K] (optionally transposed), b [K,N] (optionally transposed),
-/// plus optional bias broadcast over rows. Matches ONNX Gemm.
+/// plus optional bias broadcast over rows, plus an optional activation fused
+/// into the write-back. Matches ONNX Gemm (with act == kNone).
 Tensor gemm(const Tensor& a, const Tensor& b, const std::optional<Tensor>& bias,
             bool trans_a = false, bool trans_b = false,
+            kernels::Activation act = kernels::Activation::kNone,
             const OpContext& ctx = OpContext::serial());
 
 // ---------------------------------------------------------------------------

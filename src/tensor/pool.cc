@@ -31,7 +31,8 @@ Tensor max_pool2d(const Tensor& input, const Pool2dParams& p,
   Tensor out(Shape{d.N, d.C, d.OH, d.OW});
   auto in = input.data();
   auto dst = out.mutable_data();
-  dispatch_parallel_for(ctx, d.N * d.C, [&](std::int64_t lo, std::int64_t hi) {
+  dispatch_parallel_for(ctx, d.N * d.C, d.OH * d.OW * p.kernel_h * p.kernel_w,
+                        [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t nc = lo; nc < hi; ++nc) {
       const float* src = in.data() + nc * d.H * d.W;
       float* o = dst.data() + nc * d.OH * d.OW;
@@ -61,7 +62,8 @@ Tensor avg_pool2d(const Tensor& input, const Pool2dParams& p,
   Tensor out(Shape{d.N, d.C, d.OH, d.OW});
   auto in = input.data();
   auto dst = out.mutable_data();
-  dispatch_parallel_for(ctx, d.N * d.C, [&](std::int64_t lo, std::int64_t hi) {
+  dispatch_parallel_for(ctx, d.N * d.C, d.OH * d.OW * p.kernel_h * p.kernel_w,
+                        [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t nc = lo; nc < hi; ++nc) {
       const float* src = in.data() + nc * d.H * d.W;
       float* o = dst.data() + nc * d.OH * d.OW;
@@ -96,7 +98,7 @@ Tensor global_avg_pool(const Tensor& input, const OpContext& ctx) {
   Tensor out(Shape{N, C, 1, 1});
   auto in = input.data();
   auto dst = out.mutable_data();
-  dispatch_parallel_for(ctx, N * C, [&](std::int64_t lo, std::int64_t hi) {
+  dispatch_parallel_for(ctx, N * C, HW, [&](std::int64_t lo, std::int64_t hi) {
     for (std::int64_t nc = lo; nc < hi; ++nc) {
       const float* src = in.data() + nc * HW;
       float sum = 0.0f;

@@ -17,6 +17,8 @@ AllocSink* set_thread_alloc_sink(AllocSink* sink) {
   return prev;
 }
 
+AllocSink* thread_alloc_sink() { return t_alloc_sink; }
+
 Tensor::Tensor() : shape_(Shape{0}) {}
 
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {

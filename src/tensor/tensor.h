@@ -42,11 +42,28 @@ class AllocSink {
   /// the heap path's zero-initialization, unless the slot is an in-place
   /// destination), or nullptr to decline and let the tensor heap-allocate.
   virtual float* take(std::size_t numel) = 0;
+
+  /// Transient kernel workspace (im2col panels, GEMM pack buffers): never
+  /// backs a Tensor, never zeroed, must be released in LIFO order before
+  /// the kernel returns. Default declines, sending callers to the heap —
+  /// arena scratch is an optimization, never a correctness requirement.
+  virtual float* take_scratch(std::size_t numel) {
+    (void)numel;
+    return nullptr;
+  }
+  virtual void release_scratch(float* ptr, std::size_t numel) {
+    (void)ptr;
+    (void)numel;
+  }
 };
 
 /// Installs `sink` for the calling thread (nullptr uninstalls); returns the
 /// previously installed sink so scopes can nest.
 AllocSink* set_thread_alloc_sink(AllocSink* sink);
+
+/// The sink currently installed on the calling thread (nullptr if none).
+/// Kernels use this to request scratch workspace.
+AllocSink* thread_alloc_sink();
 
 /// Dense row-major float32 tensor.
 class Tensor {

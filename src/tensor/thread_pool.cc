@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 #include "support/check.h"
@@ -120,6 +121,28 @@ void dispatch_parallel_for(
     return;
   }
   ctx.pool->parallel_for(n, ctx.threads, fn);
+}
+
+std::int64_t parallel_dispatch_threshold() {
+  static const std::int64_t cutoff = [] {
+    if (const char* env = std::getenv("RAMIEL_PARALLEL_THRESHOLD")) {
+      char* end = nullptr;
+      const long long v = std::strtoll(env, &end, 10);
+      if (end != env && v >= 0) return static_cast<std::int64_t>(v);
+    }
+    return static_cast<std::int64_t>(1) << 16;
+  }();
+  return cutoff;
+}
+
+void dispatch_parallel_for(
+    const OpContext& ctx, std::int64_t n, std::int64_t est_cost_per_item,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n > 0 && n * est_cost_per_item < parallel_dispatch_threshold()) {
+    fn(0, n);
+    return;
+  }
+  dispatch_parallel_for(ctx, n, fn);
 }
 
 }  // namespace ramiel

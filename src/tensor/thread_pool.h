@@ -72,4 +72,18 @@ void dispatch_parallel_for(
     const OpContext& ctx, std::int64_t n,
     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
+/// Cost-aware variant: `est_cost_per_item` is the caller's estimate of the
+/// work per index (roughly flops, or touched elements for memory-bound
+/// loops). When n * est_cost_per_item falls below the sequential threshold
+/// the whole range runs on the calling thread — pool handoff costs several
+/// microseconds, which dwarfs a tiny op and inflates serve tail latency.
+/// Threshold: RAMIEL_PARALLEL_THRESHOLD (cost units, default 65536; 0
+/// disables the gate).
+void dispatch_parallel_for(
+    const OpContext& ctx, std::int64_t n, std::int64_t est_cost_per_item,
+    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// The resolved sequential-dispatch cutoff (env override applied once).
+std::int64_t parallel_dispatch_threshold();
+
 }  // namespace ramiel

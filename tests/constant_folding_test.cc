@@ -200,5 +200,74 @@ TEST(BnFolding, IsIdempotent) {
   EXPECT_EQ(fold_batch_norms(g), 0);
 }
 
+TEST(ActivationFusion, FusesConvReluPreservingOutputs) {
+  // The pool keeps the relu off the graph interface (output values never
+  // fuse away — their names are the model's API).
+  auto build = [] {
+    NetBuilder b("actfuse");
+    ValueId x = b.input("x", Shape{1, 3, 6, 6});
+    ValueId c = b.conv(x, 4, 3, 1, 1, 1, /*bias=*/true);
+    ValueId r = b.relu(c);
+    return b.finish({b.global_avg_pool(r)});
+  };
+  Graph original = build();
+  Graph fused = build();
+  const int count = fuse_activations(fused);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(fused.live_node_count(), original.live_node_count() - 1);
+
+  Rng rng(7);
+  auto inputs = make_example_inputs(original, 1, rng);
+  SequentialExecutor a(&original);
+  SequentialExecutor b(&fused);
+  auto ra = a.run(inputs);
+  auto rb = b.run(inputs);
+  for (const auto& [key, value] : ra[0]) {
+    EXPECT_TRUE(allclose(value, rb[0].at(key), 1e-4f, 1e-4f)) << key;
+  }
+}
+
+TEST(ActivationFusion, SkipsActivationWithSharedProducer) {
+  // The conv output has a second consumer that needs the pre-activation
+  // tensor, so the relu cannot be folded away.
+  NetBuilder b("shared_act");
+  ValueId x = b.input("x", Shape{1, 2, 4, 4});
+  ValueId c = b.conv(x, 2, 3, 1, 1, 1, /*bias=*/false);
+  ValueId r = b.relu(c);
+  ValueId other = b.sigmoid(c);
+  ValueId sum = b.add(r, other);
+  Graph g = b.finish({sum});
+  EXPECT_EQ(fuse_activations(g), 0);
+}
+
+TEST(ActivationFusion, FusesAcrossWholeModelsPreservingOutputs) {
+  for (const std::string name : {"squeezenet", "googlenet", "retinanet"}) {
+    Graph original = models::build(name);
+    Graph fused = models::build(name);
+    const int count = fuse_activations(fused);
+    EXPECT_GT(count, 0) << name;
+    EXPECT_EQ(fused.live_node_count(), original.live_node_count() - count)
+        << name;
+
+    Rng rng(8);
+    auto inputs = make_example_inputs(original, 1, rng);
+    SequentialExecutor a(&original);
+    SequentialExecutor b(&fused);
+    auto ra = a.run(inputs);
+    auto rb = b.run(inputs);
+    for (const auto& [key, value] : ra[0]) {
+      EXPECT_TRUE(allclose(value, rb[0].at(key), 1e-3f, 1e-2f))
+          << name << ": " << key;
+    }
+  }
+}
+
+TEST(ActivationFusion, IsIdempotent) {
+  Graph g = models::build("squeezenet");
+  const int first = fuse_activations(g);
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(fuse_activations(g), 0);
+}
+
 }  // namespace
 }  // namespace ramiel
