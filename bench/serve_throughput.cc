@@ -1,5 +1,6 @@
 // Serving throughput: offered load x batch size x plain-vs-switched
-// hypermode, for Squeezenet and BERT.
+// hypermode, for Squeezenet and BERT — plus the static vs work-stealing
+// executor comparison across the zoo and a synthetically skewed placement.
 //
 // Each configuration compiles the model at that batch size, stands up a
 // persistent serve::Server (bounded queue + dynamic batcher + reused
@@ -21,15 +22,29 @@
 // admits, demonstrating bounded-queue admission control: excess requests
 // are rejected promptly while the server keeps serving.
 //
+// The executor section compares the static cluster-pinned runtime against
+// the work-stealing runtime (src/rt/steal/): measured serving throughput
+// for squeezenet/bert, 12-core simulated makespans across the whole zoo,
+// and a synthetically skewed 48:1 clustering where dynamic stealing
+// recovers the parallelism the static placement strands.
+//
 // Knobs: RAMIEL_SERVE_REQUESTS (default 96), RAMIEL_SERVE_CLIENTS (8).
+// --json-out FILE appends every row to FILE as a JSON array, the format
+// committed as BENCH_serve.json to track the trajectory across PRs.
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "graph/shape_inference.h"
+#include "obs/json.h"
+#include "passes/clustering.h"
 #include "serve/loadgen.h"
 #include "serve/server.h"
+#include "sim/cost_profile.h"
 #include "sim/simulator.h"
+#include "support/string_util.h"
 
 namespace {
 
@@ -40,6 +55,38 @@ struct Config {
   HyperMode mode;
   const char* label;
 };
+
+/// One benchmark observation, flattened for the JSON trajectory file.
+struct JsonRow {
+  std::string section;
+  std::string model;
+  std::string config;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+std::vector<JsonRow> g_rows;
+
+void record(std::string section, std::string model, std::string config,
+            std::vector<std::pair<std::string, double>> metrics) {
+  g_rows.push_back({std::move(section), std::move(model), std::move(config),
+                    std::move(metrics)});
+}
+
+void write_json(const std::string& path) {
+  std::ofstream os(path);
+  os << "[\n";
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const JsonRow& r = g_rows[i];
+    os << "  {\"section\":" << obs::json_quote(r.section)
+       << ",\"model\":" << obs::json_quote(r.model)
+       << ",\"config\":" << obs::json_quote(r.config);
+    for (const auto& [key, value] : r.metrics) {
+      os << ",\"" << key << "\":" << obs::json_number(value);
+    }
+    os << "}" << (i + 1 < g_rows.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
 
 // Simulated 12-core samples/s for this model at this batch/mode.
 double sim_rps(const std::string& model, int batch, HyperMode mode) {
@@ -56,9 +103,126 @@ double sim_rps(const std::string& model, int batch, HyperMode mode) {
   return makespan_ms <= 0.0 ? 0.0 : batch / (makespan_ms / 1e3);
 }
 
+/// Measured closed-loop serving throughput with the given executor.
+serve::ServerStats measured_serve(const std::string& model,
+                                  ExecutorKind executor, int requests,
+                                  int clients) {
+  PipelineOptions opts;
+  opts.batch = 4;
+  opts.generate_code = false;
+  CompiledModel cm = compile_model(models::build(model), opts);
+  serve::ServeOptions serve_opts;
+  serve_opts.flush_timeout_ms = 5.0;
+  serve_opts.executor = executor;
+  serve::Server server(std::move(cm), serve_opts);
+  serve::LoadOptions load;
+  load.clients = clients;
+  load.requests = requests;
+  serve::run_closed_loop(server, load);
+  server.shutdown();
+  return server.stats();
+}
+
+/// Static-vs-steal executor comparison: measured on this container for two
+/// models, simulated on the 12-core machine for the whole zoo plus one
+/// synthetically skewed placement.
+void executor_comparison(int requests, int clients) {
+  bench::print_header(
+      "Executor comparison — static cluster placement vs work stealing\n"
+      "(measured = this container; sim 12c = modeled 12-core makespan)");
+
+  std::printf("%-12s | %9s %9s | measured, batch 4\n", "Model", "static r/s",
+              "steal r/s");
+  for (const std::string model : {"squeezenet", "bert"}) {
+    const serve::ServerStats st =
+        measured_serve(model, ExecutorKind::kStatic, requests, clients);
+    const serve::ServerStats sl =
+        measured_serve(model, ExecutorKind::kSteal, requests, clients);
+    std::printf("%-12s | %9.1f %9.1f |\n", model.c_str(),
+                st.throughput_rps(), sl.throughput_rps());
+    record("executor_measured", model, "batch 4",
+           {{"static_rps", st.throughput_rps()},
+            {"steal_rps", sl.throughput_rps()},
+            {"static_p99_ms", st.latency.p99_ms},
+            {"steal_p99_ms", sl.latency.p99_ms}});
+  }
+
+  std::printf("\n%-12s | %9s %9s %7s | sim 12c makespan, batch 4\n", "Model",
+              "static ms", "steal ms", "ratio");
+  for (const std::string& model : models::model_names()) {
+    bench::PreparedModel pm = bench::prepare(model);
+    Hyperclustering hc = build_hyperclusters(pm.compiled.graph,
+                                             pm.compiled.clustering, 4);
+    SimOptions sim;
+    const double stat_ms =
+        simulate_parallel(pm.compiled.graph, hc, pm.profile, sim).makespan_ms;
+    const double steal_ms =
+        simulate_steal(pm.compiled.graph, hc, pm.profile, sim).makespan_ms;
+    std::printf("%-12s | %9.2f %9.2f %6.2fx |\n", model.c_str(), stat_ms,
+                steal_ms, steal_ms > 0 ? stat_ms / steal_ms : 0.0);
+    record("executor_sim12c", model, "batch 4",
+           {{"static_ms", stat_ms},
+            {"steal_ms", steal_ms},
+            {"speedup", steal_ms > 0 ? stat_ms / steal_ms : 0.0}});
+  }
+
+  // Synthetically skewed placement: 48 independent chains, 47 of them
+  // assigned to one cluster. The static runtime serializes the big cluster
+  // on one worker; stealing redistributes it.
+  constexpr int kChains = 48, kDepth = 6;
+  Graph g("skewed_chains");
+  ValueId in = g.add_value("x", Shape{1, 4096});
+  g.mark_input(in);
+  std::vector<NodeId> all;
+  for (int c = 0; c < kChains; ++c) {
+    ValueId prev = in;
+    for (int d = 0; d < kDepth; ++d) {
+      NodeId n = g.add_node(OpKind::kSigmoid, str_cat("c", c, "_d", d),
+                            {prev});
+      all.push_back(n);
+      prev = g.node(n).outputs[0];
+    }
+    g.mark_output(prev);
+  }
+  infer_shapes(g);
+  g.validate();
+  Clustering skew;
+  skew.clusters.resize(2);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    skew.clusters[i < kDepth ? 1 : 0].nodes.push_back(all[i]);
+  }
+  sort_clusters_topologically(g, skew);
+  finalize_clustering(g, skew);
+  Hyperclustering hc = build_hyperclusters(g, skew, 1);
+  Rng rng(2024);
+  CostProfile profile = measure_costs(g, bench::profile_repeats(), rng);
+  SimOptions sim;
+  const double stat_ms = simulate_parallel(g, hc, profile, sim).makespan_ms;
+  const double steal_ms = simulate_steal(g, hc, profile, sim).makespan_ms;
+  std::printf("\n%-12s | %9.2f %9.2f %6.2fx | 48 chains pinned 47:1\n",
+              "skewed", stat_ms, steal_ms,
+              steal_ms > 0 ? stat_ms / steal_ms : 0.0);
+  record("executor_sim12c", "skewed_chains", "47:1 skew",
+         {{"static_ms", stat_ms},
+          {"steal_ms", steal_ms},
+          {"speedup", steal_ms > 0 ? stat_ms / steal_ms : 0.0}});
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_out = arg.substr(arg.find('=') + 1);
+    } else {
+      std::fprintf(stderr, "usage: serve_throughput [--json-out FILE]\n");
+      return 2;
+    }
+  }
   const int requests = env_int("RAMIEL_SERVE_REQUESTS", 96);
   const int clients = env_int("RAMIEL_SERVE_CLIENTS", 8);
 
@@ -100,6 +264,12 @@ int main() {
                   model.c_str(), cfg.label, stats.throughput_rps(),
                   stats.latency.p50_ms, stats.latency.p99_ms,
                   stats.batch_fill(), sim);
+      record("throughput", model, cfg.label,
+             {{"measured_rps", stats.throughput_rps()},
+              {"p50_ms", stats.latency.p50_ms},
+              {"p99_ms", stats.latency.p99_ms},
+              {"batch_fill", stats.batch_fill()},
+              {"sim12_rps", sim}});
       if (cfg.batch == 1) {
         rps_b1 = stats.throughput_rps();
         sim_b1 = sim;
@@ -139,6 +309,17 @@ int main() {
                 rep.completed == burst.requests && sat.failed == 0
                     ? "server stayed healthy"
                     : "UNEXPECTED");
+    record("saturation", model, "depth 4 burst",
+           {{"served", static_cast<double>(sat.served)},
+            {"rejected", static_cast<double>(sat.rejected)},
+            {"failed", static_cast<double>(sat.failed)}});
+  }
+
+  executor_comparison(requests, clients);
+
+  if (!json_out.empty()) {
+    write_json(json_out);
+    std::printf("wrote %s (%zu rows)\n", json_out.c_str(), g_rows.size());
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "ramiel/pipeline.h"
 
+#include <cmath>
 #include <utility>
 
 #include "graph/shape_inference.h"
@@ -72,6 +73,27 @@ CompileMetrics& compile_metrics() {
   return *m;
 }
 
+/// Coefficient of variation of per-cluster summed node weight.
+double cluster_cost_cv(const Graph& g, const Clustering& clustering,
+                       const CostModel& cost) {
+  const std::size_t k = clustering.clusters.size();
+  if (k < 2) return 0.0;
+  std::vector<double> costs(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    for (NodeId id : clustering.clusters[c].nodes) {
+      costs[c] += static_cast<double>(cost.node_weight(g.node(id)));
+    }
+  }
+  double mean = 0.0;
+  for (double c : costs) mean += c;
+  mean /= static_cast<double>(k);
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (double c : costs) var += (c - mean) * (c - mean);
+  var /= static_cast<double>(k);
+  return std::sqrt(var) / mean;
+}
+
 }  // namespace
 
 CompiledModel compile_model(Graph graph, const PipelineOptions& options) {
@@ -121,6 +143,7 @@ CompiledModel compile_model(Graph graph, const PipelineOptions& options) {
     out.clustering = merge_clusters(graph, cost, lc);
     t.done(out.clustering.size());
   }
+  out.cluster_cost_cv = cluster_cost_cv(graph, out.clustering, cost);
   {
     PassTimer t("hyperclustering", graph, cost, out.pass_reports);
     out.hyperclusters =
@@ -170,6 +193,7 @@ std::string compile_report_json(const CompiledModel& cm) {
   out += ",\"clusters_before_merge\":" +
          std::to_string(cm.clusters_before_merge);
   out += ",\"clusters\":" + std::to_string(cm.clustering.size());
+  out += ",\"cluster_cost_cv\":" + json_number(cm.cluster_cost_cv);
   out += ",\"batch\":" + std::to_string(cm.hyperclusters.batch);
   out += ",\"folded_nodes\":" + std::to_string(cm.fold_stats.folded_nodes);
   out += ",\"dce_removed\":" + std::to_string(cm.fold_stats.dce_removed);

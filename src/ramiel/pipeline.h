@@ -90,6 +90,11 @@ struct CompiledModel {
   CloningStats clone_stats;
   int batch_norms_folded = 0;
   int activations_fused = 0;
+  /// Coefficient of variation (stddev/mean) of per-cluster summed node
+  /// weight — the skew measure `--executor auto` compares against
+  /// RAMIEL_AUTO_STEAL_CV to decide between the static and work-stealing
+  /// runtimes. 0 for perfectly balanced clusters (or fewer than two).
+  double cluster_cost_cv = 0.0;
   double compile_seconds = 0.0;     // Table VIII "CT(s)"
   std::vector<PassReport> pass_reports;  // one entry per stage that ran
 };

@@ -1,0 +1,53 @@
+// Small helpers shared by every executor (sequential, static parallel,
+// work-stealing): resolving node inputs that are constants or graph inputs,
+// and collecting graph outputs that never pass through a kernel.
+#pragma once
+
+#include <algorithm>
+
+#include "graph/graph.h"
+#include "rt/executor.h"
+#include "support/check.h"
+#include "support/string_util.h"
+
+namespace ramiel::rt {
+
+/// Fetches one node input that is constant or a graph input; returns false
+/// when the value is produced by another (live) node — the caller resolves
+/// those from its own value store.
+inline bool fetch_static_input(const Graph& g, ValueId v,
+                               const TensorMap& sample_in, Tensor* out) {
+  const Value& val = g.value(v);
+  if (val.is_constant()) {
+    *out = *val.const_data;
+    return true;
+  }
+  if (val.producer == kNoNode || g.node(val.producer).dead) {
+    auto it = sample_in.find(val.name);
+    RAMIEL_CHECK(it != sample_in.end(),
+                 str_cat("missing graph input '", val.name, "'"));
+    *out = it->second;
+    return true;
+  }
+  return false;
+}
+
+/// Collects per-sample graph outputs that are constants or graph inputs
+/// (possible after aggressive folding).
+inline void collect_static_outputs(const Graph& g, const TensorMap& sample_in,
+                                   TensorMap* outputs) {
+  for (ValueId ov : g.outputs()) {
+    const Value& val = g.value(ov);
+    Tensor t;
+    if (fetch_static_input(g, ov, sample_in, &t)) {
+      outputs->emplace(val.name, std::move(t));
+    }
+  }
+}
+
+inline bool is_graph_output(const Graph& g, ValueId v) {
+  return std::find(g.outputs().begin(), g.outputs().end(), v) !=
+         g.outputs().end();
+}
+
+}  // namespace ramiel::rt

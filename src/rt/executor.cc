@@ -9,12 +9,18 @@
 
 #include "graph/op_eval.h"
 #include "obs/metrics.h"
+#include "rt/exec_util.h"
 #include "support/check.h"
 #include "support/stopwatch.h"
 #include "support/string_util.h"
 #include "tensor/thread_pool.h"
 
 namespace ramiel {
+
+using rt::collect_static_outputs;
+using rt::fetch_static_input;
+using rt::is_graph_output;
+
 namespace {
 
 /// Payload size of one message/activation (dense float32 tensors).
@@ -64,43 +70,6 @@ void record_run_metrics(const std::vector<WorkerProfile>& wps,
   if (avoided > 0) m.allocs_avoided->inc(avoided);
   m.runs->inc();
   m.run_wall_ms->observe(wall_ms);
-}
-
-/// Fetches one node input that is constant or a graph input; returns false
-/// when the value is produced by another node (caller resolves it).
-bool fetch_static_input(const Graph& g, ValueId v, const TensorMap& sample_in,
-                        Tensor* out) {
-  const Value& val = g.value(v);
-  if (val.is_constant()) {
-    *out = *val.const_data;
-    return true;
-  }
-  if (val.producer == kNoNode || g.node(val.producer).dead) {
-    auto it = sample_in.find(val.name);
-    RAMIEL_CHECK(it != sample_in.end(),
-                 str_cat("missing graph input '", val.name, "'"));
-    *out = it->second;
-    return true;
-  }
-  return false;
-}
-
-/// Collects per-sample graph outputs that are constants or graph inputs
-/// (possible after aggressive folding).
-void collect_static_outputs(const Graph& g, const TensorMap& sample_in,
-                            TensorMap* outputs) {
-  for (ValueId ov : g.outputs()) {
-    const Value& val = g.value(ov);
-    Tensor t;
-    if (fetch_static_input(g, ov, sample_in, &t)) {
-      outputs->emplace(val.name, std::move(t));
-    }
-  }
-}
-
-bool is_graph_output(const Graph& g, ValueId v) {
-  return std::find(g.outputs().begin(), g.outputs().end(), v) !=
-         g.outputs().end();
 }
 
 }  // namespace

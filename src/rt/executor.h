@@ -37,6 +37,7 @@
 #include "mem/arena.h"
 #include "mem/plan.h"
 #include "passes/hypercluster.h"
+#include "rt/executor_kind.h"
 #include "rt/mailbox.h"
 #include "rt/profiler.h"
 #include "tensor/tensor.h"
@@ -59,6 +60,30 @@ struct RunOptions {
   bool trace = false;
 };
 
+/// The executor seam: everything the serving layer (and the tools) need
+/// from a batch runtime, implemented by the static per-cluster
+/// ParallelExecutor and by the work-stealing StealExecutor (rt/steal/).
+/// Construct concrete executors directly or via make_executor()
+/// (rt/steal/steal_executor.h).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Runs one batch (size fixed by the hyperclustering); returns per-sample
+  /// graph outputs. Safe to call repeatedly and from multiple threads.
+  virtual std::vector<TensorMap> run(const std::vector<TensorMap>& inputs,
+                                     const RunOptions& options = {},
+                                     Profile* profile = nullptr) = 0;
+
+  virtual ExecutorKind kind() const = 0;
+  virtual int num_workers() const = 0;
+  virtual int batch() const = 0;
+  virtual std::uint64_t runs_completed() const = 0;
+
+  /// True when this executor backs intermediates with a static memory plan.
+  virtual bool mem_plan_enabled() const = 0;
+};
+
 /// Single-threaded reference executor.
 class SequentialExecutor {
  public:
@@ -77,7 +102,7 @@ class SequentialExecutor {
 };
 
 /// Multi-worker cluster executor (one persistent thread per hypercluster).
-class ParallelExecutor {
+class ParallelExecutor final : public Executor {
  public:
   /// The graph must outlive the executor. `hc.batch` fixes the batch size
   /// accepted by run(). Worker threads start immediately and park until the
@@ -87,7 +112,7 @@ class ParallelExecutor {
   /// heap (`--mem-plan=off`).
   ParallelExecutor(const Graph* graph, Hyperclustering hc,
                    const mem::MemPlan* mem_plan = nullptr);
-  ~ParallelExecutor();
+  ~ParallelExecutor() override;
 
   ParallelExecutor(const ParallelExecutor&) = delete;
   ParallelExecutor& operator=(const ParallelExecutor&) = delete;
@@ -98,19 +123,23 @@ class ParallelExecutor {
   /// threads (calls are serialized).
   std::vector<TensorMap> run(const std::vector<TensorMap>& batch_inputs,
                              const RunOptions& options = {},
-                             Profile* profile = nullptr);
+                             Profile* profile = nullptr) override;
 
-  int num_workers() const { return static_cast<int>(hc_.workers.size()); }
+  ExecutorKind kind() const override { return ExecutorKind::kStatic; }
+
+  int num_workers() const override {
+    return static_cast<int>(hc_.workers.size());
+  }
 
   /// Batch size every run() must supply.
-  int batch() const { return hc_.batch; }
+  int batch() const override { return hc_.batch; }
 
   /// Number of run() calls completed (success or failure) — lets tests
   /// confirm thread reuse rather than re-creation.
-  std::uint64_t runs_completed() const;
+  std::uint64_t runs_completed() const override;
 
   /// True when this executor runs with a (non-empty) memory plan.
-  bool mem_plan_enabled() const { return !plan_.empty(); }
+  bool mem_plan_enabled() const override { return !plan_.empty(); }
 
   /// Bytes currently held by the per-worker arenas (0 before the first
   /// planned run, and always 0 with the plan disabled).

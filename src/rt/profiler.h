@@ -52,8 +52,11 @@ struct QueueDepthSample {
 /// Per-worker summary.
 struct WorkerProfile {
   std::int64_t busy_ns = 0;        // time inside kernels
-  std::int64_t recv_wait_ns = 0;   // slack: blocked on Inbox::get
+  std::int64_t recv_wait_ns = 0;   // slack: blocked on Inbox::get (static
+                                   // executor) or parked idle (steal)
   int tasks = 0;
+  int tasks_stolen = 0;            // steal executor: tasks taken from a
+                                   // victim's deque (0 on the static path)
   int messages_sent = 0;
   std::int64_t bytes_sent = 0;     // payload bytes shipped to other workers
   std::int64_t bytes_received = 0; // payload bytes pulled from the inbox

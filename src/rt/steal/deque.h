@@ -1,0 +1,116 @@
+// Chase–Lev work-stealing deque, specialized for the steal executor.
+//
+// Each worker owns one deque of task indices. The owner pushes and pops at
+// the bottom (LIFO — a just-unlocked successor usually has its inputs hot in
+// cache); idle thieves steal from the top (FIFO — they take the oldest, most
+// likely-to-unlock-more work, the opposite end from where the owner is
+// active, so owner and thief only contend on the final element).
+//
+// Two simplifications versus the general-purpose deque:
+//
+//   * Fixed capacity. The task graph is known before the run starts and
+//     every task is pushed exactly once (by the worker that decremented its
+//     dependency count to zero, or as an initial seed), so a capacity of
+//     next_pow2(total tasks) can never overflow and slots are never
+//     recycled within a run — which removes the take/grow hazard of the
+//     growable variant entirely.
+//   * Sequentially consistent top/bottom. The pop/steal race on the last
+//     element is the classic Dekker pattern; seq_cst on the two counters
+//     makes it obviously correct (and TSan-clean) and costs nothing at
+//     task granularity, where one pop amortizes a whole kernel call.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace ramiel::steal {
+
+class WorkDeque {
+ public:
+  WorkDeque() = default;
+
+  /// Sizes the buffer for at most `max_tasks` lifetime pushes per run.
+  /// Called once, before any worker thread exists.
+  void reset_capacity(std::size_t max_tasks) {
+    std::size_t cap = 1;
+    while (cap < max_tasks) cap <<= 1;
+    if (cap > capacity_) {
+      buffer_ = std::make_unique<std::atomic<std::int32_t>[]>(cap);
+      capacity_ = cap;
+    }
+    mask_ = capacity_ - 1;
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Never fails (capacity covers every task).
+  void push(std::int32_t task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    buffer_[static_cast<std::size_t>(b) & mask_].store(
+        task, std::memory_order_relaxed);
+    // Publish the slot before the new bottom; a thief that acquires the new
+    // bottom therefore sees the slot contents.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: takes the most recently pushed task. Returns false when
+  /// the deque is empty.
+  bool pop(std::int32_t* out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t <= b) {
+      *out = buffer_[static_cast<std::size_t>(b) & mask_].load(
+          std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it via top.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          // A thief won; restore bottom to the (now empty) canonical state.
+          bottom_.store(b + 1, std::memory_order_seq_cst);
+          return false;
+        }
+        bottom_.store(b + 1, std::memory_order_seq_cst);
+      }
+      return true;
+    }
+    // Already empty; undo the speculative decrement.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return false;
+  }
+
+  /// Any thief: takes the oldest task. Returns false when empty or when it
+  /// lost the race for the contended element (callers just move on to the
+  /// next victim).
+  bool steal(std::int32_t* out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    const std::int32_t task = buffer_[static_cast<std::size_t>(t) & mask_]
+                                  .load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    *out = task;
+    return true;
+  }
+
+  /// Racy size estimate (sleep/wake heuristics only).
+  bool maybe_nonempty() const {
+    return bottom_.load(std::memory_order_acquire) >
+           top_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::unique_ptr<std::atomic<std::int32_t>[]> buffer_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  // Padded apart: top is hammered by thieves, bottom by the owner.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace ramiel::steal

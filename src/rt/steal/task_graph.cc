@@ -1,0 +1,105 @@
+#include "rt/steal/task_graph.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ramiel::steal {
+
+TaskGraph build_task_graph(const Graph& graph, const Hyperclustering& hc,
+                           bool chain_streams) {
+  const int k = static_cast<int>(hc.workers.size());
+  const int batch = hc.batch;
+  RAMIEL_CHECK(k >= 1, "hyperclustering has no workers");
+  RAMIEL_CHECK(batch >= 1, "hyperclustering batch must be >= 1");
+
+  TaskGraph tg;
+  tg.num_workers = k;
+  tg.batch = batch;
+  tg.stream_chained = chain_streams;
+
+  // Task ids in hypercluster order (worker-major); task_of maps a
+  // (node, sample) pair back to its id the same way hc.worker_of does.
+  const std::size_t nodes = static_cast<std::size_t>(hc.num_nodes);
+  std::vector<std::int32_t> task_of(nodes * static_cast<std::size_t>(batch),
+                                    -1);
+  auto slot = [&](NodeId n, int s) {
+    return static_cast<std::size_t>(s) * nodes + static_cast<std::size_t>(n);
+  };
+  for (int w = 0; w < k; ++w) {
+    for (const HyperTask& t : hc.workers[static_cast<std::size_t>(w)]) {
+      task_of[slot(t.node, t.sample)] =
+          static_cast<std::int32_t>(tg.tasks.size());
+      tg.tasks.push_back(StealTask{t.node, t.sample, w});
+    }
+  }
+  const std::size_t n_tasks = tg.tasks.size();
+  tg.initial_deps.assign(n_tasks, 0);
+
+  // Predecessors of task t: the producing task of every non-static input
+  // (deduplicated — a node may read several outputs of one producer), plus
+  // its stream predecessor when chaining. Collected once, then inverted
+  // into CSR successor lists.
+  std::vector<std::vector<std::int32_t>> preds(n_tasks);
+  auto add_pred = [&](std::int32_t t, std::int32_t p) {
+    auto& ps = preds[static_cast<std::size_t>(t)];
+    if (std::find(ps.begin(), ps.end(), p) == ps.end()) ps.push_back(p);
+  };
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    const StealTask& task = tg.tasks[t];
+    const Node& n = graph.node(task.node);
+    for (ValueId v : n.inputs) {
+      const Value& val = graph.value(v);
+      if (val.is_constant()) continue;  // payload lives on the value
+      if (val.producer == kNoNode || graph.node(val.producer).dead) continue;
+      const std::int32_t p = task_of[slot(val.producer, task.sample)];
+      RAMIEL_CHECK(p >= 0, "producer node missing from hyperclustering");
+      add_pred(static_cast<std::int32_t>(t), p);
+    }
+  }
+  if (chain_streams) {
+    // hc.workers[w] interleaves samples; the per-sample subsequence is that
+    // stream's planned order.
+    std::vector<std::int32_t> prev(static_cast<std::size_t>(batch));
+    for (int w = 0; w < k; ++w) {
+      std::fill(prev.begin(), prev.end(), -1);
+      for (const HyperTask& ht : hc.workers[static_cast<std::size_t>(w)]) {
+        const std::int32_t t = task_of[slot(ht.node, ht.sample)];
+        std::int32_t& p = prev[static_cast<std::size_t>(ht.sample)];
+        if (p >= 0) add_pred(t, p);
+        p = t;
+      }
+    }
+  }
+
+  tg.succ_begin.assign(n_tasks + 1, 0);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    tg.initial_deps[t] = static_cast<std::int32_t>(preds[t].size());
+    for (std::int32_t p : preds[t]) {
+      ++tg.succ_begin[static_cast<std::size_t>(p) + 1];
+    }
+  }
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    tg.succ_begin[t + 1] += tg.succ_begin[t];
+  }
+  tg.succ.resize(static_cast<std::size_t>(tg.succ_begin[n_tasks]));
+  std::vector<std::int32_t> fill(tg.succ_begin.begin(),
+                                 tg.succ_begin.end() - 1);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    for (std::int32_t p : preds[t]) {
+      tg.succ[static_cast<std::size_t>(fill[static_cast<std::size_t>(p)]++)] =
+          static_cast<std::int32_t>(t);
+    }
+  }
+
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    if (tg.initial_deps[t] == 0) {
+      tg.seeds.push_back(static_cast<std::int32_t>(t));
+    }
+  }
+  RAMIEL_CHECK(n_tasks == 0 || !tg.seeds.empty(),
+               "task graph has no roots (cyclic hyperclustering?)");
+  return tg;
+}
+
+}  // namespace ramiel::steal

@@ -3,20 +3,42 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rt/steal/steal_executor.h"
 #include "support/check.h"
 #include "support/stopwatch.h"
 #include "support/string_util.h"
 
 namespace ramiel::serve {
+namespace {
+
+/// Resolves the kAuto policy: steal when the static placement is skewed
+/// enough that its loaded worker would gate the makespan.
+ExecutorKind resolve_executor(const ServeOptions& options,
+                              const CompiledModel& model) {
+  if (options.executor != ExecutorKind::kAuto) return options.executor;
+  return model.cluster_cost_cv > options.auto_steal_cv ? ExecutorKind::kSteal
+                                                       : ExecutorKind::kStatic;
+}
+
+}  // namespace
 
 Server::Server(CompiledModel model, ServeOptions options)
     : model_(std::move(model)),
       options_(options),
-      executor_(&model_.graph, model_.hyperclusters,
-                options.mem_plan ? &model_.mem_plan : nullptr),
+      executor_(make_executor(resolve_executor(options, model_), &model_.graph,
+                              model_.hyperclusters,
+                              options.mem_plan ? &model_.mem_plan : nullptr)),
       queue_(static_cast<std::size_t>(options.queue_depth)) {
   RAMIEL_CHECK(options.queue_depth >= 1, "queue depth must be >= 1");
+  // Which runtime this server picked (0 = static, 1 = steal) — lets a fleet
+  // dashboard see how often the auto policy flips to stealing.
+  obs::registry()
+      .gauge("ramiel_serve_executor_steal",
+             "1 when this server runs the work-stealing executor",
+             {{"model", model_.graph.name()}})
+      ->set(executor_->kind() == ExecutorKind::kSteal ? 1.0 : 0.0);
   batcher_ = std::thread([this] { serve_loop(); });
 }
 
@@ -70,7 +92,7 @@ void Server::append_trace(obs::Timeline& timeline) const {
 }
 
 void Server::serve_loop() {
-  const int slots = executor_.batch();
+  const int slots = executor_->batch();
   BatcherOptions batcher_opts;
   batcher_opts.batch = slots;
   batcher_opts.flush_timeout_ms = options_.flush_timeout_ms;
@@ -94,7 +116,7 @@ void Server::serve_loop() {
     const std::int64_t dispatch_ns = Stopwatch::now_ns();
     try {
       std::vector<TensorMap> outputs =
-          executor_.run(inputs, run_opts, &profile);
+          executor_->run(inputs, run_opts, &profile);
       stats_.on_batch(real, slots, profile);
       if (options_.trace) {
         std::lock_guard<std::mutex> lk(trace_mu_);

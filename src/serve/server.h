@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -53,6 +54,17 @@ struct ServeOptions {
   /// keeps a persistent arena reused across every batch (src/mem/).
   /// Deployment override: RAMIEL_MEM_PLAN=arena|off.
   bool mem_plan = env_mem_plan_default(true);
+  /// Which runtime executes batches (rt/executor_kind.h). kAuto resolves at
+  /// server construction: the work-stealing runtime when the compiled
+  /// model's cluster-cost variation (CompiledModel::cluster_cost_cv)
+  /// exceeds auto_steal_cv — skewed static placements are where stealing
+  /// wins — else the static runtime.
+  /// Deployment override: RAMIEL_EXECUTOR=static|steal|auto.
+  ExecutorKind executor = env_executor_kind(ExecutorKind::kStatic,
+                                            /*allow_auto=*/true);
+  /// kAuto threshold on cluster_cost_cv.
+  /// Deployment override: RAMIEL_AUTO_STEAL_CV.
+  double auto_steal_cv = env_auto_steal_cv(0.35);
 };
 
 class Server {
@@ -91,10 +103,13 @@ class Server {
   /// the complete compile→serve timeline.
   void append_trace(obs::Timeline& timeline) const;
 
-  int batch() const { return executor_.batch(); }
+  int batch() const { return executor_->batch(); }
   std::size_t queue_depth() const { return queue_.depth(); }
   const Graph& graph() const { return model_.graph; }
   const CompiledModel& model() const { return model_; }
+
+  /// The runtime actually serving batches (kAuto already resolved).
+  ExecutorKind executor_kind() const { return executor_->kind(); }
 
  private:
   /// One executor dispatch as seen by the batcher (trace mode only).
@@ -109,7 +124,7 @@ class Server {
 
   CompiledModel model_;
   ServeOptions options_;
-  ParallelExecutor executor_;
+  std::unique_ptr<Executor> executor_;
   RequestQueue queue_;
   StatsCollector stats_;
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "rt/steal/task_graph.h"
 #include "support/check.h"
 #include "support/string_util.h"
 
@@ -234,6 +235,152 @@ SimResult simulate_parallel(const Graph& graph, const Hyperclustering& hc,
                   " tasks pending on a worker (invalid clustering?)"));
     }
   }
+  result.makespan_ms = makespan_us / 1e3;
+  return result;
+}
+
+SimResult simulate_steal(const Graph& graph, const Hyperclustering& hc,
+                         const CostProfile& profile,
+                         const SimOptions& options) {
+  const int k = static_cast<int>(hc.workers.size());
+  RAMIEL_CHECK(k >= 1, "need at least one worker");
+  const steal::TaskGraph tg =
+      steal::build_task_graph(graph, hc, /*chain_streams=*/false);
+  const std::size_t n = tg.size();
+
+  // Same serial-probe concurrency estimate as simulate_parallel, so the two
+  // modes face identical intra-op contention assumptions.
+  int active_workers = k;
+  if (options.intra_op_threads > 1) {
+    SimOptions probe = options;
+    probe.intra_op_threads = 1;
+    probe.trace = false;
+    SimResult serial = simulate_steal(graph, hc, profile, probe);
+    double busy_us = 0.0;
+    for (const SimWorkerStats& w : serial.workers) busy_us += w.busy_us;
+    if (serial.makespan_ms > 0.0) {
+      active_workers = std::max(
+          1, std::min(k, static_cast<int>(
+                             std::lround(busy_us / 1e3 / serial.makespan_ms))));
+    }
+  }
+
+  SimResult result;
+  result.workers.assign(static_cast<std::size_t>(k), SimWorkerStats{});
+
+  // Assignment is greedy and work-conserving: the earliest-free worker takes
+  // the ready task it can start soonest (pred end + comm when the pred ran
+  // elsewhere). Tasks complete "instantly" in the data structures — their
+  // end time is computed at assignment — so the ready list can only be
+  // empty when every unassigned task still has unassigned predecessors,
+  // which a DAG cannot sustain.
+  std::vector<std::int32_t> deps(tg.initial_deps);
+  std::vector<double> end_time(n, 0.0);
+  std::vector<int> ran_on(n, -1);
+  std::vector<std::int32_t> ready(tg.seeds);
+  using Event = std::pair<double, int>;  // (free time, worker)
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> idle;
+  for (int w = 0; w < k; ++w) idle.emplace(0.0, w);
+
+  // Map (node, sample) -> task id for pred lookups.
+  const std::size_t nodes = static_cast<std::size_t>(hc.num_nodes);
+  std::vector<std::int32_t> task_of(nodes * static_cast<std::size_t>(hc.batch),
+                                    -1);
+  for (std::size_t t = 0; t < n; ++t) {
+    const steal::StealTask& st = tg.tasks[t];
+    task_of[static_cast<std::size_t>(st.sample) * nodes +
+            static_cast<std::size_t>(st.node)] = static_cast<std::int32_t>(t);
+  }
+  // Earliest start of task t on worker w, and whether every live input was
+  // produced on w (a "local" continuation — what the owner's LIFO pop runs).
+  auto earliest_start = [&](std::int32_t t, int w, double free_at,
+                            bool* local) {
+    double start = free_at;
+    *local = true;
+    const steal::StealTask& st = tg.tasks[static_cast<std::size_t>(t)];
+    const Node& node = graph.node(st.node);
+    for (ValueId v : node.inputs) {
+      const Value& val = graph.value(v);
+      if (val.is_constant()) continue;
+      if (val.producer == kNoNode || graph.node(val.producer).dead) continue;
+      const std::int32_t p =
+          task_of[static_cast<std::size_t>(st.sample) * nodes +
+                  static_cast<std::size_t>(val.producer)];
+      double avail = end_time[static_cast<std::size_t>(p)];
+      if (ran_on[static_cast<std::size_t>(p)] != w) {
+        *local = false;
+        avail += options.machine.comm_us(
+            profile.value_bytes[static_cast<std::size_t>(v)]);
+      }
+      start = std::max(start, avail);
+    }
+    return start;
+  };
+
+  std::size_t done = 0;
+  double makespan_us = 0.0;
+  std::vector<double> worker_clock(static_cast<std::size_t>(k), 0.0);
+  while (done < n) {
+    RAMIEL_CHECK(!ready.empty(),
+                 "steal simulation stalled (cyclic task graph?)");
+    const auto [free_at, w] = idle.top();
+    idle.pop();
+    // Pick the ready task this worker can start soonest; ties go to a local
+    // continuation (the real executor's LIFO pop keeps producer-consumer
+    // chains on one worker, so migrations only happen when they pay).
+    std::size_t best = 0;
+    bool best_local = false;
+    double best_start = earliest_start(ready[0], w, free_at, &best_local);
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      bool local = false;
+      const double s = earliest_start(ready[i], w, free_at, &local);
+      if (s < best_start || (s == best_start && local && !best_local)) {
+        best = i;
+        best_start = s;
+        best_local = local;
+      }
+    }
+    const std::int32_t t = ready[best];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+    const steal::StealTask& st = tg.tasks[static_cast<std::size_t>(t)];
+    const Node& node = graph.node(st.node);
+
+    SimWorkerStats& stats = result.workers[static_cast<std::size_t>(w)];
+    if (best_start > worker_clock[static_cast<std::size_t>(w)]) {
+      stats.slack_us += best_start - worker_clock[static_cast<std::size_t>(w)];
+    }
+    double dur = 0.0;
+    if (node.kind != OpKind::kConstant) {
+      dur = options.machine.per_task_overhead_us +
+            options.machine.kernel_us(
+                profile.node_us[static_cast<std::size_t>(st.node)],
+                options.intra_op_threads, active_workers,
+                kernel_is_parallelizable(node.kind));
+    }
+    const double end = best_start + dur;
+    worker_clock[static_cast<std::size_t>(w)] = end;
+    end_time[static_cast<std::size_t>(t)] = end;
+    ran_on[static_cast<std::size_t>(t)] = w;
+    stats.busy_us += dur;
+    ++stats.tasks;
+    if (options.trace) {
+      result.events.push_back(TaskEvent{
+          st.node, st.sample, w, static_cast<std::int64_t>(best_start * 1e3),
+          static_cast<std::int64_t>(end * 1e3)});
+    }
+    makespan_us = std::max(makespan_us, end);
+    ++done;
+    idle.emplace(end, w);
+
+    for (std::int32_t i = tg.succ_begin[static_cast<std::size_t>(t)];
+         i < tg.succ_begin[static_cast<std::size_t>(t) + 1]; ++i) {
+      const std::int32_t succ = tg.succ[static_cast<std::size_t>(i)];
+      if (--deps[static_cast<std::size_t>(succ)] == 0) {
+        ready.push_back(succ);
+      }
+    }
+  }
+
   result.makespan_ms = makespan_us / 1e3;
   return result;
 }

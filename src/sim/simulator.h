@@ -54,6 +54,19 @@ SimResult simulate_parallel(const Graph& graph, const Hyperclustering& hc,
                             const CostProfile& profile,
                             const SimOptions& options = {});
 
+/// Simulates the work-stealing runtime (rt/steal/) on the same machine
+/// model: the identical task set, but dependency-scheduled greedily onto k
+/// interchangeable workers instead of replaying the static per-cluster
+/// placement — any idle worker takes the oldest-ready task, the idealization
+/// of Chase–Lev stealing. Cross-worker reads are charged the machine's comm
+/// cost (a shared-memory cache transfer stands in for the static path's
+/// mailbox hop). Comparing this against simulate_parallel on a skewed
+/// clustering is how the bench demonstrates the steal win on a 12-core
+/// machine the container does not have.
+SimResult simulate_steal(const Graph& graph, const Hyperclustering& hc,
+                         const CostProfile& profile,
+                         const SimOptions& options = {});
+
 /// Simulated single-worker (sequential) execution time for `batch` samples,
 /// in milliseconds. Honors intra-op threading (all cores available to the
 /// single worker).

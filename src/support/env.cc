@@ -57,4 +57,22 @@ bool env_mem_plan_default(bool fallback) {
   return fallback;
 }
 
+std::string env_kernel_path(const std::string& fallback) {
+  return env_str("RAMIEL_KERNEL", fallback);
+}
+
+std::int64_t env_parallel_threshold(std::int64_t fallback) {
+  const char* v = std::getenv("RAMIEL_PARALLEL_THRESHOLD");
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < 0) return fallback;
+  return static_cast<std::int64_t>(parsed);
+}
+
+double env_auto_steal_cv(double fallback) {
+  const double v = env_double("RAMIEL_AUTO_STEAL_CV", fallback);
+  return v >= 0.0 ? v : fallback;
+}
+
 }  // namespace ramiel

@@ -2,6 +2,7 @@
 // shrink workloads on slow CI machines).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace ramiel {
@@ -36,5 +37,22 @@ int env_metrics_interval_ms(int fallback);
 /// arenas ("arena"/"on"/"1") or plain heap allocation ("off"/"0"/"false").
 /// Unset or unrecognized values return `fallback`.
 bool env_mem_plan_default(bool fallback);
+
+/// RAMIEL_KERNEL — kernel backend selector. Returns the raw value ("scalar"
+/// or "vector" are meaningful to kernels/dispatch.cc); `fallback` when
+/// unset. Kept a string so support/ stays independent of the kernels'
+/// Path enum.
+std::string env_kernel_path(const std::string& fallback);
+
+/// RAMIEL_PARALLEL_THRESHOLD — minimum estimated per-op cost (numel x
+/// cost-per-item) before dispatch_parallel_for fans out to the intra-op
+/// pool. Zero is valid (always parallelize); negative or unparseable
+/// values fall back.
+std::int64_t env_parallel_threshold(std::int64_t fallback);
+
+/// RAMIEL_AUTO_STEAL_CV — cluster-cost coefficient-of-variation threshold
+/// above which `--executor auto` picks the work-stealing runtime. Negative
+/// or unparseable values fall back.
+double env_auto_steal_cv(double fallback);
 
 }  // namespace ramiel

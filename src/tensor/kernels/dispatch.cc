@@ -1,8 +1,7 @@
 // Runtime kernel-path dispatch: RAMIEL_KERNEL env knob + CPUID probe.
 #include <atomic>
-#include <cstdlib>
-#include <cstring>
 
+#include "support/env.h"
 #include "tensor/kernels/kernels.h"
 #include "tensor/kernels/microkernel.h"
 
@@ -10,8 +9,7 @@ namespace ramiel::kernels {
 namespace {
 
 Path env_path() {
-  const char* env = std::getenv("RAMIEL_KERNEL");
-  if (env != nullptr && std::strcmp(env, "scalar") == 0) return Path::kScalar;
+  if (env_kernel_path("vector") == "scalar") return Path::kScalar;
   // Unknown values (and "vector") select the vector path — it degrades to
   // the portable microkernel on its own, so it is always a safe default.
   return Path::kVector;

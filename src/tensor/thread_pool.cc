@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 
 #include "support/check.h"
+#include "support/env.h"
 
 namespace ramiel {
 
@@ -124,14 +124,8 @@ void dispatch_parallel_for(
 }
 
 std::int64_t parallel_dispatch_threshold() {
-  static const std::int64_t cutoff = [] {
-    if (const char* env = std::getenv("RAMIEL_PARALLEL_THRESHOLD")) {
-      char* end = nullptr;
-      const long long v = std::strtoll(env, &end, 10);
-      if (end != env && v >= 0) return static_cast<std::int64_t>(v);
-    }
-    return static_cast<std::int64_t>(1) << 16;
-  }();
+  static const std::int64_t cutoff =
+      env_parallel_threshold(static_cast<std::int64_t>(1) << 16);
   return cutoff;
 }
 

@@ -1,0 +1,435 @@
+// Work-stealing runtime suite (ctest -L steal; CI also runs it under TSan
+// and ASan). The three contracts the subsystem must keep:
+//
+//   (a) outputs are BIT-identical to the static executor's — same kernels,
+//       same inputs, same intra-op width, only the interleaving differs —
+//       across random DAGs, the zoo, thread counts and mem-plan on/off;
+//   (b) every task runs exactly once with all dependencies honored (the
+//       deque never duplicates or drops; checked via per-run task counts
+//       and trace events, and by TSan on the whole suite);
+//   (c) under forced skew the idle workers actually steal (counters move).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "models/zoo.h"
+#include "obs/metrics.h"
+#include "passes/cluster_merging.h"
+#include "passes/linear_clustering.h"
+#include "ramiel/pipeline.h"
+#include "rt/executor.h"
+#include "rt/inputs.h"
+#include "rt/steal/deque.h"
+#include "rt/steal/steal_executor.h"
+#include "rt/steal/task_graph.h"
+#include "serve/server.h"
+#include "support/rng.h"
+#include "support/string_util.h"
+#include "test_util.h"
+
+namespace ramiel {
+namespace {
+
+/// Same generator family as property_test.cc: random DAG over [1, 8]
+/// values, numerically tame ops, constants mixed in.
+Graph random_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(str_cat("steal_random_", seed));
+  const Shape shape{1, 8};
+
+  std::vector<ValueId> pool;
+  const int num_inputs = 1 + static_cast<int>(rng.next_below(3));
+  for (int i = 0; i < num_inputs; ++i) {
+    ValueId v = g.add_value(str_cat("in", i), shape);
+    g.mark_input(v);
+    pool.push_back(v);
+  }
+  const int num_nodes = 10 + static_cast<int>(rng.next_below(40));
+  static constexpr OpKind kUnary[] = {OpKind::kRelu, OpKind::kSigmoid,
+                                      OpKind::kTanh, OpKind::kNeg,
+                                      OpKind::kIdentity};
+  static constexpr OpKind kBinary[] = {OpKind::kAdd, OpKind::kSub,
+                                       OpKind::kMul};
+  for (int i = 0; i < num_nodes; ++i) {
+    const std::uint64_t dice = rng.next_below(10);
+    NodeId n;
+    if (dice == 0) {
+      n = g.add_node(OpKind::kConstant, str_cat("const", i), {});
+      Tensor payload = Tensor::random(shape, rng, -0.5f, 0.5f);
+      g.value(g.node(n).outputs[0]).shape = payload.shape();
+      g.value(g.node(n).outputs[0]).const_data = std::move(payload);
+    } else if (dice <= 4) {
+      ValueId a = pool[rng.next_below(pool.size())];
+      n = g.add_node(kUnary[rng.next_below(5)], str_cat("u", i), {a});
+    } else {
+      ValueId a = pool[rng.next_below(pool.size())];
+      ValueId b = pool[rng.next_below(pool.size())];
+      n = g.add_node(kBinary[rng.next_below(3)], str_cat("b", i), {a, b});
+    }
+    pool.push_back(g.node(n).outputs[0]);
+  }
+  int outputs = 0;
+  for (const Value& v : g.values()) {
+    if (v.consumers.empty() && v.producer != kNoNode) {
+      g.mark_output(v.id);
+      ++outputs;
+    }
+  }
+  if (outputs == 0) g.mark_output(pool.back());
+  infer_shapes(g);
+  g.validate();
+  return g;
+}
+
+/// Bit-exact comparison: same keys, same shapes, same bytes.
+void expect_bit_identical(const std::vector<TensorMap>& a,
+                          const std::vector<TensorMap>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    ASSERT_EQ(a[s].size(), b[s].size()) << "sample " << s;
+    for (const auto& [key, ta] : a[s]) {
+      auto it = b[s].find(key);
+      ASSERT_NE(it, b[s].end()) << key;
+      const Tensor& tb = it->second;
+      ASSERT_EQ(ta.shape().dims(), tb.shape().dims()) << key;
+      ASSERT_EQ(0, std::memcmp(ta.data().data(), tb.data().data(),
+                               ta.data().size() * sizeof(float)))
+          << "outputs differ bitwise for " << key << " sample " << s;
+    }
+  }
+}
+
+Hyperclustering cluster(const Graph& g, int batch) {
+  CostModel cost;
+  return build_hyperclusters(
+      g, merge_clusters(g, cost, linear_clustering(g, cost)), batch);
+}
+
+// ---------------------------------------------------------------------------
+// Deque unit tests.
+
+TEST(WorkDeque, OwnerPopsLifoThiefStealsFifo) {
+  steal::WorkDeque d;
+  d.reset_capacity(8);
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  std::int32_t t = -1;
+  EXPECT_TRUE(d.steal(&t));
+  EXPECT_EQ(t, 1);  // thief takes the oldest
+  EXPECT_TRUE(d.pop(&t));
+  EXPECT_EQ(t, 3);  // owner takes the newest
+  EXPECT_TRUE(d.pop(&t));
+  EXPECT_EQ(t, 2);
+  EXPECT_FALSE(d.pop(&t));
+  EXPECT_FALSE(d.steal(&t));
+  EXPECT_FALSE(d.maybe_nonempty());
+}
+
+TEST(WorkDeque, ConcurrentPopAndStealDeliverEachTaskExactlyOnce) {
+  constexpr std::int32_t kTasks = 20000;
+  constexpr int kThieves = 3;
+  steal::WorkDeque d;
+  d.reset_capacity(kTasks);
+
+  std::vector<std::atomic<int>> seen(kTasks);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int i = 0; i < kThieves; ++i) {
+    thieves.emplace_back([&] {
+      std::int32_t t;
+      while (!done.load(std::memory_order_acquire)) {
+        if (d.steal(&t)) seen[static_cast<std::size_t>(t)].fetch_add(1);
+      }
+      while (d.steal(&t)) seen[static_cast<std::size_t>(t)].fetch_add(1);
+    });
+  }
+  // Owner interleaves pushes with pops, the pattern the executor produces
+  // when unlocked successors go straight onto the local deque.
+  std::int32_t t;
+  for (std::int32_t i = 0; i < kTasks; ++i) {
+    d.push(i);
+    if (i % 3 == 0 && d.pop(&t)) seen[static_cast<std::size_t>(t)].fetch_add(1);
+  }
+  while (d.pop(&t)) seen[static_cast<std::size_t>(t)].fetch_add(1);
+  done.store(true, std::memory_order_release);
+  for (std::thread& th : thieves) th.join();
+
+  for (std::int32_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(i)].load(), 1)
+        << "task " << i << " delivered " << seen[static_cast<std::size_t>(i)]
+        << " times";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Task-graph construction.
+
+TEST(TaskGraph, OneTaskPerNodePerSampleWithDataDeps) {
+  Graph g = testing::make_diamond_graph();  // a -> {b, c} -> d
+  Hyperclustering hc = cluster(g, 2);
+  steal::TaskGraph tg = steal::build_task_graph(g, hc, false);
+  EXPECT_EQ(tg.size(), static_cast<std::size_t>(g.live_node_count() * 2));
+  // Each sample's subgraph: 'a' has no producer deps, d waits on b and c.
+  int zero_dep = 0;
+  for (std::size_t t = 0; t < tg.size(); ++t) {
+    const Node& n = g.node(tg.tasks[t].node);
+    if (n.name == "a") {
+      EXPECT_EQ(tg.initial_deps[t], 0);
+      ++zero_dep;
+    }
+    if (n.name == "d") {
+      EXPECT_EQ(tg.initial_deps[t], 2);
+    }
+  }
+  EXPECT_EQ(zero_dep, 2);
+  EXPECT_EQ(tg.seeds.size(), 2u);  // one 'a' per sample
+  EXPECT_FALSE(tg.stream_chained);
+}
+
+TEST(TaskGraph, ChainingSerializesEachPlannedStream) {
+  Graph g = testing::make_chain_graph();
+  Hyperclustering hc = cluster(g, 2);
+  steal::TaskGraph chained = steal::build_task_graph(g, hc, true);
+  steal::TaskGraph loose = steal::build_task_graph(g, hc, false);
+  EXPECT_TRUE(chained.stream_chained);
+  // Chain edges only ever add dependencies, and within one (worker, sample)
+  // stream every task except the first has its stream predecessor.
+  EXPECT_GE(chained.succ.size(), loose.succ.size());
+  std::map<std::pair<int, int>, int> zero_deps_per_stream;
+  for (std::size_t t = 0; t < chained.size(); ++t) {
+    if (chained.initial_deps[t] == 0) {
+      ++zero_deps_per_stream[{chained.tasks[t].home,
+                              chained.tasks[t].sample}];
+    }
+  }
+  for (const auto& [stream, count] : zero_deps_per_stream) {
+    EXPECT_LE(count, 1) << "stream (" << stream.first << "," << stream.second
+                        << ") has " << count << " unchained roots";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity against the static executor.
+
+class StealRandomGraphs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StealRandomGraphs, BitIdenticalToStaticWithAndWithoutMemPlan) {
+  PipelineOptions opts;
+  opts.generate_code = false;
+  opts.batch = 2;
+  CompiledModel cm = compile_model(random_graph(GetParam()), opts);
+  Rng rng(GetParam() + 17);
+  auto inputs = make_example_inputs(cm.graph, opts.batch, rng);
+
+  for (const bool mem_plan : {false, true}) {
+    const mem::MemPlan* plan = mem_plan ? &cm.mem_plan : nullptr;
+    ParallelExecutor stat(&cm.graph, cm.hyperclusters, plan);
+    StealExecutor steal(&cm.graph, cm.hyperclusters, plan);
+    auto a = stat.run(inputs);
+    auto b = steal.run(inputs);
+    expect_bit_identical(a, b);
+    // Re-running the steal executor must reproduce its own bits too (arena
+    // state and deques reset cleanly between runs).
+    auto c = steal.run(inputs);
+    expect_bit_identical(b, c);
+  }
+}
+
+TEST_P(StealRandomGraphs, EveryTaskRunsExactlyOnce) {
+  PipelineOptions opts;
+  opts.generate_code = false;
+  opts.batch = 3;
+  CompiledModel cm = compile_model(random_graph(GetParam()), opts);
+  Rng rng(GetParam() + 29);
+  auto inputs = make_example_inputs(cm.graph, opts.batch, rng);
+
+  StealExecutor steal(&cm.graph, cm.hyperclusters, &cm.mem_plan);
+  RunOptions run_opts;
+  run_opts.trace = true;
+  Profile profile;
+  steal.run(inputs, run_opts, &profile);
+
+  int executed = 0;
+  for (const WorkerProfile& w : profile.workers) executed += w.tasks;
+  EXPECT_EQ(static_cast<std::size_t>(executed), steal.task_graph().size());
+
+  // Trace spans cover every non-constant (node, sample) exactly once.
+  std::map<std::pair<NodeId, int>, int> runs;
+  for (const TaskEvent& ev : profile.events) ++runs[{ev.node, ev.sample}];
+  for (const auto& [key, count] : runs) EXPECT_EQ(count, 1);
+  std::size_t expected = 0;
+  for (const steal::StealTask& t : steal.task_graph().tasks) {
+    if (cm.graph.node(t.node).kind != OpKind::kConstant) ++expected;
+  }
+  EXPECT_EQ(runs.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StealRandomGraphs,
+                         ::testing::Values(1, 7, 23, 99, 1234));
+
+TEST(StealExecutor, BitIdenticalAcrossThreadCountsOnSqueezenet) {
+  PipelineOptions opts;
+  opts.generate_code = false;
+  opts.batch = 2;
+  opts.constant_folding = true;
+  CompiledModel cm = compile_model(models::build("squeezenet"), opts);
+  Rng rng(5);
+  auto inputs = make_example_inputs(cm.graph, opts.batch, rng);
+
+  ParallelExecutor stat(&cm.graph, cm.hyperclusters, &cm.mem_plan);
+  StealExecutor steal(&cm.graph, cm.hyperclusters, &cm.mem_plan);
+  for (const int threads : {1, 2, 4}) {
+    RunOptions run_opts;
+    run_opts.intra_op_threads = threads;
+    auto a = stat.run(inputs, run_opts);
+    auto b = steal.run(inputs, run_opts);
+    expect_bit_identical(a, b);
+  }
+}
+
+TEST(StealExecutor, BitIdenticalToStaticAcrossTheZoo) {
+  for (const std::string& name : models::model_names()) {
+    PipelineOptions opts;
+    opts.generate_code = false;
+    opts.batch = 2;
+    CompiledModel cm = compile_model(models::build(name), opts);
+    Rng rng(11);
+    auto inputs = make_example_inputs(cm.graph, opts.batch, rng);
+    ParallelExecutor stat(&cm.graph, cm.hyperclusters, &cm.mem_plan);
+    StealExecutor steal(&cm.graph, cm.hyperclusters, &cm.mem_plan);
+    auto a = stat.run(inputs);
+    auto b = steal.run(inputs);
+    SCOPED_TRACE(name);
+    expect_bit_identical(a, b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Steal activity under forced skew.
+
+/// 1 input -> kChains independent Sigmoid chains, all clustered onto worker
+/// 0 by hand; worker 1 gets a single tiny cluster. The only way worker 1
+/// ever runs chain work is by stealing it.
+TEST(StealExecutor, StealsUnderForcedSkew) {
+  constexpr int kChains = 48;
+  constexpr int kDepth = 6;
+  Graph g("skewed");
+  ValueId in = g.add_value("x", Shape{1, 2048});
+  g.mark_input(in);
+  std::vector<NodeId> all;
+  for (int c = 0; c < kChains; ++c) {
+    ValueId prev = in;
+    for (int d = 0; d < kDepth; ++d) {
+      NodeId n =
+          g.add_node(OpKind::kSigmoid, str_cat("c", c, "_d", d), {prev});
+      all.push_back(n);
+      prev = g.node(n).outputs[0];
+    }
+    g.mark_output(prev);
+  }
+  infer_shapes(g);
+  g.validate();
+
+  // Skewed two-cluster partition: cluster 1 gets one chain, cluster 0 the
+  // other 47 — the static placement would leave worker 1 idle ~98% of the
+  // run.
+  Clustering skew;
+  skew.clusters.resize(2);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    skew.clusters[i < kDepth ? 1 : 0].nodes.push_back(all[i]);
+  }
+  sort_clusters_topologically(g, skew);
+  finalize_clustering(g, skew);
+  Hyperclustering hc = build_hyperclusters(g, skew, 1);
+
+  obs::Counter* steals = obs::registry().counter(
+      "ramiel_steal_steals_total",
+      "Tasks obtained by stealing from another worker's deque");
+  const std::uint64_t before = steals->value();
+
+  StealExecutor steal(&g, std::move(hc));
+  Rng rng(3);
+  auto inputs = make_example_inputs(g, 1, rng);
+  int stolen = 0;
+  // Stealing needs the two worker threads to overlap; on a loaded 1-core
+  // host one run can theoretically complete before the second thread wakes,
+  // so allow a few attempts before declaring the counters dead.
+  for (int attempt = 0; attempt < 20 && stolen == 0; ++attempt) {
+    Profile profile;
+    steal.run(inputs, {}, &profile);
+    for (const WorkerProfile& w : profile.workers) stolen += w.tasks_stolen;
+  }
+  EXPECT_GT(stolen, 0) << "no task was ever stolen under 48:1 skew";
+  EXPECT_GE(steals->value(), before + static_cast<std::uint64_t>(stolen));
+}
+
+// ---------------------------------------------------------------------------
+// The seam: parsing, factory, auto policy.
+
+TEST(ExecutorKind, ParseAndRoundTrip) {
+  ExecutorKind kind = ExecutorKind::kAuto;
+  EXPECT_TRUE(parse_executor_kind("static", &kind));
+  EXPECT_EQ(kind, ExecutorKind::kStatic);
+  EXPECT_TRUE(parse_executor_kind("steal", &kind));
+  EXPECT_EQ(kind, ExecutorKind::kSteal);
+  EXPECT_FALSE(parse_executor_kind("auto", &kind));  // gated by allow_auto
+  EXPECT_TRUE(parse_executor_kind("auto", &kind, /*allow_auto=*/true));
+  EXPECT_EQ(kind, ExecutorKind::kAuto);
+  EXPECT_FALSE(parse_executor_kind("bogus", &kind));
+  EXPECT_EQ(kind, ExecutorKind::kAuto);  // untouched on failure
+  EXPECT_STREQ(to_string(ExecutorKind::kSteal), "steal");
+}
+
+TEST(ExecutorSeam, FactoryBuildsTheRequestedRuntime) {
+  Graph g = testing::make_diamond_graph();
+  Hyperclustering hc = cluster(g, 1);
+  auto stat = make_executor(ExecutorKind::kStatic, &g, hc);
+  auto steal = make_executor(ExecutorKind::kSteal, &g, std::move(hc));
+  EXPECT_EQ(stat->kind(), ExecutorKind::kStatic);
+  EXPECT_EQ(steal->kind(), ExecutorKind::kSteal);
+  Rng rng(1);
+  auto inputs = make_example_inputs(g, 1, rng);
+  expect_bit_identical(stat->run(inputs), steal->run(inputs));
+}
+
+TEST(ExecutorSeam, AutoPolicyFollowsClusterCostVariance) {
+  PipelineOptions opts;
+  opts.generate_code = false;
+  CompiledModel cm = compile_model(models::build("squeezenet"), opts);
+  EXPECT_GT(cm.cluster_cost_cv, 0.0);
+
+  obs::Gauge* gauge = obs::registry().gauge(
+      "ramiel_serve_executor_steal",
+      "1 when this server runs the work-stealing executor",
+      {{"model", cm.graph.name()}});
+
+  serve::ServeOptions low;
+  low.executor = ExecutorKind::kAuto;
+  low.auto_steal_cv = 0.0;  // any skew at all -> steal
+  {
+    serve::Server server(std::move(cm), low);
+    EXPECT_EQ(server.executor_kind(), ExecutorKind::kSteal);
+    EXPECT_EQ(gauge->value(), 1.0);
+  }
+
+  CompiledModel cm2 = compile_model(models::build("squeezenet"), opts);
+  serve::ServeOptions high;
+  high.executor = ExecutorKind::kAuto;
+  high.auto_steal_cv = 1e9;  // unreachable -> static
+  {
+    serve::Server server(std::move(cm2), high);
+    EXPECT_EQ(server.executor_kind(), ExecutorKind::kStatic);
+    EXPECT_EQ(gauge->value(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace ramiel

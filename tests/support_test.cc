@@ -156,6 +156,42 @@ TEST(Env, ServeQueueDepthOverride) {
   ::unsetenv("RAMIEL_SERVE_QUEUE_DEPTH");
 }
 
+TEST(Env, KernelPathOverride) {
+  ::unsetenv("RAMIEL_KERNEL");
+  EXPECT_EQ(env_kernel_path("vector"), "vector");  // unset -> fallback
+  ::setenv("RAMIEL_KERNEL", "scalar", 1);
+  EXPECT_EQ(env_kernel_path("vector"), "scalar");
+  ::unsetenv("RAMIEL_KERNEL");
+}
+
+TEST(Env, ParallelThresholdOverride) {
+  ::unsetenv("RAMIEL_PARALLEL_THRESHOLD");
+  EXPECT_EQ(env_parallel_threshold(1 << 16), 1 << 16);  // unset -> fallback
+  ::setenv("RAMIEL_PARALLEL_THRESHOLD", "0", 1);
+  EXPECT_EQ(env_parallel_threshold(1 << 16), 0);  // zero is a valid cutoff
+  ::setenv("RAMIEL_PARALLEL_THRESHOLD", "8388608", 1);
+  EXPECT_EQ(env_parallel_threshold(1 << 16), 8388608);
+  ::setenv("RAMIEL_PARALLEL_THRESHOLD", "-5", 1);
+  EXPECT_EQ(env_parallel_threshold(1 << 16), 1 << 16);  // negative -> fallback
+  ::setenv("RAMIEL_PARALLEL_THRESHOLD", "64k", 1);
+  EXPECT_EQ(env_parallel_threshold(1 << 16), 1 << 16);  // partial parse
+  ::unsetenv("RAMIEL_PARALLEL_THRESHOLD");
+}
+
+TEST(Env, AutoStealCvOverride) {
+  ::unsetenv("RAMIEL_AUTO_STEAL_CV");
+  EXPECT_DOUBLE_EQ(env_auto_steal_cv(0.35), 0.35);  // unset -> fallback
+  ::setenv("RAMIEL_AUTO_STEAL_CV", "0.8", 1);
+  EXPECT_DOUBLE_EQ(env_auto_steal_cv(0.35), 0.8);
+  ::setenv("RAMIEL_AUTO_STEAL_CV", "0", 1);
+  EXPECT_DOUBLE_EQ(env_auto_steal_cv(0.35), 0.0);  // zero = always steal
+  ::setenv("RAMIEL_AUTO_STEAL_CV", "-1", 1);
+  EXPECT_DOUBLE_EQ(env_auto_steal_cv(0.35), 0.35);  // negative -> fallback
+  ::setenv("RAMIEL_AUTO_STEAL_CV", "skewed", 1);
+  EXPECT_DOUBLE_EQ(env_auto_steal_cv(0.35), 0.35);  // unparseable
+  ::unsetenv("RAMIEL_AUTO_STEAL_CV");
+}
+
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch sw;
   // A tiny busy loop; just assert monotonic non-negative readings.

@@ -13,7 +13,8 @@
 //       --report dumps the per-pass compile report (wall time, node/edge
 //       counts before→after, clusters, critical path per pass) as JSON.
 //   ramiel run <model|path.rml> [--fold] [--clone] [--batch N] [--threads N]
-//              [--mem-plan off|arena] [--trace-out FILE]
+//              [--executor static|steal] [--mem-plan off|arena]
+//              [--trace-out FILE]
 //       Executes sequentially + in parallel (real threads), verifies the
 //       outputs agree, and prints simulated multicore timings. --trace-out
 //       writes a unified Chrome trace-event JSON — compile passes on the
@@ -21,6 +22,8 @@
 //       arrows and inbox-depth counters — for Perfetto / chrome://tracing
 //       slack inspection. --mem-plan arena (the default; env override
 //       RAMIEL_MEM_PLAN) backs intermediates with the static arena plan.
+//       --executor steal (env override RAMIEL_EXECUTOR) runs the batch on
+//       the work-stealing runtime instead of the static cluster placement.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +37,7 @@
 #include "ramiel/pipeline.h"
 #include "rt/executor.h"
 #include "rt/inputs.h"
+#include "rt/steal/steal_executor.h"
 #include "sim/simulator.h"
 #include "support/env.h"
 #include "support/string_util.h"
@@ -51,7 +55,8 @@ int usage() {
                "  ramiel compile <model|file.rml> [-o DIR] [--fold] [--clone]"
                " [--fuse-bn] [--batch N] [--switched] [--report FILE]\n"
                "  ramiel run <model|file.rml> [--fold] [--clone] [--batch N]"
-               " [--threads N] [--mem-plan off|arena] [--trace-out FILE]\n");
+               " [--threads N] [--executor static|steal]"
+               " [--mem-plan off|arena] [--trace-out FILE]\n");
   return 2;
 }
 
@@ -75,7 +80,15 @@ struct Cli {
   PipelineOptions options;
   int threads = 1;
   bool mem_plan = env_mem_plan_default(true);
+  ExecutorKind executor = env_executor_kind(ExecutorKind::kStatic);
 };
+
+bool parse_executor(const std::string& value, Cli* cli) {
+  if (parse_executor_kind(value, &cli->executor)) return true;
+  std::fprintf(stderr, "--executor expects 'static' or 'steal', got '%s'\n",
+               value.c_str());
+  return false;
+}
 
 bool parse_mem_plan(const std::string& value, Cli* cli) {
   if (value == "arena" || value == "on") {
@@ -110,6 +123,12 @@ bool parse_flags(int argc, char** argv, int start, Cli* cli) {
       cli->trace_out = argv[++i];
     } else if (arg == "--report" && i + 1 < argc) {
       cli->report_out = argv[++i];
+    } else if (arg == "--executor" && i + 1 < argc) {
+      if (!parse_executor(argv[++i], cli)) return false;
+    } else if (arg.rfind("--executor=", 0) == 0) {
+      if (!parse_executor(arg.substr(std::strlen("--executor=")), cli)) {
+        return false;
+      }
     } else if (arg == "--mem-plan" && i + 1 < argc) {
       if (!parse_mem_plan(argv[++i], cli)) return false;
     } else if (arg.rfind("--mem-plan=", 0) == 0) {
@@ -195,15 +214,16 @@ int cmd_run(const Cli& cli) {
   Rng rng(1);
   auto inputs = make_example_inputs(cm.graph, batch, rng);
   SequentialExecutor seq(&cm.graph);
-  ParallelExecutor par(&cm.graph, cm.hyperclusters,
-                       cli.mem_plan ? &cm.mem_plan : nullptr);
+  std::unique_ptr<Executor> par =
+      make_executor(cli.executor, &cm.graph, cm.hyperclusters,
+                    cli.mem_plan ? &cm.mem_plan : nullptr);
   RunOptions run_opts;
   run_opts.intra_op_threads = cli.threads;
   run_opts.trace = !cli.trace_out.empty();
 
   Profile sp, pp;
   auto a = seq.run(inputs, run_opts, &sp);
-  auto b = par.run(inputs, run_opts, &pp);
+  auto b = par->run(inputs, run_opts, &pp);
   if (!cli.trace_out.empty()) {
     obs::Timeline timeline;
     add_compile_trace(cm, timeline);
@@ -221,9 +241,20 @@ int cmd_run(const Cli& cli) {
     }
   }
   std::printf("outputs match : %s\n", match ? "yes" : "NO");
+  if (par->kind() == ExecutorKind::kSteal) {
+    int stolen = 0, tasks = 0;
+    for (const WorkerProfile& w : pp.workers) {
+      stolen += w.tasks_stolen;
+      tasks += w.tasks;
+    }
+    std::printf("executor      : steal (%d workers, %d tasks, %d stolen)\n",
+                par->num_workers(), tasks, stolen);
+  } else {
+    std::printf("executor      : static (%d workers)\n", par->num_workers());
+  }
   std::printf("host wall     : seq %.1f ms, par %.1f ms (recv slack %.1f ms)\n",
               sp.wall_ms, pp.wall_ms, pp.total_slack_ms());
-  if (par.mem_plan_enabled()) {
+  if (par->mem_plan_enabled()) {
     int avoided = 0;
     for (const WorkerProfile& w : pp.workers) avoided += w.allocs_avoided;
     std::printf(
@@ -243,8 +274,13 @@ int cmd_run(const Cli& cli) {
   const double seq_sim = simulate_sequential_ms(cm.graph, profile, batch, sim);
   SimResult par_sim = simulate_parallel(cm.graph, cm.hyperclusters, profile,
                                         sim);
+  SimResult steal_sim = simulate_steal(cm.graph, cm.hyperclusters, profile,
+                                       sim);
   std::printf("sim (12-core) : seq %.1f ms, par %.1f ms -> speedup %.2fx\n",
               seq_sim, par_sim.makespan_ms, seq_sim / par_sim.makespan_ms);
+  std::printf("sim steal     : %.1f ms -> %.2fx vs static\n",
+              steal_sim.makespan_ms,
+              par_sim.makespan_ms / steal_sim.makespan_ms);
   std::printf("sim energy    : seq %.1f mJ, par %.1f mJ\n",
               sequential_energy_mj(seq_sim, sim.machine),
               par_sim.energy_mj(sim.machine));

@@ -16,6 +16,10 @@
 //     --mem-plan M     'arena' (default; $RAMIEL_MEM_PLAN) backs
 //                      intermediates with the static arena plan, 'off'
 //                      heap-allocates per intermediate
+//     --executor E     'static' (default; $RAMIEL_EXECUTOR) pins one worker
+//                      per hypercluster, 'steal' runs the work-stealing
+//                      runtime, 'auto' picks steal when the compiled model's
+//                      cluster-cost variation exceeds $RAMIEL_AUTO_STEAL_CV
 //     --requests N     total requests to serve (default 200)
 //     --clients C      concurrent closed-loop clients (default 8)
 //     --think-us U     per-client think time between requests (default 0)
@@ -54,6 +58,7 @@ int usage() {
                " [--fold] [--clone]\n"
                "                    [--threads N] [--queue-depth N]"
                " [--flush-ms X] [--mem-plan off|arena]\n"
+               "                    [--executor static|steal|auto]\n"
                "                    [--requests N] [--clients C]"
                " [--think-us U]\n"
                "                    [--trace-out FILE] [--metrics-out FILE]"
@@ -117,6 +122,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--mem-plan expects 'off' or 'arena'\n");
         return usage();
       }
+    } else if ((arg == "--executor" && i + 1 < argc) ||
+               arg.rfind("--executor=", 0) == 0) {
+      const std::string value =
+          arg == "--executor" ? argv[++i] : arg.substr(arg.find('=') + 1);
+      if (!parse_executor_kind(value, &serve_opts.executor,
+                               /*allow_auto=*/true)) {
+        std::fprintf(stderr,
+                     "--executor expects 'static', 'steal' or 'auto'\n");
+        return usage();
+      }
     } else if (arg == "--requests" && i + 1 < argc) {
       load.requests = std::atoi(argv[++i]);
     } else if (arg == "--clients" && i + 1 < argc) {
@@ -145,12 +160,16 @@ int main(int argc, char** argv) {
     std::printf("%s: %d clusters, compile %.1f ms\n", cm.graph.name().c_str(),
                 cm.clustering.size(), cm.compile_seconds * 1e3);
 
+    const double cost_cv = cm.cluster_cost_cv;
     serve::Server server(std::move(cm), serve_opts);
     std::printf(
         "serving: batch %d, queue depth %d, flush %.1f ms, intra-op %d, "
-        "mem-plan %s; load: %d clients x %d requests\n\n",
+        "mem-plan %s, executor %s%s (cluster-cost cv %.2f); "
+        "load: %d clients x %d requests\n\n",
         server.batch(), serve_opts.queue_depth, serve_opts.flush_timeout_ms,
         serve_opts.intra_op_threads, serve_opts.mem_plan ? "arena" : "off",
+        to_string(server.executor_kind()),
+        serve_opts.executor == ExecutorKind::kAuto ? " (auto)" : "", cost_cv,
         load.clients, load.requests);
 
     std::unique_ptr<serve::MetricsEmitter> emitter;
