@@ -1,0 +1,148 @@
+// What-if estimator cross-check: does the profiler's Coz-style replay
+// predict what the discrete-event simulator actually does?
+//
+// For each zoo model: simulate the work-stealing runtime with tracing on,
+// package the virtual-time trace as a Profile (prof::profile_from_sim),
+// run the critical-path analyzer, and take its what-if prediction for "2x
+// the top critical-path op". Ground truth is a fresh simulation with that
+// node's measured cost halved in the CostProfile. Both live in the same
+// virtual cost world, so the residual error is purely the what-if replay's
+// scheduling idealization — the acceptance bar is agreement within 15% on
+// at least 6 of the 8 models.
+//
+// --json-out FILE appends the rows as a JSON array (same shape as
+// BENCH_serve.json rows: section/model/config + metrics).
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "obs/json.h"
+#include "obs/prof/critical_path.h"
+#include "obs/prof/sim_bridge.h"
+#include "passes/clustering.h"
+#include "sim/simulator.h"
+#include "support/stopwatch.h"
+
+namespace {
+
+using namespace ramiel;
+
+struct Row {
+  std::string model;
+  std::string op;
+  double predicted_speedup = 0.0;
+  double actual_speedup = 0.0;
+  double error_pct = 0.0;
+  bool agree = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      json_out = arg.substr(arg.find('=') + 1);
+    } else {
+      std::fprintf(stderr, "usage: profiler_whatif [--json-out FILE]\n");
+      return 2;
+    }
+  }
+
+  bench::print_header(
+      "What-if cross-check — profiler replay vs re-simulation\n"
+      "(2x the top critical-path op; steal runtime, batch 4, sim 12-core)");
+  std::printf("%-13s %-12s | %9s %9s %7s | within 15%%?\n", "Model", "Top op",
+              "predicted", "actual", "err");
+
+  std::vector<Row> rows;
+  int agreed = 0;
+  Stopwatch total_sw;
+  for (const std::string& model : models::model_names()) {
+    Stopwatch sw;
+    std::fprintf(stderr, "[whatif] %s: preparing...\n", model.c_str());
+    bench::PreparedModel pm = bench::prepare(model);
+    const Graph& g = pm.compiled.graph;
+    Hyperclustering hc = build_hyperclusters(g, pm.compiled.clustering, 4);
+    std::fprintf(stderr, "[whatif] %s: prepared in %.1fs, simulating...\n",
+                 model.c_str(), sw.micros() / 1e6);
+
+    SimOptions sim;
+    sim.trace = true;
+    const SimResult base = simulate_steal(g, hc, pm.profile, sim);
+    const Profile profile = prof::profile_from_sim(base);
+    std::fprintf(stderr, "[whatif] %s: simulated at %.1fs, analyzing...\n",
+                 model.c_str(), sw.micros() / 1e6);
+
+    // Feed the analyzer the simulator's own comm model: the sim trace has
+    // no message events to estimate it from.
+    prof::AnalyzeOptions opts;
+    opts.keep_path = false;
+    opts.what_if_ops = 1;
+    opts.comm_fixed_ns = sim.machine.comm_fixed_us * 1e3;
+    opts.comm_ns_per_byte = sim.machine.comm_per_kb_us * 1e3 / 1024.0;
+    const prof::CriticalPathReport report = prof::analyze(g, hc, profile,
+                                                          opts);
+    std::fprintf(stderr, "[whatif] %s: analyzed at %.1fs, re-simulating...\n",
+                 model.c_str(), sw.micros() / 1e6);
+    if (!report.valid || report.ops.empty() || report.what_ifs.empty()) {
+      std::printf("%-13s %-12s | analyzer produced no what-if\n",
+                  model.c_str(), "-");
+      continue;
+    }
+    const prof::OpAttribution& top = report.ops.front();
+    const prof::WhatIf& predicted = report.what_ifs.front();
+
+    // Ground truth: same simulation, the top op's measured cost halved.
+    CostProfile faster = pm.profile;
+    faster.node_us[static_cast<std::size_t>(top.node)] /= 2.0;
+    const SimResult truth = simulate_steal(g, hc, faster, sim);
+
+    Row row;
+    row.model = model;
+    row.op = top.name;
+    row.predicted_speedup = predicted.speedup;
+    row.actual_speedup =
+        truth.makespan_ms > 0.0 ? base.makespan_ms / truth.makespan_ms : 0.0;
+    row.error_pct = row.actual_speedup > 0.0
+                        ? std::fabs(row.predicted_speedup -
+                                    row.actual_speedup) /
+                              row.actual_speedup * 100.0
+                        : 100.0;
+    row.agree = row.error_pct <= 15.0;
+    if (row.agree) ++agreed;
+    std::printf("%-13s %-12s | %8.2fx %8.2fx %6.1f%% | %s\n",
+                row.model.c_str(), row.op.c_str(), row.predicted_speedup,
+                row.actual_speedup, row.error_pct,
+                row.agree ? "yes" : "NO");
+    std::fflush(stdout);
+    std::fprintf(stderr, "[whatif] %s: done in %.1fs (total %.1fs)\n",
+                 model.c_str(), sw.micros() / 1e6, total_sw.micros() / 1e6);
+    rows.push_back(row);
+  }
+  std::printf("\nagreement: %d/%zu models within 15%% (target >= 6/8)\n",
+              agreed, rows.size());
+
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    os << "[\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      os << "  {\"section\":\"whatif_crosscheck\",\"model\":"
+         << obs::json_quote(r.model) << ",\"config\":\"2x top op\""
+         << ",\"predicted_speedup\":" << obs::json_number(r.predicted_speedup)
+         << ",\"actual_speedup\":" << obs::json_number(r.actual_speedup)
+         << ",\"error_pct\":" << obs::json_number(r.error_pct) << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+    std::printf("wrote %s (%zu rows)\n", json_out.c_str(), rows.size());
+  }
+  return agreed * 8 >= static_cast<int>(rows.size()) * 6 ? 0 : 1;
+}

@@ -1,0 +1,225 @@
+#include "obs/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string_view>
+
+namespace ramiel::obs {
+namespace {
+
+// Whether `key` is a comparable metric, and if so which way it points.
+// Identity fields, workload counts (served/rejected depend on admission
+// policy, not speed) and fill ratios are excluded; everything that names a
+// rate or a latency is compared.
+enum class Direction { kSkip, kHigher, kLower };
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+Direction serve_metric_direction(std::string_view key) {
+  if (key == "section" || key == "model" || key == "config") {
+    return Direction::kSkip;
+  }
+  if (key == "served" || key == "rejected" || key == "failed" ||
+      key == "batch_fill") {
+    return Direction::kSkip;
+  }
+  if (ends_with(key, "_rps") || key == "speedup") return Direction::kHigher;
+  if (ends_with(key, "_ms")) return Direction::kLower;
+  return Direction::kSkip;
+}
+
+Direction kernel_metric_direction(std::string_view key) {
+  if (key == "real_time" || key == "cpu_time") return Direction::kLower;
+  if (key == "GFLOPS" || key == "items_per_second" ||
+      key == "bytes_per_second") {
+    return Direction::kHigher;
+  }
+  return Direction::kSkip;  // name, iterations, time_unit, run_type, ...
+}
+
+// Signed regression percentage: positive means `current` is worse.
+double regression_pct(double base, double current, bool higher_is_better) {
+  if (base == 0.0) return 0.0;  // no meaningful ratio
+  const double change = (current - base) / std::fabs(base) * 100.0;
+  return higher_is_better ? -change : change;
+}
+
+struct Row {
+  std::string id;
+  const JsonValue* value = nullptr;
+};
+
+// Flattens either bench document shape into identity-keyed rows.
+std::vector<Row> collect_rows(const JsonValue& doc, bool* is_kernel) {
+  std::vector<Row> rows;
+  if (doc.is(JsonValue::Kind::kObject)) {
+    *is_kernel = true;
+    if (const JsonValue* benchmarks = doc.find("benchmarks");
+        benchmarks != nullptr && benchmarks->is(JsonValue::Kind::kArray)) {
+      for (const JsonValue& b : benchmarks->array) {
+        rows.push_back({b.string_or("name", "?"), &b});
+      }
+    }
+    return rows;
+  }
+  *is_kernel = false;
+  if (doc.is(JsonValue::Kind::kArray)) {
+    for (const JsonValue& r : doc.array) {
+      rows.push_back({r.string_or("section", "?") + "/" +
+                          r.string_or("model", "?") + "/" +
+                          r.string_or("config", "?"),
+                      &r});
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<const BenchDelta*> BenchDiffResult::regressions() const {
+  std::vector<const BenchDelta*> out;
+  for (const BenchDelta& d : deltas) {
+    if (d.change_pct > fail_threshold_pct) out.push_back(&d);
+  }
+  return out;
+}
+
+std::vector<const BenchDelta*> BenchDiffResult::warnings() const {
+  std::vector<const BenchDelta*> out;
+  for (const BenchDelta& d : deltas) {
+    if (d.change_pct > warn_threshold_pct &&
+        d.change_pct <= fail_threshold_pct) {
+      out.push_back(&d);
+    }
+  }
+  return out;
+}
+
+bool BenchDiffResult::failed() const {
+  return !regressions().empty() || !missing.empty();
+}
+
+std::string BenchDiffResult::to_string() const {
+  std::string out;
+  char line[512];
+
+  const auto verdict = [&](const BenchDelta& d) -> const char* {
+    if (d.change_pct > fail_threshold_pct) return "REGRESSION";
+    if (d.change_pct > warn_threshold_pct) return "warn";
+    if (d.change_pct < -warn_threshold_pct) return "improved";
+    return "";
+  };
+
+  std::size_t row_width = 4;
+  for (const BenchDelta& d : deltas) {
+    row_width = std::max(row_width, d.row.size());
+  }
+  row_width = std::min<std::size_t>(row_width, 48);
+
+  std::snprintf(line, sizeof line, "%-*s  %-14s %14s %14s %9s  %s\n",
+                static_cast<int>(row_width), "row", "metric", "base",
+                "current", "delta", "");
+  out += line;
+  for (const BenchDelta& d : deltas) {
+    std::snprintf(line, sizeof line,
+                  "%-*s  %-14s %14.4g %14.4g %+8.2f%%  %s\n",
+                  static_cast<int>(row_width), d.row.c_str(),
+                  d.metric.c_str(), d.base, d.current, d.change_pct,
+                  verdict(d));
+    out += line;
+  }
+  for (const std::string& id : missing) {
+    out += "MISSING row (present in base, absent now): " + id + "\n";
+  }
+  for (const std::string& id : added) {
+    out += "new row: " + id + "\n";
+  }
+
+  const std::size_t n_reg = regressions().size();
+  const std::size_t n_warn = warnings().size();
+  std::snprintf(line, sizeof line,
+                "%zu metrics compared, %zu regression(s) beyond %.1f%%, "
+                "%zu warning(s) beyond %.1f%%\n",
+                deltas.size(), n_reg, fail_threshold_pct, n_warn,
+                warn_threshold_pct);
+  out += line;
+  out += failed() ? "verdict: FAIL\n" : "verdict: OK\n";
+  return out;
+}
+
+BenchDiffResult diff_bench(const JsonValue& base, const JsonValue& current,
+                           const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  result.fail_threshold_pct = options.fail_threshold_pct;
+  result.warn_threshold_pct = options.warn_threshold_pct;
+
+  bool base_kernel = false;
+  bool current_kernel = false;
+  const std::vector<Row> base_rows = collect_rows(base, &base_kernel);
+  const std::vector<Row> current_rows = collect_rows(current, &current_kernel);
+  const bool kernel = base_kernel || current_kernel;
+
+  std::map<std::string, const JsonValue*> current_by_id;
+  for (const Row& r : current_rows) current_by_id.emplace(r.id, r.value);
+
+  std::set<std::string> base_ids;
+  for (const Row& r : base_rows) {
+    base_ids.insert(r.id);
+    const auto it = current_by_id.find(r.id);
+    if (it == current_by_id.end()) {
+      result.missing.push_back(r.id);
+      continue;
+    }
+    const JsonValue& cur = *it->second;
+    for (const auto& [key, value] : r.value->object) {
+      if (!value.is(JsonValue::Kind::kNumber)) continue;
+      const Direction dir = kernel ? kernel_metric_direction(key)
+                                   : serve_metric_direction(key);
+      if (dir == Direction::kSkip) continue;
+      const JsonValue* cv = cur.find(key);
+      if (cv == nullptr || !cv->is(JsonValue::Kind::kNumber)) continue;
+      BenchDelta d;
+      d.row = r.id;
+      d.metric = key;
+      d.base = value.number;
+      d.current = cv->number;
+      d.higher_is_better = dir == Direction::kHigher;
+      d.change_pct = regression_pct(d.base, d.current, d.higher_is_better);
+      result.deltas.push_back(std::move(d));
+    }
+  }
+  for (const Row& r : current_rows) {
+    if (base_ids.count(r.id) == 0) result.added.push_back(r.id);
+  }
+  // Worst first, so the gate's culprit leads the report.
+  std::stable_sort(result.deltas.begin(), result.deltas.end(),
+                   [](const BenchDelta& a, const BenchDelta& b) {
+                     return a.change_pct > b.change_pct;
+                   });
+  return result;
+}
+
+void inject_regression(JsonValue* doc, double pct) {
+  bool kernel = false;
+  std::vector<Row> rows = collect_rows(*doc, &kernel);
+  const double worse = 1.0 + pct / 100.0;
+  for (Row& r : rows) {
+    auto* row = const_cast<JsonValue*>(r.value);
+    for (auto& [key, value] : row->object) {
+      if (!value.is(JsonValue::Kind::kNumber)) continue;
+      const Direction dir = kernel ? kernel_metric_direction(key)
+                                   : serve_metric_direction(key);
+      if (dir == Direction::kSkip) continue;
+      value.number = dir == Direction::kLower ? value.number * worse
+                                              : value.number / worse;
+    }
+  }
+}
+
+}  // namespace ramiel::obs

@@ -1,0 +1,63 @@
+// Benchmark trajectory comparator behind tools/ramiel_bench_diff.
+//
+// Understands both JSON shapes this repo commits (README "Benchmark
+// trajectory"): the serve_throughput row array (objects with
+// section/model/config identity plus metric fields) and google-benchmark's
+// {"context", "benchmarks"} document from kernel_microbench. Rows are
+// matched by identity across a base and a current file; each metric gets a
+// signed regression percentage (positive = worse, direction-aware: *_ms
+// and real_time regress upward, *_rps / speedup / GFLOPS regress
+// downward). The CI bench job gates on regressions() beyond a threshold —
+// this is what turns BENCH_*.json from a logbook into a ratchet.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json_read.h"
+
+namespace ramiel::obs {
+
+struct BenchDelta {
+  std::string row;     // "section/model/config" or benchmark name
+  std::string metric;  // e.g. "measured_rps", "real_time"
+  double base = 0.0;
+  double current = 0.0;
+  double change_pct = 0.0;  // signed; positive = regression
+  bool higher_is_better = false;
+};
+
+struct BenchDiffOptions {
+  double fail_threshold_pct = 10.0;  // gate: any metric worse than this
+  double warn_threshold_pct = 3.0;   // report but do not gate
+};
+
+struct BenchDiffResult {
+  std::vector<BenchDelta> deltas;       // every compared metric
+  std::vector<std::string> missing;     // base rows absent from current
+  std::vector<std::string> added;       // current rows absent from base
+  double fail_threshold_pct = 0.0;
+  double warn_threshold_pct = 0.0;
+
+  std::vector<const BenchDelta*> regressions() const;  // > fail threshold
+  std::vector<const BenchDelta*> warnings() const;     // (warn, fail]
+
+  /// Whether the gate should fail: any regression, or base rows that
+  /// silently disappeared (a deleted row is how you'd hide a regression).
+  bool failed() const;
+
+  /// Human-readable table plus verdict line (what the tool prints).
+  std::string to_string() const;
+};
+
+/// Diffs two parsed bench documents of the same shape (auto-detected).
+BenchDiffResult diff_bench(const JsonValue& base, const JsonValue& current,
+                           const BenchDiffOptions& options = {});
+
+/// Applies an artificial regression of `pct` percent to every metric in a
+/// parsed bench document, in place (lower-is-better metrics scale up,
+/// higher-is-better scale down). The CI gate's self-test: diffing a file
+/// against its own injected copy must trip the threshold.
+void inject_regression(JsonValue* doc, double pct);
+
+}  // namespace ramiel::obs

@@ -1,0 +1,43 @@
+// Minimal recursive-descent JSON reader — the read-side complement of
+// json.h's emitters. Exists for tools that consume the JSON this tree
+// writes back (bench trajectory files, compile reports); strict RFC 8259
+// syntax, no extensions, values land in one tagged struct. Not built for
+// speed or huge documents.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ramiel::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Insertion order preserved; duplicate keys keep both (first find() wins).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is(Kind k) const { return kind == k; }
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Member coercions for the flat row objects the bench files use.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key,
+                        const std::string& fallback) const;
+};
+
+/// Parses a complete JSON document (leading/trailing whitespace allowed).
+/// Returns false and fills `error` (when non-null) with a position-tagged
+/// message on malformed input.
+bool json_parse(std::string_view text, JsonValue* out,
+                std::string* error = nullptr);
+
+}  // namespace ramiel::obs

@@ -7,6 +7,7 @@
 
 #include "obs/json.h"
 #include "support/check.h"
+#include "support/env.h"
 
 namespace ramiel::obs {
 namespace {
@@ -84,8 +85,12 @@ Histogram::Snapshot Histogram::snapshot() const {
 }
 
 std::vector<double> Histogram::latency_ms_buckets() {
-  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
-          1000, 2500, 5000, 10000};
+  // RAMIEL_HIST_BUCKETS overrides the defaults (a deployment serving
+  // sub-millisecond models wants finer low buckets than 0.1/0.25/0.5).
+  // Read per call, not cached: histograms are created once at registration,
+  // and tests flip the variable between registries.
+  return env_hist_buckets({0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250,
+                           500, 1000, 2500, 5000, 10000});
 }
 
 Registry::Family& Registry::family(const std::string& name, Type type,

@@ -1,0 +1,392 @@
+#include "obs/prof/critical_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/op_kind.h"
+#include "obs/metrics.h"
+#include "obs/prof/whatif.h"
+
+namespace ramiel::prof {
+namespace {
+
+/// Cluster of a task under the static placement; -1 when `hc` is absent or
+/// does not cover the task (e.g. a sequential-executor profile).
+int cluster_of(const Hyperclustering& hc, NodeId node, int sample) {
+  if (hc.num_nodes <= 0 || node < 0 || node >= hc.num_nodes ||
+      sample < 0 || sample >= hc.batch) {
+    return -1;
+  }
+  return hc.worker(node, sample);
+}
+
+struct Walker {
+  const Profile& profile;
+  // Events sorted per worker by start (workers execute serially, so this is
+  // also end order); pos_in_worker[i] = index of event i in its worker list.
+  std::vector<std::vector<std::int32_t>> by_worker;
+  std::vector<std::int32_t> pos_in_worker;
+  // Data predecessors of event i (indices into profile.events).
+  std::vector<std::vector<std::int32_t>> data_preds;
+
+  explicit Walker(const Graph& graph, const Profile& p) : profile(p) {
+    const std::size_t n = p.events.size();
+    int max_worker = 0;
+    for (const TaskEvent& e : p.events) {
+      max_worker = std::max(max_worker, e.worker);
+    }
+    by_worker.resize(static_cast<std::size_t>(max_worker) + 1);
+    pos_in_worker.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      by_worker[static_cast<std::size_t>(p.events[i].worker)].push_back(
+          static_cast<std::int32_t>(i));
+    }
+    for (auto& lane : by_worker) {
+      std::sort(lane.begin(), lane.end(),
+                [&](std::int32_t a, std::int32_t b) {
+                  const TaskEvent& ea = p.events[static_cast<std::size_t>(a)];
+                  const TaskEvent& eb = p.events[static_cast<std::size_t>(b)];
+                  if (ea.start_ns != eb.start_ns) {
+                    return ea.start_ns < eb.start_ns;
+                  }
+                  return a < b;
+                });
+      for (std::size_t k = 0; k < lane.size(); ++k) {
+        pos_in_worker[static_cast<std::size_t>(lane[k])] =
+            static_cast<std::int32_t>(k);
+      }
+    }
+    std::map<std::pair<NodeId, int>, std::int32_t> index;
+    for (std::size_t i = 0; i < n; ++i) {
+      index[{p.events[i].node, p.events[i].sample}] =
+          static_cast<std::int32_t>(i);
+    }
+    data_preds.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const TaskEvent& e = p.events[i];
+      for (ValueId v : graph.node(e.node).inputs) {
+        const Value& val = graph.value(v);
+        // Constant values impose no dependency (the executors and the
+        // simulator treat them as available from time zero), and a recorded
+        // "producer" that finished after this task started cannot have
+        // bound its start — the simulator schedules free-standing
+        // zero-cost tasks lazily, so such inversions do occur.
+        if (val.is_constant()) continue;
+        const NodeId prod = val.producer;
+        if (prod == kNoNode) continue;
+        auto it = index.find({prod, e.sample});
+        if (it == index.end()) continue;
+        if (p.events[static_cast<std::size_t>(it->second)].end_ns >
+            e.start_ns) {
+          continue;
+        }
+        auto& preds = data_preds[i];
+        if (std::find(preds.begin(), preds.end(), it->second) ==
+            preds.end()) {
+          preds.push_back(it->second);
+        }
+      }
+    }
+  }
+
+  /// Latest-finishing data predecessor of event i, or -1.
+  std::int32_t latest_data_pred(std::size_t i) const {
+    std::int32_t best = -1;
+    for (std::int32_t p : data_preds[i]) {
+      if (best < 0 || profile.events[static_cast<std::size_t>(p)].end_ns >
+                          profile.events[static_cast<std::size_t>(best)]
+                              .end_ns) {
+        best = p;
+      }
+    }
+    return best;
+  }
+
+  /// Previous event on event i's worker, or -1 (worker lanes are serial).
+  std::int32_t worker_pred(std::size_t i) const {
+    const std::int32_t pos = pos_in_worker[i];
+    if (pos == 0) return -1;
+    return by_worker[static_cast<std::size_t>(profile.events[i].worker)]
+                    [static_cast<std::size_t>(pos) - 1];
+  }
+};
+
+}  // namespace
+
+const char* segment_name(Segment kind) {
+  switch (kind) {
+    case Segment::kCompute: return "compute";
+    case Segment::kComm: return "comm";
+    case Segment::kQueue: return "queue";
+    case Segment::kIdle: return "idle";
+  }
+  return "?";
+}
+
+std::vector<std::pair<NodeId, int>> CriticalPathReport::critical_tasks()
+    const {
+  std::vector<std::pair<NodeId, int>> tasks;
+  for (const PathStep& s : path) {
+    if (s.kind == Segment::kCompute) tasks.emplace_back(s.node, s.sample);
+  }
+  return tasks;
+}
+
+CriticalPathReport analyze(const Graph& graph, const Hyperclustering& hc,
+                           const Profile& profile,
+                           const AnalyzeOptions& options) {
+  CriticalPathReport report;
+  report.workers = static_cast<int>(profile.workers.size());
+  report.tasks = static_cast<int>(profile.events.size());
+  if (profile.events.empty()) {
+    report.wall_ms = profile.wall_ms;
+    report.idle_ms = profile.wall_ms;
+    return report;
+  }
+  report.valid = true;
+
+  // Profiled window. The executors stamp start/end around the whole run;
+  // fall back to event extents for hand-built profiles, and widen so every
+  // event lies inside (the decomposition tiles exactly this interval).
+  std::int64_t window_begin = profile.start_ns;
+  std::int64_t window_end = profile.end_ns;
+  if (window_begin == 0 && window_end == 0) {
+    window_begin = profile.events.front().start_ns;
+    window_end = profile.events.front().end_ns;
+  }
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < profile.events.size(); ++i) {
+    const TaskEvent& e = profile.events[i];
+    window_begin = std::min(window_begin, e.start_ns);
+    window_end = std::max(window_end, e.end_ns);
+    if (e.end_ns > profile.events[last].end_ns) last = i;
+  }
+  report.wall_ms = static_cast<double>(window_end - window_begin) / 1e6;
+
+  // Backward walk from the last-finishing task. Each iteration emits the
+  // current task's compute slice and then the gap back to whichever
+  // constraint bound its start: the latest data predecessor (comm when it
+  // ran on another worker, queue when same-worker) or the previous task on
+  // the same worker lane (queue). Segments are emitted back-to-back, so
+  // they tile [window_begin, window_end] exactly.
+  const Walker walker(graph, profile);
+  std::vector<PathStep> steps;
+  std::vector<char> visited(profile.events.size(), 0);
+  std::int64_t cur = window_end;
+  std::size_t t = last;
+  visited[t] = 1;
+  {
+    const TaskEvent& e = profile.events[t];
+    if (e.end_ns < cur) {
+      steps.push_back({Segment::kIdle, kNoNode, 0, -1, e.end_ns, cur});
+      cur = e.end_ns;
+    }
+  }
+  for (;;) {
+    const TaskEvent& e = profile.events[t];
+    const std::int64_t begin = std::min(e.start_ns, cur);
+    if (begin < cur) {
+      steps.push_back(
+          {Segment::kCompute, e.node, e.sample, e.worker, begin, cur});
+      cur = begin;
+    }
+    // A pred already on the path would close a cycle — only possible for
+    // inconsistent hand-built profiles, but the walk must terminate on any
+    // input, so such candidates are treated as absent.
+    std::int32_t dp = walker.latest_data_pred(t);
+    std::int32_t wp = walker.worker_pred(t);
+    if (dp >= 0 && visited[static_cast<std::size_t>(dp)]) dp = -1;
+    if (wp >= 0 && visited[static_cast<std::size_t>(wp)]) wp = -1;
+    if (dp < 0 && wp < 0) {
+      if (window_begin < cur) {
+        steps.push_back(
+            {Segment::kIdle, e.node, e.sample, e.worker, window_begin, cur});
+        cur = window_begin;
+      }
+      break;
+    }
+    std::int32_t pred;
+    Segment kind;
+    const std::int64_t dp_end =
+        dp < 0 ? std::numeric_limits<std::int64_t>::min()
+               : profile.events[static_cast<std::size_t>(dp)].end_ns;
+    const std::int64_t wp_end =
+        wp < 0 ? std::numeric_limits<std::int64_t>::min()
+               : profile.events[static_cast<std::size_t>(wp)].end_ns;
+    if (dp >= 0 && dp_end >= wp_end) {
+      pred = dp;
+      kind = profile.events[static_cast<std::size_t>(dp)].worker != e.worker
+                 ? Segment::kComm
+                 : Segment::kQueue;
+    } else {
+      pred = wp;
+      kind = Segment::kQueue;
+    }
+    const std::int64_t gap_begin = std::min(
+        std::max(profile.events[static_cast<std::size_t>(pred)].end_ns,
+                 window_begin),
+        cur);
+    if (gap_begin < cur) {
+      steps.push_back({kind, e.node, e.sample, e.worker, gap_begin, cur});
+      cur = gap_begin;
+    }
+    t = static_cast<std::size_t>(pred);
+    visited[t] = 1;
+  }
+  std::reverse(steps.begin(), steps.end());
+
+  // -- aggregate --------------------------------------------------------
+
+  std::map<NodeId, OpAttribution> ops;
+  double total_kernel_ms = 0.0;
+  for (const TaskEvent& e : profile.events) {
+    OpAttribution& a = ops[e.node];
+    if (a.tasks == 0) {
+      const Node& n = graph.node(e.node);
+      a.node = e.node;
+      a.name = n.name;
+      a.op = op_kind_name(n.kind);
+      a.cluster = cluster_of(hc, e.node, e.sample);
+    }
+    ++a.tasks;
+    a.self_ms += static_cast<double>(e.end_ns - e.start_ns) / 1e6;
+    total_kernel_ms += static_cast<double>(e.end_ns - e.start_ns) / 1e6;
+  }
+
+  std::map<int, ClusterAttribution> clusters;
+  std::map<int, WorkerAttribution> workers;
+  for (const PathStep& s : steps) {
+    const double ms = s.ms();
+    switch (s.kind) {
+      case Segment::kCompute: report.compute_ms += ms; break;
+      case Segment::kComm: report.comm_ms += ms; break;
+      case Segment::kQueue: report.queue_ms += ms; break;
+      case Segment::kIdle: report.idle_ms += ms; break;
+    }
+    if (s.node == kNoNode) continue;
+    if (s.kind == Segment::kIdle) continue;
+    OpAttribution& a = ops[s.node];
+    a.critpath_ms += ms;
+    if (s.kind == Segment::kCompute) {
+      ++a.path_tasks;
+      ++report.path_tasks;
+    }
+    const int c = cluster_of(hc, s.node, s.sample);
+    ClusterAttribution& ca = clusters[c];
+    ca.cluster = c;
+    switch (s.kind) {
+      case Segment::kCompute: ca.compute_ms += ms; break;
+      case Segment::kComm: ca.comm_ms += ms; break;
+      case Segment::kQueue: ca.queue_ms += ms; break;
+      case Segment::kIdle: break;
+    }
+    if (s.worker >= 0) {
+      WorkerAttribution& wa = workers[s.worker];
+      wa.worker = s.worker;
+      wa.path_ms += ms;
+    }
+  }
+
+  for (auto& [node, a] : ops) {
+    if (total_kernel_ms > 0) a.self_share = a.self_ms / total_kernel_ms;
+    if (report.wall_ms > 0) a.critpath_share = a.critpath_ms / report.wall_ms;
+  }
+  for (auto& [c, ca] : clusters) {
+    if (report.wall_ms > 0) {
+      ca.critpath_share =
+          (ca.compute_ms + ca.comm_ms + ca.queue_ms) / report.wall_ms;
+    }
+    report.clusters.push_back(ca);
+  }
+  for (std::size_t w = 0; w < profile.workers.size(); ++w) {
+    WorkerAttribution& wa = workers[static_cast<int>(w)];
+    wa.worker = static_cast<int>(w);
+    wa.tasks = profile.workers[w].tasks;
+    wa.busy_ms = static_cast<double>(profile.workers[w].busy_ns) / 1e6;
+    wa.idle_ms = std::max(0.0, report.wall_ms - wa.busy_ms);
+  }
+  for (auto& [w, wa] : workers) report.worker_stats.push_back(wa);
+
+  report.ops.reserve(ops.size());
+  for (auto& [node, a] : ops) report.ops.push_back(std::move(a));
+  std::sort(report.ops.begin(), report.ops.end(),
+            [](const OpAttribution& x, const OpAttribution& y) {
+              if (x.critpath_ms != y.critpath_ms) {
+                return x.critpath_ms > y.critpath_ms;
+              }
+              if (x.self_ms != y.self_ms) return x.self_ms > y.self_ms;
+              return x.node < y.node;
+            });
+  if (options.top_ops > 0 &&
+      report.ops.size() > static_cast<std::size_t>(options.top_ops)) {
+    report.ops.resize(static_cast<std::size_t>(options.top_ops));
+  }
+
+  // -- what-if ----------------------------------------------------------
+
+  if (options.what_if) {
+    ReplayComm comm;
+    if (options.comm_ns_per_byte >= 0 || options.comm_fixed_ns >= 0) {
+      comm.ns_per_byte = std::max(0.0, options.comm_ns_per_byte);
+      comm.fixed_ns = std::max(0.0, options.comm_fixed_ns);
+    } else {
+      comm = estimate_comm(profile);
+    }
+    const ReplayDag dag = build_replay_dag(graph, profile, comm);
+    const int k = dag.workers;
+    report.replay_ms = replay_ms(dag, k);
+    auto add = [&](const std::string& scenario, double predicted) {
+      WhatIf w;
+      w.scenario = scenario;
+      w.baseline_ms = report.replay_ms;
+      w.predicted_ms = predicted;
+      w.speedup = predicted > 0 ? report.replay_ms / predicted : 0.0;
+      report.what_ifs.push_back(std::move(w));
+    };
+    int listed = 0;
+    for (const OpAttribution& a : report.ops) {
+      if (listed >= options.what_if_ops) break;
+      if (a.critpath_ms <= 0) break;
+      add("2x " + a.name,
+          replay_node_speedup_ms(dag, k, a.node, 2.0));
+      ++listed;
+    }
+    add("workers+1", replay_ms(dag, k + 1));
+    if (k > 1) {
+      add("workers-1", replay_ms(dag, k - 1));
+      add("workers*2", replay_ms(dag, 2 * k));
+    }
+  }
+
+  if (options.keep_path) report.path = std::move(steps);
+  return report;
+}
+
+void publish(const CriticalPathReport& report, obs::Registry* registry) {
+  obs::Registry& reg = registry != nullptr ? *registry : obs::registry();
+  reg.gauge("ramiel_critpath_compute_ms",
+            "Critical-path compute time of the last analyzed run (ms)")
+      ->set(report.compute_ms);
+  reg.gauge("ramiel_critpath_comm_ms",
+            "Critical-path cross-worker data-wait time (ms)")
+      ->set(report.comm_ms);
+  reg.gauge("ramiel_critpath_queue_ms",
+            "Critical-path same-worker queueing time (ms)")
+      ->set(report.queue_ms);
+  reg.gauge("ramiel_critpath_idle_ms",
+            "Critical-path unattributed idle time (ms)")
+      ->set(report.idle_ms);
+  for (const ClusterAttribution& c : report.clusters) {
+    if (c.cluster < 0) continue;
+    reg.gauge("ramiel_critpath_cluster_share",
+              "Share of the realized critical path spent in each cluster",
+              {{"cluster", std::to_string(c.cluster)}})
+        ->set(c.critpath_share);
+  }
+}
+
+}  // namespace ramiel::prof

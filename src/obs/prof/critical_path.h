@@ -1,0 +1,154 @@
+// Critical-path profiler and latency-attribution engine (the diagnosis
+// layer over rt/'s Profile). The compiler optimizes a *predicted* critical
+// path; this answers what the *realized* one was: given the per-task
+// (node, sample) begin/end events either executor records, walk backward
+// from the last-finishing task through whichever constraint bound each
+// task's start — its latest data predecessor or the previous task on its
+// worker — and decompose end-to-end wall time into
+//
+//   compute  time the path was inside a kernel,
+//   comm     the path waited on data produced on *another* worker,
+//   queue    the path waited behind same-worker occupancy or scheduling,
+//   idle     nothing bound the path (startup / dispatch gaps).
+//
+// The four components sum to the profiled window exactly by construction
+// (the walk tiles [start_ns, end_ns] with adjacent segments), which is what
+// makes per-op shares trustworthy: "this Conv is 4% of total kernel time
+// but 31% of the critical path".
+//
+// The same recorded DAG feeds a Coz-style what-if estimator (whatif.h):
+// replay it with node X sped up k-fold or the worker count changed and
+// report the predicted end-to-end delta.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "passes/hypercluster.h"
+#include "rt/profiler.h"
+
+namespace ramiel::obs {
+class Registry;
+}  // namespace ramiel::obs
+
+namespace ramiel::prof {
+
+/// What one slice of the realized critical path was doing.
+enum class Segment { kCompute, kComm, kQueue, kIdle };
+
+const char* segment_name(Segment kind);
+
+/// One chronological slice of the critical path. Wait slices carry the task
+/// that was waiting (the consumer whose input was late), compute slices the
+/// task that ran.
+struct PathStep {
+  Segment kind = Segment::kIdle;
+  NodeId node = kNoNode;  // kNoNode for idle gaps before the first task
+  int sample = 0;
+  int worker = -1;
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+
+  double ms() const { return static_cast<double>(end_ns - begin_ns) / 1e6; }
+};
+
+/// Self-time vs critical-path-time ranking entry for one graph node.
+struct OpAttribution {
+  NodeId node = kNoNode;
+  std::string name;
+  std::string op;
+  int cluster = -1;        // static placement cluster (-1 when unknown)
+  int tasks = 0;           // executed (node, sample) instances
+  int path_tasks = 0;      // instances on the realized critical path
+  double self_ms = 0.0;      // kernel time across all instances/workers
+  double critpath_ms = 0.0;  // compute + attributed waits on the path
+  double self_share = 0.0;      // self_ms / total kernel time
+  double critpath_share = 0.0;  // critpath_ms / wall
+};
+
+/// On-path attribution rolled up per static cluster.
+struct ClusterAttribution {
+  int cluster = -1;
+  double compute_ms = 0.0;
+  double comm_ms = 0.0;
+  double queue_ms = 0.0;
+  double critpath_share = 0.0;  // (compute+comm+queue) / wall
+};
+
+/// Whole-run occupancy per worker plus how long the path ran through it.
+struct WorkerAttribution {
+  int worker = -1;
+  int tasks = 0;
+  double busy_ms = 0.0;
+  double idle_ms = 0.0;  // window - busy
+  double path_ms = 0.0;  // critical-path residence on this worker
+};
+
+/// One what-if scenario: predicted end-to-end wall if the recorded DAG were
+/// replayed with the stated change (Coz-style virtual speedup).
+struct WhatIf {
+  std::string scenario;
+  double baseline_ms = 0.0;   // replay of the unmodified recorded DAG
+  double predicted_ms = 0.0;  // replay with the change applied
+  double speedup = 0.0;       // baseline_ms / predicted_ms
+};
+
+struct CriticalPathReport {
+  bool valid = false;  // false when the profile carried no task events
+  double wall_ms = 0.0;     // profiled window (start_ns..end_ns)
+  double compute_ms = 0.0;  // compute+comm+queue+idle == wall (exactly)
+  double comm_ms = 0.0;
+  double queue_ms = 0.0;
+  double idle_ms = 0.0;
+  int tasks = 0;       // executed task instances in the profile
+  int path_tasks = 0;  // of those, on the realized critical path
+  int workers = 0;
+  double replay_ms = 0.0;  // what-if baseline replay of the recorded DAG
+
+  std::vector<PathStep> path;  // chronological; empty if !keep_path
+  std::vector<OpAttribution> ops;  // critpath_ms descending, top_ops kept
+  std::vector<ClusterAttribution> clusters;
+  std::vector<WorkerAttribution> worker_stats;
+  std::vector<WhatIf> what_ifs;
+
+  /// (node, sample) pairs on the path, for Profile::to_timeline
+  /// highlighting.
+  std::vector<std::pair<NodeId, int>> critical_tasks() const;
+
+  /// Strict-JSON rendering (the `critical_path` block of run/serve
+  /// reports).
+  std::string to_json() const;
+
+  /// Short human-readable block for the CLIs.
+  std::string summary() const;
+};
+
+struct AnalyzeOptions {
+  int top_ops = 10;       // ranking length retained in the report
+  bool keep_path = true;  // retain per-step path (drop for tiny exemplars)
+  bool what_if = true;    // run the built-in scenario battery
+  int what_if_ops = 3;    // "2x node" scenarios for the top-N path ops
+  /// Cross-worker data-arrival cost used by the what-if replay. Negative:
+  /// estimate from the profile's recorded messages (or 0 when none).
+  double comm_ns_per_byte = -1.0;
+  double comm_fixed_ns = -1.0;
+};
+
+/// Analyzes one recorded run. Works on profiles from the sequential, static
+/// and steal executors alike (anything that fills Profile::events); `hc` is
+/// only consulted for cluster attribution and may be empty.
+CriticalPathReport analyze(const Graph& graph, const Hyperclustering& hc,
+                           const Profile& profile,
+                           const AnalyzeOptions& options = {});
+
+/// Publishes the decomposition as Prometheus series:
+/// ramiel_critpath_{compute,comm,queue,idle}_ms gauges plus per-cluster
+/// ramiel_critpath_cluster_share{cluster="k"} gauges. Defaults to the
+/// process-wide registry.
+void publish(const CriticalPathReport& report,
+             obs::Registry* registry = nullptr);
+
+}  // namespace ramiel::prof

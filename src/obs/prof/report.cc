@@ -1,0 +1,132 @@
+// CriticalPathReport renderers: strict JSON (embedded as the
+// `critical_path` block of run/serve reports) and a compact human summary
+// for the CLIs.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/prof/critical_path.h"
+
+namespace ramiel::prof {
+namespace {
+
+using obs::json_number;
+using obs::json_quote;
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+std::string pct(double share) { return fmt("%.1f%%", share * 100.0); }
+
+}  // namespace
+
+std::string CriticalPathReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"valid\":" << (valid ? "true" : "false")
+     << ",\"wall_ms\":" << json_number(wall_ms)
+     << ",\"compute_ms\":" << json_number(compute_ms)
+     << ",\"comm_ms\":" << json_number(comm_ms)
+     << ",\"queue_ms\":" << json_number(queue_ms)
+     << ",\"idle_ms\":" << json_number(idle_ms)
+     << ",\"tasks\":" << tasks
+     << ",\"path_tasks\":" << path_tasks
+     << ",\"workers\":" << workers
+     << ",\"replay_ms\":" << json_number(replay_ms);
+  os << ",\"ops\":[";
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const OpAttribution& a = ops[i];
+    if (i != 0) os << ',';
+    os << "{\"node\":" << a.node << ",\"name\":" << json_quote(a.name)
+       << ",\"op\":" << json_quote(a.op) << ",\"cluster\":" << a.cluster
+       << ",\"tasks\":" << a.tasks << ",\"path_tasks\":" << a.path_tasks
+       << ",\"self_ms\":" << json_number(a.self_ms)
+       << ",\"critpath_ms\":" << json_number(a.critpath_ms)
+       << ",\"self_share\":" << json_number(a.self_share)
+       << ",\"critpath_share\":" << json_number(a.critpath_share) << '}';
+  }
+  os << "],\"clusters\":[";
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    const ClusterAttribution& c = clusters[i];
+    if (i != 0) os << ',';
+    os << "{\"cluster\":" << c.cluster
+       << ",\"compute_ms\":" << json_number(c.compute_ms)
+       << ",\"comm_ms\":" << json_number(c.comm_ms)
+       << ",\"queue_ms\":" << json_number(c.queue_ms)
+       << ",\"critpath_share\":" << json_number(c.critpath_share) << '}';
+  }
+  os << "],\"worker_stats\":[";
+  for (std::size_t i = 0; i < worker_stats.size(); ++i) {
+    const WorkerAttribution& w = worker_stats[i];
+    if (i != 0) os << ',';
+    os << "{\"worker\":" << w.worker << ",\"tasks\":" << w.tasks
+       << ",\"busy_ms\":" << json_number(w.busy_ms)
+       << ",\"idle_ms\":" << json_number(w.idle_ms)
+       << ",\"path_ms\":" << json_number(w.path_ms) << '}';
+  }
+  os << "],\"what_if\":[";
+  for (std::size_t i = 0; i < what_ifs.size(); ++i) {
+    const WhatIf& w = what_ifs[i];
+    if (i != 0) os << ',';
+    os << "{\"scenario\":" << json_quote(w.scenario)
+       << ",\"baseline_ms\":" << json_number(w.baseline_ms)
+       << ",\"predicted_ms\":" << json_number(w.predicted_ms)
+       << ",\"speedup\":" << json_number(w.speedup) << '}';
+  }
+  os << "],\"path\":[";
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const PathStep& s = path[i];
+    if (i != 0) os << ',';
+    os << "{\"kind\":" << json_quote(segment_name(s.kind))
+       << ",\"node\":" << s.node << ",\"sample\":" << s.sample
+       << ",\"worker\":" << s.worker << ",\"begin_ns\":" << s.begin_ns
+       << ",\"end_ns\":" << s.end_ns << ",\"ms\":" << json_number(s.ms())
+       << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string CriticalPathReport::summary() const {
+  std::ostringstream os;
+  if (!valid) {
+    os << "critical path : no task events recorded (run with tracing or "
+          "profiling on)\n";
+    return os.str();
+  }
+  const double w = wall_ms > 0 ? wall_ms : 1.0;
+  os << "critical path : " << fmt("%.2f", compute_ms) << " ms compute ("
+     << pct(compute_ms / w) << ") + " << fmt("%.2f", comm_ms) << " ms comm ("
+     << pct(comm_ms / w) << ") + " << fmt("%.2f", queue_ms) << " ms queue ("
+     << pct(queue_ms / w) << ") + " << fmt("%.2f", idle_ms) << " ms idle ("
+     << pct(idle_ms / w) << ") = " << fmt("%.2f", wall_ms) << " ms wall\n";
+  os << "                " << path_tasks << "/" << tasks
+     << " tasks on path across " << workers
+     << (workers == 1 ? " worker\n" : " workers\n");
+  if (!ops.empty()) {
+    os << "top path ops  :\n";
+    std::size_t shown = 0;
+    for (const OpAttribution& a : ops) {
+      if (shown++ == 5) break;
+      os << "  " << a.name << " [" << a.op << "]";
+      if (a.cluster >= 0) os << " c" << a.cluster;
+      os << "  " << pct(a.critpath_share) << " of path (self "
+         << pct(a.self_share) << " of kernel time, " << a.path_tasks << "/"
+         << a.tasks << " instances)\n";
+    }
+  }
+  if (!what_ifs.empty()) {
+    os << "what-if       :\n";
+    for (const WhatIf& wi : what_ifs) {
+      os << "  " << wi.scenario << " -> " << fmt("%.2f", wi.predicted_ms)
+         << " ms (" << fmt("%.2f", wi.speedup) << "x vs "
+         << fmt("%.2f", wi.baseline_ms) << " ms replay)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ramiel::prof

@@ -1,0 +1,29 @@
+#include "obs/prof/sim_bridge.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ramiel::prof {
+
+Profile profile_from_sim(const SimResult& sim) {
+  Profile p;
+  p.events = sim.events;
+  p.wall_ms = sim.makespan_ms;
+  p.start_ns = 0;
+  p.end_ns = static_cast<std::int64_t>(std::llround(sim.makespan_ms * 1e6));
+  for (const TaskEvent& e : sim.events) {
+    p.end_ns = std::max(p.end_ns, e.end_ns);
+  }
+  p.workers.resize(sim.workers.size());
+  for (std::size_t w = 0; w < sim.workers.size(); ++w) {
+    p.workers[w].busy_ns =
+        static_cast<std::int64_t>(std::llround(sim.workers[w].busy_us * 1e3));
+    p.workers[w].recv_wait_ns = static_cast<std::int64_t>(
+        std::llround(sim.workers[w].slack_us * 1e3));
+    p.workers[w].tasks = sim.workers[w].tasks;
+    p.workers[w].messages_sent = sim.workers[w].messages_sent;
+  }
+  return p;
+}
+
+}  // namespace ramiel::prof

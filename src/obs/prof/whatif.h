@@ -1,0 +1,72 @@
+// Coz-style what-if estimation over a recorded run.
+//
+// build_replay_dag() freezes what actually happened — one task per recorded
+// (node, sample) event with its measured duration, data edges from the
+// graph restricted to tasks that really executed, and a per-edge comm cost
+// charged when producer and consumer land on different workers. replay_ms()
+// then list-schedules that DAG greedily (earliest-ready first onto the
+// earliest-free worker, the same idealization sim/simulate_steal uses), so
+// "what if node X were 2x faster" or "what if we had one more worker" are
+// answered by re-running the schedule with durations or worker count
+// changed — no re-execution, no re-measurement.
+//
+// Fidelity note: the replay is an estimator, not a re-simulation of either
+// executor's exact policy. CriticalPathReport.replay_ms records the
+// unmodified-DAG replay so callers can see the baseline gap; what-if deltas
+// are quoted against that baseline, which cancels most of the policy error
+// (cross-checked against src/sim/ on the model zoo in bench/ and tests/).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "rt/profiler.h"
+
+namespace ramiel::prof {
+
+/// The executed task DAG with measured durations and comm costs.
+struct ReplayDag {
+  struct Task {
+    NodeId node = kNoNode;
+    int sample = 0;
+    double dur_ns = 0.0;
+    std::vector<std::int32_t> preds;   // indices into tasks
+    std::vector<double> pred_comm_ns;  // cost if that pred is cross-worker
+  };
+  std::vector<Task> tasks;                       // topological order
+  std::vector<std::vector<std::int32_t>> succs;  // forward edges
+  int workers = 1;                               // recorded worker count
+};
+
+/// Comm model for cross-worker edges in the replay.
+struct ReplayComm {
+  double fixed_ns = 0.0;
+  double ns_per_byte = 0.0;
+};
+
+/// Estimates the comm model from the profile's recorded messages (median
+/// per-message latency split into a fixed floor and a per-byte slope).
+/// Returns {0, 0} when the profile recorded no consumed messages.
+ReplayComm estimate_comm(const Profile& profile);
+
+/// Builds the replay DAG from a recorded profile. Only (node, sample) pairs
+/// with a recorded event become tasks; data edges whose producer never
+/// executed (constants, graph inputs) are dropped. Per-task comm cost uses
+/// the producing value's shape (4-byte floats).
+ReplayDag build_replay_dag(const Graph& graph, const Profile& profile,
+                           const ReplayComm& comm);
+
+/// Greedy list-schedule makespan of the DAG on `workers` workers, in ms.
+/// `scale` (optional, per-task) multiplies each task's recorded duration —
+/// the what-if hook. Comm cost is charged when a task's latest data
+/// predecessor was scheduled on a different worker.
+double replay_ms(const ReplayDag& dag, int workers,
+                 const std::vector<double>* scale = nullptr);
+
+/// Convenience: replay with every instance of `node` sped up `factor`x.
+double replay_node_speedup_ms(const ReplayDag& dag, int workers, NodeId node,
+                              double factor);
+
+}  // namespace ramiel::prof

@@ -1,6 +1,9 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace ramiel::obs {
 namespace {
@@ -11,7 +14,32 @@ std::string ts_us(std::int64_t ns) {
   return json_number(static_cast<double>(ns) / 1e3);
 }
 
+Counter* dropped_spans_total() {
+  static Counter* c = registry().counter(
+      "ramiel_trace_dropped_spans_total",
+      "Trace timeline events overwritten because the span ring was full");
+  return c;
+}
+
 }  // namespace
+
+Timeline::Timeline(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void Timeline::push(Event e) {
+  if (e.ph == 'M') {  // track names survive any amount of ring wrapping
+    meta_.push_back(std::move(e));
+    return;
+  }
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(e));
+    return;
+  }
+  events_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+  dropped_spans_total()->inc();
+}
 
 void Timeline::span(std::string name, std::string cat, int pid, int tid,
                     std::int64_t start_ns, std::int64_t end_ns,
@@ -25,7 +53,7 @@ void Timeline::span(std::string name, std::string cat, int pid, int tid,
   e.ts_ns = start_ns;
   e.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
   e.args = std::move(args);
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 void Timeline::instant(std::string name, std::string cat, int pid, int tid,
@@ -38,7 +66,7 @@ void Timeline::instant(std::string name, std::string cat, int pid, int tid,
   e.tid = tid;
   e.ts_ns = ts_ns;
   e.args = std::move(args);
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 void Timeline::counter(std::string name, int pid, std::int64_t ts_ns,
@@ -49,7 +77,7 @@ void Timeline::counter(std::string name, int pid, std::int64_t ts_ns,
   e.pid = pid;
   e.ts_ns = ts_ns;
   e.counter_value = value;
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 void Timeline::flow(std::string name, std::string cat, std::uint64_t id,
@@ -64,7 +92,7 @@ void Timeline::flow(std::string name, std::string cat, std::uint64_t id,
   s.ts_ns = send_ns;
   s.flow_id = id;
   s.has_flow_id = true;
-  events_.push_back(std::move(s));
+  push(std::move(s));
 
   Event f;
   f.name = std::move(name);
@@ -76,7 +104,7 @@ void Timeline::flow(std::string name, std::string cat, std::uint64_t id,
   f.ts_ns = recv_ns >= send_ns ? recv_ns : send_ns;
   f.flow_id = id;
   f.has_flow_id = true;
-  events_.push_back(std::move(f));
+  push(std::move(f));
 }
 
 void Timeline::process_name(int pid, std::string name) {
@@ -85,7 +113,7 @@ void Timeline::process_name(int pid, std::string name) {
   e.ph = 'M';
   e.pid = pid;
   e.args.emplace_back("name", std::move(name));
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 void Timeline::thread_name(int pid, int tid, std::string name) {
@@ -95,13 +123,21 @@ void Timeline::thread_name(int pid, int tid, std::string name) {
   e.pid = pid;
   e.tid = tid;
   e.args.emplace_back("name", std::move(name));
-  events_.push_back(std::move(e));
+  push(std::move(e));
 }
 
 std::string Timeline::to_chrome_json() const {
   std::string out = "{\"traceEvents\":[";
   bool first = true;
-  for (const Event& e : events_) {
+  // Metadata first, then ring contents oldest-to-newest.
+  std::vector<const Event*> ordered;
+  ordered.reserve(meta_.size() + events_.size());
+  for (const Event& e : meta_) ordered.push_back(&e);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    ordered.push_back(&events_[(head_ + i) % events_.size()]);
+  }
+  for (const Event* ep : ordered) {
+    const Event& e = *ep;
     if (!first) out += ",";
     first = false;
     out += "\n{\"name\":" + json_quote(e.name);

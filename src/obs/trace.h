@@ -14,6 +14,13 @@
 // A Timeline is an accumulation buffer, not a hot-path structure: emitters
 // append events while converting already-collected profiles/reports, then
 // serialize once. Not thread-safe; build and serialize from one thread.
+//
+// The span buffer is bounded: past `capacity` events the Timeline becomes a
+// ring and overwrites its *oldest* events (a long ramiel_serve run with
+// --trace-out keeps the most recent window instead of growing without
+// limit). Overwrites are counted in dropped() and in the process-wide
+// ramiel_trace_dropped_spans_total counter. Track-name metadata is kept
+// aside and never dropped, so a truncated trace still labels its tracks.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,11 @@ inline constexpr int kServerPid = 2;
 
 class Timeline {
  public:
+  /// Default event capacity (~a few hundred MB of JSON at worst).
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
+
+  explicit Timeline(std::size_t capacity = kDefaultCapacity);
+
   /// One argument shown in the Perfetto detail pane for an event.
   struct Arg {
     Arg(std::string key, std::string value)
@@ -68,8 +80,12 @@ class Timeline {
   void process_name(int pid, std::string name);
   void thread_name(int pid, int tid, std::string name);
 
-  bool empty() const { return events_.empty(); }
-  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty() && meta_.empty(); }
+  std::size_t size() const { return events_.size() + meta_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const { return dropped_; }
 
   /// Serializes as {"traceEvents":[...]} (the Chrome JSON object form).
   std::string to_chrome_json() const;
@@ -89,7 +105,13 @@ class Timeline {
     std::vector<Arg> args;
   };
 
+  void push(Event e);
+
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // oldest event once the ring wrapped
+  std::uint64_t dropped_ = 0;
   std::vector<Event> events_;
+  std::vector<Event> meta_;  // 'M' track names, never dropped
 };
 
 }  // namespace ramiel::obs

@@ -95,6 +95,7 @@ std::vector<TensorMap> SequentialExecutor::run(
   }
 
   Stopwatch wall;
+  const std::int64_t run_t0 = Stopwatch::now_ns();
   std::vector<TensorMap> results(static_cast<std::size_t>(batch));
   WorkerProfile wp;
   std::vector<TaskEvent> events;
@@ -144,9 +145,12 @@ std::vector<TensorMap> SequentialExecutor::run(
     }
   }
 
+  const std::int64_t run_t1 = Stopwatch::now_ns();
   record_run_metrics({wp}, wall.millis());
   if (profile != nullptr) {
     profile->wall_ms = wall.millis();
+    profile->start_ns = run_t0;
+    profile->end_ns = run_t1;
     profile->workers = {wp};
     profile->events = std::move(events);
     profile->messages.clear();
@@ -562,6 +566,7 @@ std::vector<TensorMap> ParallelExecutor::run(
   }
 
   Stopwatch wall;
+  const std::int64_t run_t0 = Stopwatch::now_ns();
   {
     std::lock_guard<std::mutex> lk(ctl_mu_);
     state_ = &st;
@@ -575,6 +580,7 @@ std::vector<TensorMap> ParallelExecutor::run(
     state_ = nullptr;
     ++runs_completed_;
   }
+  const std::int64_t run_t1 = Stopwatch::now_ns();
   const double wall_ms = wall.millis();
 
   if (st.first_error) std::rethrow_exception(st.first_error);
@@ -582,6 +588,8 @@ std::vector<TensorMap> ParallelExecutor::run(
   record_run_metrics(st.wps, wall_ms);
   if (profile != nullptr) {
     profile->wall_ms = wall_ms;
+    profile->start_ns = run_t0;
+    profile->end_ns = run_t1;
     profile->events.clear();
     for (auto& ev : st.wevents) {
       profile->events.insert(profile->events.end(), ev.begin(), ev.end());

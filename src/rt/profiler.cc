@@ -1,5 +1,6 @@
 #include "rt/profiler.h"
 
+#include <set>
 #include <string>
 
 #include "graph/op_kind.h"
@@ -28,18 +29,24 @@ std::int64_t Profile::total_bytes_sent() const {
 }
 
 void Profile::to_timeline(const Graph& graph, obs::Timeline& timeline,
-                          std::uint64_t flow_id_base) const {
+                          std::uint64_t flow_id_base,
+                          const std::vector<std::pair<NodeId, int>>* critical)
+    const {
   timeline.process_name(obs::kRuntimePid, "runtime");
   for (std::size_t w = 0; w < workers.size(); ++w) {
     timeline.thread_name(obs::kRuntimePid, static_cast<int>(w),
                          "worker " + std::to_string(w));
   }
+  std::set<std::pair<NodeId, int>> on_path;
+  if (critical != nullptr) on_path.insert(critical->begin(), critical->end());
   for (const TaskEvent& e : events) {
     const Node& n = graph.node(e.node);
-    timeline.span(n.name, std::string(op_kind_name(n.kind)),
-                  obs::kRuntimePid, e.worker,
-                  e.start_ns, e.end_ns,
-                  {obs::Timeline::Arg{"sample", e.sample}});
+    const bool hot = on_path.count({e.node, e.sample}) != 0;
+    timeline.span(n.name,
+                  hot ? "task.critical" : std::string(op_kind_name(n.kind)),
+                  obs::kRuntimePid, e.worker, e.start_ns, e.end_ns,
+                  {obs::Timeline::Arg{"sample", e.sample},
+                   obs::Timeline::Arg{"critpath", hot ? 1 : 0}});
   }
   std::uint64_t flow_id = flow_id_base;
   for (const MessageEvent& m : messages) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -70,6 +71,8 @@ struct Profile {
   std::vector<QueueDepthSample> queue_depths;  // empty unless tracing was on
   std::vector<WorkerProfile> workers;   // one per worker (1 for sequential)
   double wall_ms = 0.0;
+  std::int64_t start_ns = 0;  // run window begin (same clock as the events);
+  std::int64_t end_ns = 0;    // 0/0 = unknown, fall back to event extents
 
   /// Total receive slack across workers, in milliseconds.
   double total_slack_ms() const;
@@ -83,9 +86,14 @@ struct Profile {
 
   /// Appends this run to a unified timeline (task spans on the runtime pid,
   /// message-flow arrows, queue-depth counter tracks). `flow_id_base` keeps
-  /// arrow ids unique when several profiles land on one timeline.
+  /// arrow ids unique when several profiles land on one timeline. When
+  /// `critical` is non-null, tasks whose (node, sample) appear in it are
+  /// emitted with category "task.critical" and a `critpath` arg so Perfetto
+  /// renders the realized critical path as its own colour.
   void to_timeline(const Graph& graph, obs::Timeline& timeline,
-                   std::uint64_t flow_id_base = 0) const;
+                   std::uint64_t flow_id_base = 0,
+                   const std::vector<std::pair<NodeId, int>>* critical =
+                       nullptr) const;
 
   /// Renders the trace in Chrome's trace-event JSON format (load via
   /// chrome://tracing or Perfetto) for visual slack inspection.

@@ -398,6 +398,7 @@ std::vector<TensorMap> StealExecutor::run(
   st.wevents.resize(static_cast<std::size_t>(k));
 
   Stopwatch wall;
+  const std::int64_t run_t0 = Stopwatch::now_ns();
   {
     std::lock_guard<std::mutex> lk(ctl_mu_);
     state_ = &st;
@@ -411,6 +412,7 @@ std::vector<TensorMap> StealExecutor::run(
     state_ = nullptr;
     ++runs_completed_;
   }
+  const std::int64_t run_t1 = Stopwatch::now_ns();
   const double wall_ms = wall.millis();
 
   if (st.first_error) {
@@ -455,6 +457,8 @@ std::vector<TensorMap> StealExecutor::run(
 
   if (profile != nullptr) {
     profile->wall_ms = wall_ms;
+    profile->start_ns = run_t0;
+    profile->end_ns = run_t1;
     profile->events.clear();
     for (auto& ev : st.wevents) {
       profile->events.insert(profile->events.end(), ev.begin(), ev.end());

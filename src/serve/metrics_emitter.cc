@@ -53,7 +53,9 @@ void MetricsEmitter::loop() {
 }
 
 void MetricsEmitter::emit_once() {
-  const ServerStats stats = server_->stats();
+  // window_stats: each JSONL line carries the exact-latency window since
+  // the previous emit (cumulative counters are unaffected).
+  const ServerStats stats = server_->window_stats();
   const double ts_ms =
       static_cast<double>(Stopwatch::now_ns()) / 1e6;
 

@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -75,6 +76,50 @@ Profile Server::slowest_batch_profile() const {
   return slowest_;
 }
 
+std::vector<TailExemplar> Server::tail_exemplars() const {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  return exemplars_;
+}
+
+std::string Server::tail_attribution() const {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  if (exemplars_.empty()) return "";
+  return exemplars_.front().report.summary();
+}
+
+void Server::maybe_keep_exemplar(const Profile& profile,
+                                 std::int64_t dispatch_ns) {
+  const std::size_t cap =
+      static_cast<std::size_t>(std::max(1, options_.profile_exemplars));
+  {
+    // serve_loop is the only writer, so this early-out cannot race another
+    // insertion; the lock only orders against concurrent readers.
+    std::lock_guard<std::mutex> lk(trace_mu_);
+    if (exemplars_.size() >= cap &&
+        profile.wall_ms <= exemplars_.back().wall_ms) {
+      return;  // faster than every retained exemplar — the common case
+    }
+  }
+  TailExemplar ex;
+  ex.wall_ms = profile.wall_ms;
+  ex.dispatch_ns = dispatch_ns;
+  ex.profile = profile;
+  prof::AnalyzeOptions aopts;
+  aopts.top_ops = 8;
+  aopts.what_if_ops = 2;
+  ex.report = prof::analyze(model_.graph, model_.hyperclusters, profile,
+                            aopts);  // outside the lock: O(tasks) walk
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  exemplars_.push_back(std::move(ex));
+  std::sort(exemplars_.begin(), exemplars_.end(),
+            [](const TailExemplar& a, const TailExemplar& b) {
+              return a.wall_ms > b.wall_ms;
+            });
+  if (exemplars_.size() > cap) exemplars_.resize(cap);
+  // Gauges always describe the worst batch seen so far.
+  prof::publish(exemplars_.front().report);
+}
+
 void Server::append_trace(obs::Timeline& timeline) const {
   std::lock_guard<std::mutex> lk(trace_mu_);
   timeline.process_name(obs::kServerPid, "server");
@@ -88,6 +133,14 @@ void Server::append_trace(obs::Timeline& timeline) const {
                                                   static_cast<double>(
                                                       d.slots)}});
   }
+  // Prefer the analyzed exemplar when available: same slowest batch, but
+  // the spans on its realized critical path come out highlighted.
+  if (!exemplars_.empty()) {
+    const TailExemplar& worst = exemplars_.front();
+    const auto critical = worst.report.critical_tasks();
+    worst.profile.to_timeline(model_.graph, timeline, 0, &critical);
+    return;
+  }
   slowest_.to_timeline(model_.graph, timeline);
 }
 
@@ -98,7 +151,7 @@ void Server::serve_loop() {
   batcher_opts.flush_timeout_ms = options_.flush_timeout_ms;
   RunOptions run_opts;
   run_opts.intra_op_threads = options_.intra_op_threads;
-  run_opts.trace = options_.trace;
+  run_opts.trace = options_.trace || options_.profile;
 
   std::vector<Request> batch;
   while (collect_batch(queue_, batcher_opts, &batch)) {
@@ -124,6 +177,7 @@ void Server::serve_loop() {
             BatchDispatch{dispatch_ns, Stopwatch::now_ns(), real, slots});
         if (profile.wall_ms > slowest_.wall_ms) slowest_ = profile;
       }
+      if (options_.profile) maybe_keep_exemplar(profile, dispatch_ns);
       const std::int64_t done_ns = Stopwatch::now_ns();
       for (int i = 0; i < real; ++i) {
         Request& r = batch[static_cast<std::size_t>(i)];

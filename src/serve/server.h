@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/prof/critical_path.h"
 #include "ramiel/pipeline.h"
 #include "rt/executor.h"
 #include "serve/batcher.h"
@@ -50,6 +51,15 @@ struct ServeOptions {
   /// and retain the profile of the slowest one — what ramiel_serve
   /// --trace-out dumps. Off by default: tracing allocates per-task events.
   bool trace = false;
+  /// Always-on tail attribution: record per-task events for every batch and
+  /// retain the `profile_exemplars` slowest batches with their realized
+  /// critical-path reports (prof::analyze) — which op/cluster caused each
+  /// p99 batch. On by default; the executors already read the clock twice
+  /// per task for busy accounting, so recording adds one vector append
+  /// (overhead measured in BENCH_serve.json, "profiler_overhead" section).
+  bool profile = true;
+  /// How many slowest-batch exemplars to keep when `profile` is on.
+  int profile_exemplars = 4;
   /// Back intermediates with the model's static memory plan: each worker
   /// keeps a persistent arena reused across every batch (src/mem/).
   /// Deployment override: RAMIEL_MEM_PLAN=arena|off.
@@ -65,6 +75,15 @@ struct ServeOptions {
   /// kAuto threshold on cluster_cost_cv.
   /// Deployment override: RAMIEL_AUTO_STEAL_CV.
   double auto_steal_cv = env_auto_steal_cv(0.35);
+};
+
+/// One retained slow batch: its recorded profile plus the critical-path
+/// attribution computed when it entered the exemplar set.
+struct TailExemplar {
+  double wall_ms = 0.0;
+  std::int64_t dispatch_ns = 0;
+  Profile profile;
+  prof::CriticalPathReport report;
 };
 
 class Server {
@@ -89,11 +108,25 @@ class Server {
 
   ServerStats stats() const { return stats_.snapshot(); }
 
+  /// stats() plus a reset of the exact-latency window: window_latency in
+  /// the result covers the interval since the previous window_stats() call.
+  /// Used by the metrics emitter so each JSONL line reports an exact
+  /// per-interval p99 instead of a histogram-quantized one.
+  ServerStats window_stats() const { return stats_.window_snapshot(); }
+
   /// Profile of the slowest batch observed so far (empty Profile until the
   /// first batch completes). Only populated when ServeOptions.trace is on —
   /// the worst batch is exactly the one whose timeline answers "where did
   /// the tail latency go".
   Profile slowest_batch_profile() const;
+
+  /// The retained slowest-batch exemplars, slowest first (profile mode;
+  /// empty until the first batch completes or when profiling is off).
+  std::vector<TailExemplar> tail_exemplars() const;
+
+  /// Human-readable critical-path summary of the slowest exemplar (the
+  /// "tail attribution" block ramiel_serve prints); "" when none yet.
+  std::string tail_attribution() const;
 
   /// Appends the serving view to a unified trace (trace mode only): one
   /// span per batch dispatch on the server track (obs::kServerPid, args:
@@ -121,6 +154,7 @@ class Server {
   };
 
   void serve_loop();
+  void maybe_keep_exemplar(const Profile& profile, std::int64_t dispatch_ns);
 
   CompiledModel model_;
   ServeOptions options_;
@@ -131,6 +165,7 @@ class Server {
   mutable std::mutex trace_mu_;
   Profile slowest_;  // trace mode: profile of the slowest batch so far
   std::vector<BatchDispatch> dispatches_;  // trace mode: every batch span
+  std::vector<TailExemplar> exemplars_;    // profile mode: slowest first
 
   std::thread batcher_;
 };

@@ -20,6 +20,21 @@ double percentile(const std::vector<double>& sorted, double p) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+LatencySummary summarize(const std::vector<double>& samples) {
+  LatencySummary out;
+  if (samples.empty()) return out;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  out.mean_ms = sum / static_cast<double>(sorted.size());
+  out.p50_ms = percentile(sorted, 50.0);
+  out.p95_ms = percentile(sorted, 95.0);
+  out.p99_ms = percentile(sorted, 99.0);
+  out.max_ms = sorted.back();
+  return out;
+}
+
 /// Each collector gets a unique instance label so several servers in one
 /// process stay distinct series of the same metric families.
 std::string next_instance() {
@@ -96,6 +111,13 @@ std::string ServerStats::to_json(double ts_ms) const {
   out += ",\"p95_ms\":" + json_number(latency.p95_ms);
   out += ",\"p99_ms\":" + json_number(latency.p99_ms);
   out += ",\"max_ms\":" + json_number(latency.max_ms);
+  out += "},\"window\":{";
+  out += "\"served\":" + std::to_string(window_served);
+  out += ",\"mean_ms\":" + json_number(window_latency.mean_ms);
+  out += ",\"p50_ms\":" + json_number(window_latency.p50_ms);
+  out += ",\"p95_ms\":" + json_number(window_latency.p95_ms);
+  out += ",\"p99_ms\":" + json_number(window_latency.p99_ms);
+  out += ",\"max_ms\":" + json_number(window_latency.max_ms);
   out += "}}";
   return out;
 }
@@ -158,6 +180,12 @@ void StatsCollector::on_served(double latency_ms) {
     latencies_[latency_count_ % kReservoirCap] = latency_ms;
   }
   ++latency_count_;
+  if (window_.size() < kWindowCap) {
+    window_.push_back(latency_ms);
+  } else {
+    window_[window_count_ % kWindowCap] = latency_ms;
+  }
+  ++window_count_;
 }
 
 void StatsCollector::on_batch(int real, int slots, const Profile& profile) {
@@ -181,7 +209,13 @@ void StatsCollector::on_batch(int real, int slots, const Profile& profile) {
   bytes_moved_->inc(bytes);
 }
 
-ServerStats StatsCollector::snapshot() const {
+ServerStats StatsCollector::snapshot() const { return snapshot_impl(false); }
+
+ServerStats StatsCollector::window_snapshot() const {
+  return snapshot_impl(true);
+}
+
+ServerStats StatsCollector::snapshot_impl(bool reset_window) const {
   ServerStats out;
   out.submitted = submitted_->value();
   out.served = served_->value();
@@ -198,16 +232,12 @@ ServerStats StatsCollector::snapshot() const {
   out.uptime_ms =
       static_cast<double>(Stopwatch::now_ns() - start_ns_) / 1e6;
   std::lock_guard<std::mutex> lk(mu_);
-  if (!latencies_.empty()) {
-    std::vector<double> sorted = latencies_;
-    std::sort(sorted.begin(), sorted.end());
-    double sum = 0.0;
-    for (double v : sorted) sum += v;
-    out.latency.mean_ms = sum / static_cast<double>(sorted.size());
-    out.latency.p50_ms = percentile(sorted, 50.0);
-    out.latency.p95_ms = percentile(sorted, 95.0);
-    out.latency.p99_ms = percentile(sorted, 99.0);
-    out.latency.max_ms = sorted.back();
+  out.latency = summarize(latencies_);
+  out.window_latency = summarize(window_);
+  out.window_served = window_count_;
+  if (reset_window) {
+    window_.clear();
+    window_count_ = 0;
   }
   return out;
 }

@@ -11,10 +11,15 @@
 // Latency percentiles come from a fixed-size reservoir (latest 64Ki
 // samples, the one mutex-guarded structure left) so a long-lived server's
 // memory stays bounded; the registry histogram carries the same latencies
-// in fixed buckets for scraping. Per-worker busy/slack totals reuse the
-// runtime's Profile — the same "profile database" that motivates
-// hyperclustering in the paper now doubles as the production utilization
-// metric.
+// in fixed buckets for scraping. Histogram buckets quantize tails — a p99
+// interpolated from 25/50/100 ms bucket edges can be off by 2x — so a
+// second, smaller reservoir holds the *current window's* exact latencies:
+// window_snapshot() reports exact percentiles for the interval since the
+// previous window_snapshot() (exact up to 16Ki requests per window, ring
+// overwrite beyond), which is what the metrics emitter writes per tick.
+// Per-worker busy/slack totals reuse the runtime's Profile — the same
+// "profile database" that motivates hyperclustering in the paper now
+// doubles as the production utilization metric.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +58,11 @@ struct ServerStats {
   int num_workers = 0;
   LatencySummary latency;
 
+  // Exact latencies of the current emitter window (since the last
+  // window_snapshot()); window_served counts the samples behind it.
+  LatencySummary window_latency;
+  std::uint64_t window_served = 0;
+
   /// Fraction of dispatched batch slots that carried real requests
   /// (1.0 = every batch left full; low values mean the flush timeout is
   /// doing the serving).
@@ -88,11 +98,18 @@ class StatsCollector {
 
   ServerStats snapshot() const;
 
+  /// snapshot(), then resets the per-window latency reservoir so the next
+  /// call reports the interval starting now. The metrics emitter's tick.
+  ServerStats window_snapshot() const;
+
   /// The instance label value of this collector's registry series.
   const std::string& instance() const { return instance_; }
 
  private:
   static constexpr std::size_t kReservoirCap = 1u << 16;
+  static constexpr std::size_t kWindowCap = 1u << 14;
+
+  ServerStats snapshot_impl(bool reset_window) const;
 
   std::string instance_;
 
@@ -112,10 +129,14 @@ class StatsCollector {
   obs::Gauge* queue_depth_;
   obs::Histogram* latency_hist_;
 
-  // Exact-percentile reservoir (scrapes use the histogram instead).
+  // Exact-percentile reservoirs (scrapes use the histogram instead).
+  // window_* is reset by window_snapshot(), hence mutable: resetting a
+  // measurement window is not a logical mutation of the collector.
   mutable std::mutex mu_;
   std::vector<double> latencies_;   // ring once kReservoirCap is reached
   std::uint64_t latency_count_ = 0;
+  mutable std::vector<double> window_;  // ring once kWindowCap is reached
+  mutable std::uint64_t window_count_ = 0;
   std::int64_t start_ns_ = 0;
 
  public:

@@ -1,6 +1,9 @@
 #include "support/env.h"
 
+#include <cctype>
+#include <cmath>
 #include <cstdlib>
+#include <utility>
 
 namespace ramiel {
 
@@ -73,6 +76,42 @@ std::int64_t env_parallel_threshold(std::int64_t fallback) {
 double env_auto_steal_cv(double fallback) {
   const double v = env_double("RAMIEL_AUTO_STEAL_CV", fallback);
   return v >= 0.0 ? v : fallback;
+}
+
+bool parse_bucket_list(const std::string& text, std::vector<double>* out) {
+  std::vector<double> bounds;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    std::size_t b = pos;
+    std::size_t e = comma;
+    while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) {
+      --e;
+    }
+    if (b == e) return false;  // empty item ("1,,2", trailing comma, "")
+    const std::string item = text.substr(b, e - b);
+    char* end = nullptr;
+    const double v = std::strtod(item.c_str(), &end);
+    if (end == item.c_str() || *end != '\0') return false;
+    if (!(v > 0.0) || !std::isfinite(v)) return false;
+    if (!bounds.empty() && v <= bounds.back()) return false;
+    bounds.push_back(v);
+    pos = comma + 1;
+    if (comma == text.size()) break;
+  }
+  if (bounds.empty()) return false;
+  *out = std::move(bounds);
+  return true;
+}
+
+std::vector<double> env_hist_buckets(std::vector<double> fallback) {
+  const char* v = std::getenv("RAMIEL_HIST_BUCKETS");
+  if (v == nullptr) return fallback;
+  std::vector<double> bounds;
+  if (!parse_bucket_list(v, &bounds)) return fallback;
+  return bounds;
 }
 
 }  // namespace ramiel

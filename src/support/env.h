@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ramiel {
 
@@ -54,5 +55,16 @@ std::int64_t env_parallel_threshold(std::int64_t fallback);
 /// above which `--executor auto` picks the work-stealing runtime. Negative
 /// or unparseable values fall back.
 double env_auto_steal_cv(double fallback);
+
+/// Parses a comma-separated list of strictly increasing positive doubles
+/// ("0.5,1,5,25"); whitespace around items is allowed. Returns false (and
+/// leaves `out` untouched) on empty input, parse errors, non-positive
+/// values or non-increasing order.
+bool parse_bucket_list(const std::string& text, std::vector<double>* out);
+
+/// RAMIEL_HIST_BUCKETS — histogram upper-bound overrides for the metrics
+/// registry's latency histograms, as a parse_bucket_list() string. Unset or
+/// invalid values return `fallback`.
+std::vector<double> env_hist_buckets(std::vector<double> fallback);
 
 }  // namespace ramiel

@@ -1,0 +1,190 @@
+// json_read parser and bench_diff comparator tests (ctest -L prof): strict
+// parsing, direction-aware regression detection, threshold semantics, and
+// the injected-regression self-test CI relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/bench_diff.h"
+#include "obs/json_read.h"
+
+namespace ramiel::obs {
+namespace {
+
+JsonValue parse(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(json_parse(text, &v, &error)) << error;
+  return v;
+}
+
+TEST(JsonRead, ParsesScalarsAndNesting) {
+  JsonValue v = parse(R"({"a":1.5,"b":[true,false,null],"c":{"d":"x\n"}})");
+  ASSERT_TRUE(v.is(JsonValue::Kind::kObject));
+  EXPECT_DOUBLE_EQ(v.number_or("a", 0.0), 1.5);
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_TRUE(b->array[2].is(JsonValue::Kind::kNull));
+  const JsonValue* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->string_or("d", ""), "x\n");
+}
+
+TEST(JsonRead, ParsesNumbersStrictly) {
+  EXPECT_DOUBLE_EQ(parse("-0.5e2").number, -50.0);
+  EXPECT_DOUBLE_EQ(parse("1e-3").number, 0.001);
+  JsonValue v;
+  // RFC 8259 rejects all of these.
+  for (const char* bad : {"01", "+1", ".5", "1.", "nan", "Infinity", "--1"}) {
+    EXPECT_FALSE(json_parse(bad, &v)) << bad;
+  }
+}
+
+TEST(JsonRead, RejectsMalformedDocuments) {
+  JsonValue v;
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{'a':1}", "[1] trailing",
+        "\"unterminated", "{\"a\":1,}", "[\x01]"}) {
+    EXPECT_FALSE(json_parse(bad, &v, &error)) << bad;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(JsonRead, DecodesEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\td")").str, "a\"b\\c\td");
+  EXPECT_EQ(parse(R"("Aé")").str, "A\xc3\xa9");       // raw UTF-8 bytes
+  EXPECT_EQ(parse("\"A\\u00e9\"").str, "A\xc3\xa9");  // \u escape -> UTF-8
+  EXPECT_EQ(parse("\"\\u0041\"").str, "A");
+  JsonValue v;
+  EXPECT_FALSE(json_parse(R"("\u12g4")", &v));
+  EXPECT_FALSE(json_parse(R"("\q")", &v));
+}
+
+constexpr const char* kServeBase = R"([
+  {"section":"throughput","model":"m","config":"b4",
+   "measured_rps":100.0,"p99_ms":10.0,"batch_fill":1.0},
+  {"section":"saturation","model":"m","config":"burst",
+   "served":48,"rejected":500,"failed":0}
+])";
+
+TEST(BenchDiff, IdenticalFilesPass) {
+  JsonValue base = parse(kServeBase);
+  const BenchDiffResult r = diff_bench(base, base);
+  EXPECT_FALSE(r.failed());
+  EXPECT_TRUE(r.regressions().empty());
+  EXPECT_TRUE(r.missing.empty());
+  // served/rejected/failed and batch_fill are excluded from comparison.
+  for (const BenchDelta& d : r.deltas) {
+    EXPECT_TRUE(d.metric == "measured_rps" || d.metric == "p99_ms")
+        << d.metric;
+  }
+}
+
+TEST(BenchDiff, DirectionAwareRegressions) {
+  JsonValue base = parse(kServeBase);
+  // rps down 20% and p99 up 20%: both are regressions.
+  JsonValue worse = parse(R"([
+    {"section":"throughput","model":"m","config":"b4",
+     "measured_rps":80.0,"p99_ms":12.0,"batch_fill":1.0}
+  ])");
+  const BenchDiffResult r = diff_bench(base, worse);
+  EXPECT_TRUE(r.failed());
+  ASSERT_EQ(r.regressions().size(), 2u);
+  for (const BenchDelta* d : r.regressions()) EXPECT_GT(d->change_pct, 10.0);
+
+  // rps up and p99 down are improvements, never flagged.
+  JsonValue better = parse(R"([
+    {"section":"throughput","model":"m","config":"b4",
+     "measured_rps":150.0,"p99_ms":5.0,"batch_fill":1.0},
+    {"section":"saturation","model":"m","config":"burst",
+     "served":48,"rejected":500,"failed":0}
+  ])");
+  const BenchDiffResult r2 = diff_bench(base, better);
+  EXPECT_FALSE(r2.failed());
+  EXPECT_TRUE(r2.regressions().empty());
+  EXPECT_TRUE(r2.warnings().empty());
+}
+
+TEST(BenchDiff, WarnBandDoesNotGate) {
+  JsonValue base = parse(kServeBase);
+  JsonValue slightly = parse(R"([
+    {"section":"throughput","model":"m","config":"b4",
+     "measured_rps":100.0,"p99_ms":10.5,"batch_fill":1.0},
+    {"section":"saturation","model":"m","config":"burst",
+     "served":48,"rejected":500,"failed":0}
+  ])");
+  // +5% p99: above the 3% warn line, below the 10% gate.
+  const BenchDiffResult r = diff_bench(base, slightly);
+  EXPECT_FALSE(r.failed());
+  EXPECT_TRUE(r.regressions().empty());
+  ASSERT_EQ(r.warnings().size(), 1u);
+  EXPECT_EQ(r.warnings()[0]->metric, "p99_ms");
+
+  // A tighter gate turns the same delta into a failure.
+  BenchDiffOptions tight;
+  tight.fail_threshold_pct = 4.0;
+  EXPECT_TRUE(diff_bench(base, slightly, tight).failed());
+}
+
+TEST(BenchDiff, MissingRowFailsAddedRowDoesNot) {
+  JsonValue base = parse(kServeBase);
+  JsonValue dropped = parse(R"([
+    {"section":"saturation","model":"m","config":"burst",
+     "served":48,"rejected":500,"failed":0}
+  ])");
+  const BenchDiffResult r = diff_bench(base, dropped);
+  EXPECT_TRUE(r.failed());  // deleting a row must not silence the gate
+  ASSERT_EQ(r.missing.size(), 1u);
+  EXPECT_EQ(r.missing[0], "throughput/m/b4");
+
+  JsonValue extra = parse(R"([
+    {"section":"throughput","model":"m","config":"b4",
+     "measured_rps":100.0,"p99_ms":10.0,"batch_fill":1.0},
+    {"section":"saturation","model":"m","config":"burst",
+     "served":48,"rejected":500,"failed":0},
+    {"section":"throughput","model":"m2","config":"b4","measured_rps":5.0}
+  ])");
+  const BenchDiffResult r2 = diff_bench(base, extra);
+  EXPECT_FALSE(r2.failed());
+  ASSERT_EQ(r2.added.size(), 1u);
+}
+
+TEST(BenchDiff, GoogleBenchmarkFormat) {
+  JsonValue base = parse(R"({"context":{"num_cpus":1},"benchmarks":[
+    {"name":"BM_conv/8","real_time":100.0,"cpu_time":99.0,
+     "time_unit":"us","iterations":1000}
+  ]})");
+  JsonValue worse = parse(R"({"context":{"num_cpus":1},"benchmarks":[
+    {"name":"BM_conv/8","real_time":130.0,"cpu_time":99.0,
+     "time_unit":"us","iterations":900}
+  ]})");
+  const BenchDiffResult same = diff_bench(base, base);
+  EXPECT_FALSE(same.failed());
+  const BenchDiffResult r = diff_bench(base, worse);
+  EXPECT_TRUE(r.failed());
+  ASSERT_FALSE(r.regressions().empty());
+  EXPECT_EQ(r.regressions()[0]->row, "BM_conv/8");
+  EXPECT_EQ(r.regressions()[0]->metric, "real_time");
+  // iterations is bookkeeping, not a gated metric.
+  for (const BenchDelta& d : r.deltas) EXPECT_NE(d.metric, "iterations");
+}
+
+TEST(BenchDiff, InjectedRegressionTripsGate) {
+  JsonValue base = parse(kServeBase);
+  JsonValue injected = parse(kServeBase);
+  inject_regression(&injected, 20.0);
+  const BenchDiffResult r = diff_bench(base, injected);
+  EXPECT_TRUE(r.failed());
+  // Every compared metric moved the "worse" way.
+  for (const BenchDelta& d : r.deltas) EXPECT_GT(d.change_pct, 10.0);
+  // And the report renders.
+  EXPECT_NE(r.to_string().find("verdict: FAIL"), std::string::npos);
+  EXPECT_FALSE(diff_bench(base, base).to_string().find("verdict: OK") ==
+               std::string::npos);
+}
+
+}  // namespace
+}  // namespace ramiel::obs

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -202,6 +203,77 @@ TEST(Timeline, FlowEndNeverPrecedesStart) {
   EXPECT_TRUE(strictly_valid(json));
   // Clamped: the 'f' half is emitted at the send timestamp (5 us), not 4.
   EXPECT_EQ(json.find("\"ts\":4"), std::string::npos);
+}
+
+TEST(Timeline, RingOverwritesOldestPastCapacity) {
+  Timeline tl(/*capacity=*/4);
+  tl.process_name(obs::kRuntimePid, "rt");  // metadata, never dropped
+  for (int i = 0; i < 10; ++i) {
+    tl.span("s" + std::to_string(i), "c", obs::kRuntimePid, 0, i * 100,
+            i * 100 + 50);
+  }
+  EXPECT_EQ(tl.capacity(), 4u);
+  EXPECT_EQ(tl.size(), 5u);  // 4 ring slots + 1 metadata
+  EXPECT_EQ(tl.dropped(), 6u);
+
+  const std::string json = tl.to_chrome_json();
+  EXPECT_TRUE(strictly_valid(json));
+  // The most recent window survives, the oldest spans are gone, and the
+  // track metadata is intact.
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_NE(json.find("\"s" + std::to_string(i) + "\""),
+              std::string::npos);
+  }
+  EXPECT_EQ(json.find("\"s0\""), std::string::npos);
+  EXPECT_EQ(json.find("\"s5\""), std::string::npos);
+  EXPECT_NE(json.find("\"rt\""), std::string::npos);
+  // Oldest-first order is preserved across the wrap point.
+  EXPECT_LT(json.find("\"s6\""), json.find("\"s9\""));
+}
+
+TEST(Timeline, DropsFeedProcessWideCounter) {
+  const std::string before = obs::registry().to_prometheus();
+  Timeline tl(/*capacity=*/2);
+  for (int i = 0; i < 5; ++i) {
+    tl.span("s", "c", obs::kRuntimePid, 0, i, i + 1);
+  }
+  EXPECT_EQ(tl.dropped(), 3u);
+  const std::string after = obs::registry().to_prometheus();
+  EXPECT_NE(after.find("ramiel_trace_dropped_spans_total"),
+            std::string::npos);
+  EXPECT_NE(before, after);  // the counter moved by our 3 drops
+}
+
+TEST(Timeline, UnboundedBelowCapacityKeepsEverything) {
+  Timeline tl;
+  for (int i = 0; i < 100; ++i) {
+    tl.span("s", "c", obs::kRuntimePid, 0, i, i + 1);
+  }
+  EXPECT_EQ(tl.size(), 100u);
+  EXPECT_EQ(tl.dropped(), 0u);
+}
+
+TEST(Histogram, EnvOverridesLatencyBuckets) {
+  ::unsetenv("RAMIEL_HIST_BUCKETS");
+  const std::vector<double> defaults = Histogram::latency_ms_buckets();
+  EXPECT_FALSE(defaults.empty());
+
+  ::setenv("RAMIEL_HIST_BUCKETS", "0.5,7.5,75", 1);
+  EXPECT_EQ(Histogram::latency_ms_buckets(),
+            (std::vector<double>{0.5, 7.5, 75.0}));
+
+  // A histogram registered while the override is live exposes its bounds.
+  Registry reg;
+  reg.histogram("tuned_ms", "", Histogram::latency_ms_buckets())
+      ->observe(1.0);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("tuned_ms_bucket{le=\"7.5\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("tuned_ms_bucket{le=\"75\"} 1"), std::string::npos);
+
+  ::setenv("RAMIEL_HIST_BUCKETS", "not,numbers", 1);
+  EXPECT_EQ(Histogram::latency_ms_buckets(), defaults);  // invalid ignored
+  ::unsetenv("RAMIEL_HIST_BUCKETS");
+  EXPECT_EQ(Histogram::latency_ms_buckets(), defaults);
 }
 
 TEST(Profile, ChromeTraceEscapesHostileNodeNames) {

@@ -172,6 +172,43 @@ TEST(Stats, PercentilesAreOrderedAndFillIsExact) {
   EXPECT_FALSE(s.to_string().empty());
 }
 
+TEST(Stats, WindowSnapshotIsExactAndResets) {
+  StatsCollector c;
+  for (int i = 1; i <= 1000; ++i) {
+    c.on_submit();
+    c.on_served(static_cast<double>(i));
+  }
+  const ServerStats w1 = c.window_snapshot();
+  EXPECT_EQ(w1.window_served, 1000u);
+  // Exact order statistics over the window, not histogram-quantized: for
+  // 1..1000 the percentile of rank k is exactly k.
+  EXPECT_DOUBLE_EQ(w1.window_latency.p50_ms, 500.5);
+  EXPECT_NEAR(w1.window_latency.p99_ms, 990.01, 1e-9);
+  EXPECT_DOUBLE_EQ(w1.window_latency.max_ms, 1000.0);
+  // Cumulative stats ride along unchanged.
+  EXPECT_EQ(w1.served, 1000u);
+
+  // The snapshot consumed the window; the next one starts empty...
+  const ServerStats w2 = c.window_snapshot();
+  EXPECT_EQ(w2.window_served, 0u);
+  EXPECT_DOUBLE_EQ(w2.window_latency.p99_ms, 0.0);
+  EXPECT_EQ(w2.served, 1000u);  // ...but cumulative totals persist.
+
+  // ...and covers only what arrived since.
+  c.on_submit();
+  c.on_served(42.0);
+  const ServerStats w3 = c.window_snapshot();
+  EXPECT_EQ(w3.window_served, 1u);
+  EXPECT_DOUBLE_EQ(w3.window_latency.p99_ms, 42.0);
+
+  // Plain snapshot() never consumes the window.
+  c.on_submit();
+  c.on_served(7.0);
+  (void)c.snapshot();
+  const ServerStats w4 = c.window_snapshot();
+  EXPECT_EQ(w4.window_served, 1u);
+}
+
 // --------------------------------------------------------------- server --
 
 PipelineOptions serve_pipeline(int batch,

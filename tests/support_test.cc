@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "support/check.h"
 #include "support/env.h"
 #include "support/rng.h"
@@ -128,6 +130,39 @@ TEST(Env, ParsesSetValues) {
   EXPECT_EQ(env_str("RAMIEL_TEST_SET_VAR", ""), "text");
   EXPECT_EQ(env_int("RAMIEL_TEST_SET_VAR", -1), -1);  // unparseable int
   ::unsetenv("RAMIEL_TEST_SET_VAR");
+}
+
+TEST(Env, ParseBucketList) {
+  std::vector<double> out;
+  ASSERT_TRUE(parse_bucket_list("0.5,1,2.5,10", &out));
+  EXPECT_EQ(out, (std::vector<double>{0.5, 1.0, 2.5, 10.0}));
+  ASSERT_TRUE(parse_bucket_list(" 1 , 2 , 3 ", &out));  // whitespace ok
+  EXPECT_EQ(out.size(), 3u);
+  ASSERT_TRUE(parse_bucket_list("1e-1,1e2", &out));
+  EXPECT_DOUBLE_EQ(out[0], 0.1);
+
+  // Rejected: empty, empty items, non-numeric, non-positive, non-increasing.
+  EXPECT_FALSE(parse_bucket_list("", &out));
+  EXPECT_FALSE(parse_bucket_list("1,,2", &out));
+  EXPECT_FALSE(parse_bucket_list("1,two", &out));
+  EXPECT_FALSE(parse_bucket_list("1,2x", &out));
+  EXPECT_FALSE(parse_bucket_list("0,1", &out));
+  EXPECT_FALSE(parse_bucket_list("-1,1", &out));
+  EXPECT_FALSE(parse_bucket_list("1,1", &out));
+  EXPECT_FALSE(parse_bucket_list("2,1", &out));
+  EXPECT_FALSE(parse_bucket_list("1,inf", &out));  // +Inf bucket is implicit
+}
+
+TEST(Env, HistBucketsOverride) {
+  const std::vector<double> fallback{1.0, 2.0};
+  ::unsetenv("RAMIEL_HIST_BUCKETS");
+  EXPECT_EQ(env_hist_buckets(fallback), fallback);
+  ::setenv("RAMIEL_HIST_BUCKETS", "0.25,5,50", 1);
+  EXPECT_EQ(env_hist_buckets(fallback),
+            (std::vector<double>{0.25, 5.0, 50.0}));
+  ::setenv("RAMIEL_HIST_BUCKETS", "garbage", 1);
+  EXPECT_EQ(env_hist_buckets(fallback), fallback);  // invalid -> fallback
+  ::unsetenv("RAMIEL_HIST_BUCKETS");
 }
 
 TEST(Env, IntraOpThreadsOverride) {

@@ -1,0 +1,111 @@
+// ramiel_bench_diff — benchmark trajectory regression gate.
+//
+//   ramiel_bench_diff BASE.json CURRENT.json [--threshold 10%] [--warn 3%]
+//                     [--inject-regression PCT]
+//
+// Compares two committed bench files (BENCH_serve.json row arrays or
+// BENCH_kernels.json google-benchmark documents), prints per-row metric
+// deltas, and exits nonzero when any metric regressed past the threshold
+// or a base row vanished. --inject-regression worsens every metric of
+// CURRENT by PCT percent before diffing — CI uses it to prove the gate
+// actually trips (a gate that can't fail is decoration).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_diff.h"
+#include "obs/json_read.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASE.json CURRENT.json [--threshold PCT[%%]] "
+               "[--warn PCT[%%]] [--inject-regression PCT[%%]]\n",
+               argv0);
+  return 2;
+}
+
+// Accepts "10", "10%", "7.5%".
+bool parse_pct(const char* text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text) return false;
+  if (*end == '%') ++end;
+  if (*end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool load_json(const std::string& path, ramiel::obs::JsonValue* out) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "ramiel_bench_diff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  std::string error;
+  if (!ramiel::obs::json_parse(buf.str(), out, &error)) {
+    std::fprintf(stderr, "ramiel_bench_diff: %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path;
+  std::string current_path;
+  ramiel::obs::BenchDiffOptions options;
+  double inject_pct = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto flag_value = [&](const char* name, double* out) {
+      if (i + 1 >= argc || !parse_pct(argv[++i], out)) {
+        std::fprintf(stderr, "ramiel_bench_diff: %s needs a percentage\n",
+                     name);
+        return false;
+      }
+      return true;
+    };
+    if (std::strcmp(arg, "--threshold") == 0) {
+      if (!flag_value("--threshold", &options.fail_threshold_pct)) return 2;
+    } else if (std::strcmp(arg, "--warn") == 0) {
+      if (!flag_value("--warn", &options.warn_threshold_pct)) return 2;
+    } else if (std::strcmp(arg, "--inject-regression") == 0) {
+      if (!flag_value("--inject-regression", &inject_pct)) return 2;
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (base_path.empty()) {
+      base_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (base_path.empty() || current_path.empty()) return usage(argv[0]);
+
+  ramiel::obs::JsonValue base;
+  ramiel::obs::JsonValue current;
+  if (!load_json(base_path, &base) || !load_json(current_path, &current)) {
+    return 2;
+  }
+  if (inject_pct != 0.0) {
+    std::printf("(injecting %.1f%% artificial regression into %s)\n",
+                inject_pct, current_path.c_str());
+    ramiel::obs::inject_regression(&current, inject_pct);
+  }
+
+  const ramiel::obs::BenchDiffResult result =
+      ramiel::obs::diff_bench(base, current, options);
+  std::fputs(result.to_string().c_str(), stdout);
+  return result.failed() ? 1 : 0;
+}

@@ -14,13 +14,19 @@
 //       counts before→after, clusters, critical path per pass) as JSON.
 //   ramiel run <model|path.rml> [--fold] [--clone] [--batch N] [--threads N]
 //              [--executor static|steal] [--mem-plan off|arena]
-//              [--trace-out FILE]
+//              [--trace-out FILE] [--profile FILE]
 //       Executes sequentially + in parallel (real threads), verifies the
 //       outputs agree, and prints simulated multicore timings. --trace-out
 //       writes a unified Chrome trace-event JSON — compile passes on the
 //       compiler track plus the parallel run's task spans, message-flow
 //       arrows and inbox-depth counters — for Perfetto / chrome://tracing
-//       slack inspection. --mem-plan arena (the default; env override
+//       slack inspection; when --profile is also given, spans on the
+//       realized critical path are recolored (cat "task.critical").
+//       --profile runs the critical-path profiler on the parallel run:
+//       prints the latency attribution summary (compute/comm/queue/idle
+//       decomposition, top ops by critical-path time, what-if estimates)
+//       and writes the full CriticalPathReport JSON to FILE ("-" for
+//       stdout-only). --mem-plan arena (the default; env override
 //       RAMIEL_MEM_PLAN) backs intermediates with the static arena plan.
 //       --executor steal (env override RAMIEL_EXECUTOR) runs the batch on
 //       the work-stealing runtime instead of the static cluster placement.
@@ -32,6 +38,7 @@
 
 #include "graph/dot.h"
 #include "models/zoo.h"
+#include "obs/prof/critical_path.h"
 #include "obs/trace.h"
 #include "onnx/model_io.h"
 #include "ramiel/pipeline.h"
@@ -56,7 +63,8 @@ int usage() {
                " [--fuse-bn] [--batch N] [--switched] [--report FILE]\n"
                "  ramiel run <model|file.rml> [--fold] [--clone] [--batch N]"
                " [--threads N] [--executor static|steal]"
-               " [--mem-plan off|arena] [--trace-out FILE]\n");
+               " [--mem-plan off|arena] [--trace-out FILE]"
+               " [--profile FILE]\n");
   return 2;
 }
 
@@ -77,6 +85,7 @@ struct Cli {
   std::string out_dir = ".";
   std::string trace_out;  // unified chrome://tracing JSON (compile + run)
   std::string report_out;  // per-pass compile report JSON
+  std::string profile_out;  // critical-path report JSON ("-" = stdout only)
   PipelineOptions options;
   int threads = 1;
   bool mem_plan = env_mem_plan_default(true);
@@ -121,6 +130,10 @@ bool parse_flags(int argc, char** argv, int start, Cli* cli) {
       cli->threads = std::atoi(argv[++i]);
     } else if (arg == "--trace-out" && i + 1 < argc) {
       cli->trace_out = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      cli->profile_out = argv[++i];
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      cli->profile_out = arg.substr(std::strlen("--profile="));
     } else if (arg == "--report" && i + 1 < argc) {
       cli->report_out = argv[++i];
     } else if (arg == "--executor" && i + 1 < argc) {
@@ -219,15 +232,27 @@ int cmd_run(const Cli& cli) {
                     cli.mem_plan ? &cm.mem_plan : nullptr);
   RunOptions run_opts;
   run_opts.intra_op_threads = cli.threads;
-  run_opts.trace = !cli.trace_out.empty();
+  run_opts.trace = !cli.trace_out.empty() || !cli.profile_out.empty();
 
   Profile sp, pp;
   auto a = seq.run(inputs, run_opts, &sp);
   auto b = par->run(inputs, run_opts, &pp);
+
+  prof::CriticalPathReport report;
+  if (!cli.profile_out.empty()) {
+    report = prof::analyze(cm.graph, cm.hyperclusters, pp);
+    std::fputs(report.summary().c_str(), stdout);
+    if (cli.profile_out != "-") {
+      write_file(cli.profile_out, report.to_json());
+    }
+  }
   if (!cli.trace_out.empty()) {
     obs::Timeline timeline;
     add_compile_trace(cm, timeline);
-    pp.to_timeline(cm.graph, timeline);
+    // With a report in hand, recolor spans on the realized critical path.
+    const auto critical = report.critical_tasks();
+    pp.to_timeline(cm.graph, timeline, /*flow_id_base=*/0,
+                   report.valid ? &critical : nullptr);
     write_file(cli.trace_out, timeline.to_chrome_json());
   }
   bool match = true;

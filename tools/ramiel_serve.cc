@@ -26,13 +26,19 @@
 //     --trace-out F    unified Chrome trace JSON: compile passes, every
 //                      batch dispatch, and the slowest batch's task spans,
 //                      message-flow arrows and inbox-depth counters
+//     --no-profile     disable the always-on tail profiler (exemplar
+//                      sampling of slowest batches + critical-path reports)
+//     --profile-out F  write the retained slow-batch exemplar reports
+//                      (prof::CriticalPathReport JSON, slowest first)
 //     --metrics-out F  append one ServerStats JSON line per interval
 //                      (period: $RAMIEL_METRICS_INTERVAL_MS, default 1000)
 //     --prom-out F     rewrite a Prometheus textfile each interval with the
 //                      full obs registry (serve + runtime + compiler)
 //
 // Prints the ServerStats report: throughput, latency percentiles,
-// batch-fill ratio, rejections, and per-worker utilization.
+// batch-fill ratio, rejections, per-worker utilization — and, when the
+// profiler is on, the tail-attribution block: which ops on the realized
+// critical path of the slowest batch ate the p99.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -40,6 +46,7 @@
 #include <string>
 
 #include "models/zoo.h"
+#include "obs/json.h"
 #include "obs/trace.h"
 #include "onnx/model_io.h"
 #include "ramiel/pipeline.h"
@@ -62,7 +69,8 @@ int usage() {
                "                    [--requests N] [--clients C]"
                " [--think-us U]\n"
                "                    [--trace-out FILE] [--metrics-out FILE]"
-               " [--prom-out FILE]\n");
+               " [--prom-out FILE]\n"
+               "                    [--no-profile] [--profile-out FILE]\n");
   return 2;
 }
 
@@ -92,6 +100,7 @@ int main(int argc, char** argv) {
   load.clients = 8;
   load.requests = 200;
   std::string trace_out;
+  std::string profile_out;
   serve::MetricsEmitterOptions emitter_opts;
 
   for (int i = 2; i < argc; ++i) {
@@ -141,6 +150,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
       serve_opts.trace = true;
+    } else if (arg == "--no-profile") {
+      serve_opts.profile = false;
+    } else if (arg == "--profile-out" && i + 1 < argc) {
+      profile_out = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       emitter_opts.jsonl_path = argv[++i];
     } else if (arg == "--prom-out" && i + 1 < argc) {
@@ -201,6 +214,27 @@ int main(int argc, char** argv) {
     }
 
     std::printf("%s\n", server.stats().to_string().c_str());
+    const std::string attribution = server.tail_attribution();
+    if (!attribution.empty()) {
+      std::printf("tail attribution (slowest batch):\n%s\n",
+                  attribution.c_str());
+    }
+    if (!profile_out.empty()) {
+      const auto exemplars = server.tail_exemplars();
+      std::string doc = "[";
+      for (std::size_t i = 0; i < exemplars.size(); ++i) {
+        if (i != 0) doc += ",";
+        doc += "{\"wall_ms\":" + obs::json_number(exemplars[i].wall_ms) +
+               ",\"dispatch_ns\":" +
+               std::to_string(exemplars[i].dispatch_ns) +
+               ",\"report\":" + exemplars[i].report.to_json() + "}";
+      }
+      doc += "]";
+      std::ofstream os(profile_out);
+      os << doc << "\n";
+      std::printf("wrote %s (%zu slow-batch exemplars)\n", profile_out.c_str(),
+                  exemplars.size());
+    }
     std::printf("load gen      : %d completed, %d rejected, %d failed in "
                 "%.1f s (%.1f req/s achieved)\n",
                 report.completed, report.rejected, report.failed,
