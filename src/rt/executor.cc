@@ -162,6 +162,7 @@ std::vector<TensorMap> SequentialExecutor::run(
 /// Everything one run() shares with the workers. Lives on run()'s stack;
 /// workers only touch it between the start and done handshakes.
 struct ParallelExecutor::RunState {
+  Program* prog = nullptr;
   const std::vector<TensorMap>* batch_inputs = nullptr;
   RunOptions options;
   std::vector<TensorMap> results;
@@ -180,39 +181,67 @@ struct ParallelExecutor::RunState {
 
 ParallelExecutor::ParallelExecutor(const Graph* graph, Hyperclustering hc,
                                    const mem::MemPlan* mem_plan)
-    : graph_(graph), hc_(std::move(hc)) {
-  RAMIEL_CHECK(graph != nullptr, "graph must not be null");
-  RAMIEL_CHECK(!hc_.workers.empty(), "hyperclustering has no workers");
-  RAMIEL_CHECK(hc_.batch >= 1, "hyperclustering batch must be >= 1");
-  const int k = num_workers();
+    : ParallelExecutor(
+          [&] {
+            std::vector<ExecutorProgram> programs;
+            programs.push_back(ExecutorProgram{graph, std::move(hc), mem_plan});
+            return programs;
+          }()) {}
+
+ParallelExecutor::ParallelExecutor(std::vector<ExecutorProgram> programs) {
+  RAMIEL_CHECK(!programs.empty(), "executor needs at least one program");
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  for (ExecutorProgram& p : programs) add_program_locked(std::move(p));
+}
+
+int ParallelExecutor::add_program(const Graph* graph, Hyperclustering hc,
+                                  const mem::MemPlan* mem_plan) {
+  // run_mu_ keeps every worker parked (no run can be in flight), so the
+  // program table and the inbox/thread pool can grow safely.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  return add_program_locked(ExecutorProgram{graph, std::move(hc), mem_plan});
+}
+
+int ParallelExecutor::add_program_locked(ExecutorProgram program) {
+  RAMIEL_CHECK(program.graph != nullptr, "graph must not be null");
+  RAMIEL_CHECK(!program.hc.workers.empty(), "hyperclustering has no workers");
+  RAMIEL_CHECK(program.hc.batch >= 1, "hyperclustering batch must be >= 1");
+
+  auto prog = std::make_unique<Program>();
+  prog->graph = program.graph;
+  prog->hc = std::move(program.hc);
+  const int k = prog->workers();
+  const int id = static_cast<int>(programs_.size());
 
   // Split each worker's interleaved task list into per-sample streams once;
   // the split is invariant across runs (order within a stream is the
   // cluster's topological order).
-  streams_.resize(static_cast<std::size_t>(k));
+  prog->streams.resize(static_cast<std::size_t>(k));
   for (int w = 0; w < k; ++w) {
-    auto& per_sample = streams_[static_cast<std::size_t>(w)];
-    per_sample.resize(static_cast<std::size_t>(hc_.batch));
-    for (const HyperTask& task : hc_.workers[static_cast<std::size_t>(w)]) {
+    auto& per_sample = prog->streams[static_cast<std::size_t>(w)];
+    per_sample.resize(static_cast<std::size_t>(prog->hc.batch));
+    for (const HyperTask& task :
+         prog->hc.workers[static_cast<std::size_t>(w)]) {
       per_sample[static_cast<std::size_t>(task.sample)].push_back(task.node);
     }
   }
 
-  if (mem_plan != nullptr && !mem_plan->empty()) {
-    RAMIEL_CHECK(static_cast<int>(mem_plan->workers.size()) == k,
+  if (program.mem_plan != nullptr && !program.mem_plan->empty()) {
+    RAMIEL_CHECK(static_cast<int>(program.mem_plan->workers.size()) == k,
                  "memory plan was computed for a different hyperclustering");
-    plan_ = *mem_plan;
-    arenas_ = std::vector<mem::MemArena>(static_cast<std::size_t>(k));
-    node_slots_.resize(static_cast<std::size_t>(k));
+    prog->plan = *program.mem_plan;
+    prog->arenas = std::vector<mem::MemArena>(static_cast<std::size_t>(k));
+    prog->node_slots.resize(static_cast<std::size_t>(k));
     for (int w = 0; w < k; ++w) {
-      const mem::WorkerPlan& wp = plan_.workers[static_cast<std::size_t>(w)];
-      auto& per_sample = node_slots_[static_cast<std::size_t>(w)];
-      per_sample.resize(static_cast<std::size_t>(hc_.batch));
-      for (int s = 0; s < hc_.batch; ++s) {
+      const mem::WorkerPlan& wp =
+          prog->plan.workers[static_cast<std::size_t>(w)];
+      auto& per_sample = prog->node_slots[static_cast<std::size_t>(w)];
+      per_sample.resize(static_cast<std::size_t>(prog->hc.batch));
+      for (int s = 0; s < prog->hc.batch; ++s) {
         const mem::StreamPlan& sp = wp.streams[static_cast<std::size_t>(s)];
         const std::int64_t base = wp.stream_base[static_cast<std::size_t>(s)];
         for (const mem::ValueSlot& slot : sp.slots) {
-          const NodeId producer = graph_->value(slot.value).producer;
+          const NodeId producer = prog->graph->value(slot.value).producer;
           per_sample[static_cast<std::size_t>(s)][producer].push_back(
               PlannedOut{slot.value,
                          static_cast<std::size_t>(base + slot.offset) /
@@ -223,27 +252,78 @@ ParallelExecutor::ParallelExecutor(const Graph* graph, Hyperclustering hc,
       obs::registry()
           .gauge("ramiel_mem_planned_peak_bytes",
                  "Planned arena capacity for a worker's streams",
-                 {{"worker", std::to_string(w)}})
+                 {{"program", std::to_string(id)},
+                  {"worker", std::to_string(w)}})
           ->set(static_cast<double>(wp.arena_bytes));
       obs::registry()
           .gauge("ramiel_mem_naive_bytes",
                  "Per-run fresh-allocation bytes the plan replaces",
-                 {{"worker", std::to_string(w)}})
+                 {{"program", std::to_string(id)},
+                  {"worker", std::to_string(w)}})
           ->set(static_cast<double>(wp.naive_bytes));
     }
   }
 
-  inboxes_ = std::vector<Inbox>(static_cast<std::size_t>(k));
-  depth_gauges_.reserve(static_cast<std::size_t>(k));
-  for (int w = 0; w < k; ++w) {
+  programs_.push_back(std::move(prog));
+  ensure_threads(k);
+  return id;
+}
+
+void ParallelExecutor::ensure_threads(int count) {
+  // Called with run_mu_ held. Inboxes live in a deque so existing entries
+  // never move while the pool widens.
+  while (static_cast<int>(inboxes_.size()) < count) {
+    const int w = static_cast<int>(inboxes_.size());
+    inboxes_.emplace_back();
     depth_gauges_.push_back(obs::registry().gauge(
         "ramiel_rt_inbox_depth", "Undelivered messages in a worker's inbox",
         {{"worker", std::to_string(w)}}));
   }
-  threads_.reserve(static_cast<std::size_t>(k));
-  for (int w = 0; w < k; ++w) {
+  const int have = static_cast<int>(threads_.size());
+  if (have >= count) return;
+  for (int w = have; w < count; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
   }
+  // Wait until every new thread captured its initial run_seq_: a thread
+  // that read the counter after the next run bumped it would miss that run
+  // and the dispatch would hang short of workers_done_ == thread count.
+  std::unique_lock<std::mutex> lk(ctl_mu_);
+  done_cv_.wait(lk, [&] {
+    return workers_ready_ == static_cast<int>(threads_.size());
+  });
+}
+
+void ParallelExecutor::remove_program(int program) {
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  RAMIEL_CHECK(program >= 0 && program < static_cast<int>(programs_.size()),
+               "no such program");
+  Program& prog = *programs_[static_cast<std::size_t>(program)];
+  prog.live = false;
+  // Free the retired model's memory; streams stay (cheap) so ids and
+  // diagnostics remain stable.
+  prog.arenas.clear();
+  prog.node_slots.clear();
+  prog.plan = mem::MemPlan{};
+}
+
+int ParallelExecutor::num_programs() const {
+  return static_cast<int>(programs_.size());
+}
+
+int ParallelExecutor::program_workers(int program) const {
+  RAMIEL_CHECK(program >= 0 && program < static_cast<int>(programs_.size()),
+               "no such program");
+  return programs_[static_cast<std::size_t>(program)]->workers();
+}
+
+int ParallelExecutor::program_batch(int program) const {
+  RAMIEL_CHECK(program >= 0 && program < static_cast<int>(programs_.size()),
+               "no such program");
+  return programs_[static_cast<std::size_t>(program)]->hc.batch;
+}
+
+bool ParallelExecutor::mem_plan_enabled() const {
+  return !programs_.front()->plan.empty();
 }
 
 ParallelExecutor::~ParallelExecutor() {
@@ -262,7 +342,9 @@ std::uint64_t ParallelExecutor::runs_completed() const {
 
 std::size_t ParallelExecutor::arena_bytes_allocated() const {
   std::size_t total = 0;
-  for (const mem::MemArena& a : arenas_) total += a.capacity_bytes();
+  for (const auto& prog : programs_) {
+    for (const mem::MemArena& a : prog->arenas) total += a.capacity_bytes();
+  }
   return total;
 }
 
@@ -272,7 +354,16 @@ void ParallelExecutor::worker_loop(int me) {
   // uses one width, so this is a one-time cost).
   std::unique_ptr<ThreadPool> pool;
   int pool_threads = 1;
-  std::uint64_t seen = 0;
+  std::uint64_t seen;
+  {
+    // Capture the run counter under the lock before reporting ready:
+    // ensure_threads() holds back until every new thread has done this, so
+    // no dispatch can slip past an unsynchronized-yet worker.
+    std::lock_guard<std::mutex> lk(ctl_mu_);
+    seen = run_seq_;
+    ++workers_ready_;
+  }
+  done_cv_.notify_all();
 
   while (true) {
     RunState* st = nullptr;
@@ -282,6 +373,18 @@ void ParallelExecutor::worker_loop(int me) {
       if (shutdown_) return;
       seen = run_seq_;
       st = state_;
+    }
+
+    // Threads beyond this program's width sit the run out (the pool is
+    // sized to the widest hosted program) but still check in below so the
+    // dispatcher's workers_done_ target stays thread-count based.
+    if (me >= st->prog->workers()) {
+      {
+        std::lock_guard<std::mutex> lk(ctl_mu_);
+        ++workers_done_;
+      }
+      done_cv_.notify_one();
+      continue;
     }
 
     if (st->options.intra_op_threads != pool_threads) {
@@ -298,7 +401,7 @@ void ParallelExecutor::worker_loop(int me) {
     }
 
     try {
-      execute_tasks(me, *st, ctx);
+      execute_tasks(me, *st->prog, *st, ctx);
     } catch (...) {
       {
         std::lock_guard<std::mutex> lk(st->error_mu);
@@ -324,31 +427,32 @@ void ParallelExecutor::worker_loop(int me) {
 // order, so the globally earliest pending task is always runnable on its
 // worker — the schedule cannot deadlock, for plain or switched
 // hyperclusters alike.
-void ParallelExecutor::execute_tasks(int me, RunState& st,
+void ParallelExecutor::execute_tasks(int me, Program& prog, RunState& st,
                                      const OpContext& ctx) {
-  const Graph& g = *graph_;
-  const int batch = hc_.batch;
+  const Graph& g = *prog.graph;
+  const int batch = prog.hc.batch;
   const std::vector<TensorMap>& batch_inputs = *st.batch_inputs;
   WorkerProfile& wp = st.wps[static_cast<std::size_t>(me)];
   Inbox& inbox = inboxes_[static_cast<std::size_t>(me)];
-  const auto& streams = streams_[static_cast<std::size_t>(me)];
+  const auto& streams = prog.streams[static_cast<std::size_t>(me)];
 
-  const bool planned = !plan_.empty();
+  const bool planned = !prog.plan.empty();
   mem::SlotSink sink;
   float* const arena_base =
-      planned ? arenas_[static_cast<std::size_t>(me)].data() : nullptr;
+      planned ? prog.arenas[static_cast<std::size_t>(me)].data() : nullptr;
   // Kernel scratch (GEMM pack buffers, im2col panels) also comes from this
   // worker's arena whenever the plan is active; without a plan kernels fall
   // back to heap scratch on their own.
   if (planned) {
-    sink.set_scratch_arena(&arenas_[static_cast<std::size_t>(me)]);
+    sink.set_scratch_arena(&prog.arenas[static_cast<std::size_t>(me)]);
   }
 
   std::vector<std::size_t> cursor(static_cast<std::size_t>(batch), 0);
   std::vector<std::unordered_map<ValueId, Tensor>> local(
       static_cast<std::size_t>(batch));
   std::size_t done_total = 0;
-  const std::size_t all_tasks = hc_.workers[static_cast<std::size_t>(me)].size();
+  const std::size_t all_tasks =
+      prog.hc.workers[static_cast<std::size_t>(me)].size();
 
   // Attempts the next task of stream s. Returns true when it ran.
   auto try_advance = [&](int s) -> bool {
@@ -404,7 +508,7 @@ void ParallelExecutor::execute_tasks(int me, RunState& st,
     // output allocations land in their arena slots.
     const std::vector<PlannedOut>* planned_outs = nullptr;
     if (planned) {
-      const auto& table = node_slots_[static_cast<std::size_t>(me)][su];
+      const auto& table = prog.node_slots[static_cast<std::size_t>(me)][su];
       auto pit = table.find(id);
       if (pit != table.end()) planned_outs = &pit->second;
     }
@@ -464,7 +568,7 @@ void ParallelExecutor::execute_tasks(int me, RunState& st,
       std::set<int> destinations;
       for (NodeId c : g.value(ov).consumers) {
         if (g.node(c).dead) continue;
-        const int wc = hc_.worker(c, s);
+        const int wc = prog.hc.worker(c, s);
         if (wc != me && wc >= 0) destinations.insert(wc);
       }
       for (int dest : destinations) {
@@ -524,15 +628,29 @@ void ParallelExecutor::execute_tasks(int me, RunState& st,
 std::vector<TensorMap> ParallelExecutor::run(
     const std::vector<TensorMap>& batch_inputs, const RunOptions& options,
     Profile* profile) {
+  return run_program(0, batch_inputs, options, profile);
+}
+
+std::vector<TensorMap> ParallelExecutor::run_program(
+    int program, const std::vector<TensorMap>& batch_inputs,
+    const RunOptions& options, Profile* profile) {
   std::lock_guard<std::mutex> run_lock(run_mu_);
-  const Graph& g = *graph_;
-  const int batch = hc_.batch;
+  RAMIEL_CHECK(program >= 0 && program < static_cast<int>(programs_.size()),
+               "no such program");
+  Program& prog = *programs_[static_cast<std::size_t>(program)];
+  RAMIEL_CHECK(prog.live,
+               str_cat("program ", program, " has been removed"));
+  const Graph& g = *prog.graph;
+  const int batch = prog.hc.batch;
   RAMIEL_CHECK(static_cast<int>(batch_inputs.size()) == batch,
                str_cat("batch size mismatch: executor compiled for batch ",
                        batch, " (hyperclustering), run() got ",
                        batch_inputs.size(), " sample",
                        batch_inputs.size() == 1 ? "" : "s"));
-  const int k = num_workers();
+  const int k = prog.workers();
+  // add_program (the only thing that grows the pool) also takes run_mu_,
+  // so the thread count is stable for the whole dispatch.
+  const int nthreads = static_cast<int>(threads_.size());
 
   // Workers are parked, so resetting the inboxes cannot race; this also
   // clears any poison/undelivered messages left by a failed previous run.
@@ -540,11 +658,13 @@ std::vector<TensorMap> ParallelExecutor::run(
 
   // Size the arenas while no tensor can point into them (same parked-worker
   // argument; the ctl_mu_ handshake below publishes the new base pointers).
-  if (!plan_.empty()) {
+  if (!prog.plan.empty()) {
     std::uint64_t grows = 0;
     for (int w = 0; w < k; ++w) {
-      if (arenas_[static_cast<std::size_t>(w)].ensure(static_cast<std::size_t>(
-              plan_.workers[static_cast<std::size_t>(w)].arena_bytes))) {
+      if (prog.arenas[static_cast<std::size_t>(w)].ensure(
+              static_cast<std::size_t>(
+                  prog.plan.workers[static_cast<std::size_t>(w)]
+                      .arena_bytes))) {
         ++grows;
       }
     }
@@ -552,6 +672,7 @@ std::vector<TensorMap> ParallelExecutor::run(
   }
 
   RunState st;
+  st.prog = &prog;
   st.batch_inputs = &batch_inputs;
   st.options = options;
   st.results.resize(static_cast<std::size_t>(batch));
@@ -576,7 +697,7 @@ std::vector<TensorMap> ParallelExecutor::run(
   start_cv_.notify_all();
   {
     std::unique_lock<std::mutex> lk(ctl_mu_);
-    done_cv_.wait(lk, [&] { return workers_done_ == k; });
+    done_cv_.wait(lk, [&] { return workers_done_ == nthreads; });
     state_ = nullptr;
     ++runs_completed_;
   }

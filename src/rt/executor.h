@@ -22,10 +22,22 @@
 // including the oversubscription behaviour Table V observes. The pools are
 // also persistent: created on the first run that asks for them and rebuilt
 // only when the requested width changes.
+//
+// Multi-program hosting (the fleet pool, src/serve/fleet/): one
+// ParallelExecutor can host several compiled models' hyperclustered
+// programs on ONE set of persistent worker threads. Each program keeps its
+// own streams, memory plan and arena set — arenas are keyed
+// (program, worker, stream), so every model's MemPlan stays valid — while
+// the threads, inboxes and intra-op pools are shared. run_program(p, ...)
+// dispatches one batch of program p; dispatches are serialized, which is
+// exactly the sharing model: tenants time-slice the same cores instead of
+// oversubscribing them with per-model thread pools. add_program() /
+// remove_program() support hot model loading between dispatches.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -101,7 +113,18 @@ class SequentialExecutor {
   std::vector<NodeId> order_;
 };
 
-/// Multi-worker cluster executor (one persistent thread per hypercluster).
+/// One compiled program a ParallelExecutor hosts: the graph, its
+/// hyperclustered task lists and (optionally) its static memory plan. The
+/// graph and plan must outlive the executor (the plan is copied, the graph
+/// is not).
+struct ExecutorProgram {
+  const Graph* graph = nullptr;
+  Hyperclustering hc;
+  const mem::MemPlan* mem_plan = nullptr;
+};
+
+/// Multi-worker cluster executor (one persistent thread per hypercluster),
+/// optionally hosting several models' programs on the same threads.
 class ParallelExecutor final : public Executor {
  public:
   /// The graph must outlive the executor. `hc.batch` fixes the batch size
@@ -112,37 +135,67 @@ class ParallelExecutor final : public Executor {
   /// heap (`--mem-plan=off`).
   ParallelExecutor(const Graph* graph, Hyperclustering hc,
                    const mem::MemPlan* mem_plan = nullptr);
+
+  /// Shared-pool form: hosts every program on one set of worker threads
+  /// (thread count = the widest program). Requires at least one program.
+  explicit ParallelExecutor(std::vector<ExecutorProgram> programs);
   ~ParallelExecutor() override;
 
   ParallelExecutor(const ParallelExecutor&) = delete;
   ParallelExecutor& operator=(const ParallelExecutor&) = delete;
 
-  /// Runs one batch (batch_inputs.size() must equal the hyperclustering's
-  /// batch — checked up front). Returns per-sample graph outputs. Reuses
-  /// the persistent workers; safe to call repeatedly and from multiple
-  /// threads (calls are serialized).
+  /// Runs one batch of program 0 (batch_inputs.size() must equal that
+  /// program's hyperclustering batch — checked up front). Returns
+  /// per-sample graph outputs. Reuses the persistent workers; safe to call
+  /// repeatedly and from multiple threads (calls are serialized).
   std::vector<TensorMap> run(const std::vector<TensorMap>& batch_inputs,
                              const RunOptions& options = {},
                              Profile* profile = nullptr) override;
 
+  /// Runs one batch of program `program`. Dispatches across programs share
+  /// the worker threads and are serialized against each other.
+  std::vector<TensorMap> run_program(int program,
+                                     const std::vector<TensorMap>& batch_inputs,
+                                     const RunOptions& options = {},
+                                     Profile* profile = nullptr);
+
+  /// Hot-loads another program onto the pool (spawning extra worker threads
+  /// if it is wider than any current program). Returns its program id.
+  /// Safe to call while other programs are being dispatched.
+  int add_program(const Graph* graph, Hyperclustering hc,
+                  const mem::MemPlan* mem_plan = nullptr);
+
+  /// Retires a program: frees its arenas and rejects future dispatches.
+  /// The caller must ensure no dispatch of it is in flight (the fleet
+  /// registry drops entries only after their last batch completed). Worker
+  /// threads are never shrunk. Ids are not reused.
+  void remove_program(int program);
+
   ExecutorKind kind() const override { return ExecutorKind::kStatic; }
 
-  int num_workers() const override {
-    return static_cast<int>(hc_.workers.size());
-  }
+  int num_workers() const override { return program_workers(0); }
 
-  /// Batch size every run() must supply.
-  int batch() const override { return hc_.batch; }
+  /// Worker (cluster) count of one hosted program.
+  int program_workers(int program) const;
+
+  /// Batch size every run() must supply (program 0's).
+  int batch() const override { return program_batch(0); }
+
+  /// Batch size of one hosted program.
+  int program_batch(int program) const;
+
+  /// Hosted program slots, including retired ones (ids are stable).
+  int num_programs() const;
 
   /// Number of run() calls completed (success or failure) — lets tests
   /// confirm thread reuse rather than re-creation.
   std::uint64_t runs_completed() const override;
 
-  /// True when this executor runs with a (non-empty) memory plan.
-  bool mem_plan_enabled() const override { return !plan_.empty(); }
+  /// True when program 0 runs with a (non-empty) memory plan.
+  bool mem_plan_enabled() const override;
 
-  /// Bytes currently held by the per-worker arenas (0 before the first
-  /// planned run, and always 0 with the plan disabled).
+  /// Bytes currently held by all programs' arenas (0 before the first
+  /// planned run, and always 0 with plans disabled).
   std::size_t arena_bytes_allocated() const;
 
  private:
@@ -157,31 +210,47 @@ class ParallelExecutor final : public Executor {
     bool in_place;
   };
 
+  /// Everything one hosted model needs: per-worker per-sample streams, the
+  /// memory plan with its arena set, and the precomputed slot tables.
+  struct Program {
+    const Graph* graph = nullptr;
+    Hyperclustering hc;
+    /// streams[worker][sample] = that worker's tasks for that sample, in
+    /// the cluster's topological order (invariant across runs).
+    std::vector<std::vector<std::vector<NodeId>>> streams;
+    /// Static memory plan (empty = disabled) and its runtime arenas, one
+    /// per worker of THIS program.
+    mem::MemPlan plan;
+    std::vector<mem::MemArena> arenas;
+    /// node_slots[worker][sample][node] = planned outputs of that task,
+    /// precomputed from the plan so the hot path is one hash lookup.
+    std::vector<
+        std::vector<std::unordered_map<NodeId, std::vector<PlannedOut>>>>
+        node_slots;
+    bool live = true;
+    int workers() const { return static_cast<int>(hc.workers.size()); }
+  };
+
+  int add_program_locked(ExecutorProgram program);
+  void ensure_threads(int count);
   void worker_loop(int me);
-  void execute_tasks(int me, RunState& st, const OpContext& ctx);
+  void execute_tasks(int me, Program& prog, RunState& st,
+                     const OpContext& ctx);
 
-  const Graph* graph_;
-  Hyperclustering hc_;
-  /// streams_[worker][sample] = that worker's tasks for that sample, in the
-  /// cluster's topological order (invariant across runs, computed once).
-  std::vector<std::vector<std::vector<NodeId>>> streams_;
+  /// Hosted programs; unique_ptr keeps addresses stable while add_program
+  /// grows the vector (parked workers dereference entries during runs).
+  std::vector<std::unique_ptr<Program>> programs_;
 
-  /// Static memory plan (empty = disabled) and its runtime arenas.
-  mem::MemPlan plan_;
-  std::vector<mem::MemArena> arenas_;  // one per worker, persistent
-  /// node_slots_[worker][sample][node] = planned outputs of that task,
-  /// precomputed from plan_ so the hot path is one hash lookup.
-  std::vector<std::vector<std::unordered_map<NodeId, std::vector<PlannedOut>>>>
-      node_slots_;
-
-  std::vector<Inbox> inboxes_;
+  /// Shared across programs, sized to the widest one. deque: Inbox holds a
+  /// mutex and cannot move when add_program widens the pool.
+  std::deque<Inbox> inboxes_;
   /// Registry gauges mirroring each inbox's depth (series
   /// ramiel_rt_inbox_depth{worker="i"}), updated on every put with the
   /// depth the put already computed — one relaxed atomic store.
   std::vector<obs::Gauge*> depth_gauges_;
   std::vector<std::thread> threads_;
 
-  std::mutex run_mu_;  // serializes concurrent run() callers
+  std::mutex run_mu_;  // serializes concurrent run()/add/remove callers
 
   // Start/finish handshake between run() and the parked workers.
   mutable std::mutex ctl_mu_;
@@ -190,6 +259,7 @@ class ParallelExecutor final : public Executor {
   std::uint64_t run_seq_ = 0;         // bumped per run
   std::uint64_t runs_completed_ = 0;
   int workers_done_ = 0;
+  int workers_ready_ = 0;  // threads that captured their initial run_seq_
   bool shutdown_ = false;
   RunState* state_ = nullptr;  // non-null only while a run is in flight
 };

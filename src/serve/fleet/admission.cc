@@ -1,0 +1,239 @@
+#include "serve/fleet/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/check.h"
+#include "support/stopwatch.h"
+
+namespace ramiel::serve::fleet {
+
+TokenBucket::TokenBucket(double rate_per_s, double burst, std::int64_t now_ns)
+    : rate_(rate_per_s),
+      burst_(burst > 0.0 ? burst : std::max(1.0, rate_per_s)),
+      tokens_(burst_),
+      last_ns_(now_ns) {}
+
+void TokenBucket::refill(std::int64_t now_ns) {
+  if (now_ns <= last_ns_) return;  // clock went backwards: no refill
+  tokens_ = std::min(
+      burst_, tokens_ + static_cast<double>(now_ns - last_ns_) / 1e9 * rate_);
+  last_ns_ = now_ns;
+}
+
+bool TokenBucket::try_acquire(std::int64_t now_ns) {
+  if (unlimited()) return true;
+  refill(now_ns);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::available(std::int64_t now_ns) {
+  if (unlimited()) return burst_;
+  refill(now_ns);
+  return tokens_;
+}
+
+int FleetQueue::add_tenant(const std::string& name,
+                           const TenantOptions& options) {
+  RAMIEL_CHECK(options.weight > 0.0, "tenant weight must be > 0");
+  RAMIEL_CHECK(options.queue_depth >= 1, "tenant queue depth must be >= 1");
+  std::lock_guard<std::mutex> lk(mu_);
+  Tenant t;
+  t.name = name;
+  t.options = options;
+  t.bucket = TokenBucket(options.quota_rps, options.burst, /*now_ns=*/0);
+  // A late-arriving tenant must not think it is owed all the service the
+  // incumbents already consumed: start it at the current fair floor.
+  double floor = 0.0;
+  for (const Tenant& existing : tenants_) {
+    floor = std::max(floor, existing.served / existing.options.weight);
+  }
+  t.served = floor * options.weight;
+  tenants_.push_back(std::move(t));
+  return static_cast<int>(tenants_.size()) - 1;
+}
+
+int FleetQueue::num_tenants() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(tenants_.size());
+}
+
+void FleetQueue::update_tenant(int tenant, const TenantOptions& options,
+                               std::int64_t now_ns) {
+  RAMIEL_CHECK(options.weight > 0.0, "tenant weight must be > 0");
+  RAMIEL_CHECK(options.queue_depth >= 1, "tenant queue depth must be >= 1");
+  std::lock_guard<std::mutex> lk(mu_);
+  RAMIEL_CHECK(tenant >= 0 && tenant < static_cast<int>(tenants_.size()),
+               "no such tenant");
+  Tenant& t = tenants_[static_cast<std::size_t>(tenant)];
+  // Rescale the kept service credit so the tenant's *normalized* position
+  // in the fair order is unchanged by a weight change.
+  t.served = t.served / t.options.weight * options.weight;
+  t.options = options;
+  t.bucket = TokenBucket(options.quota_rps, options.burst, now_ns);
+}
+
+FleetQueue::Admit FleetQueue::try_push(int tenant, Request&& request,
+                                       std::int64_t now_ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  RAMIEL_CHECK(tenant >= 0 && tenant < static_cast<int>(tenants_.size()),
+               "no such tenant");
+  Tenant& t = tenants_[static_cast<std::size_t>(tenant)];
+  if (closed_ || t.closed) {
+    ++t.counters.rejected_closed;
+    return Admit::kClosed;
+  }
+  if (!t.bucket.try_acquire(now_ns)) {
+    ++t.counters.rejected_quota;
+    return Admit::kQuota;
+  }
+  if (t.items.size() >= t.options.queue_depth) {
+    ++t.counters.rejected_full;
+    return Admit::kFull;
+  }
+  t.items.push_back(std::move(request));
+  ++t.counters.admitted;
+  ++total_depth_;
+  not_empty_.notify_one();
+  return Admit::kOk;
+}
+
+int FleetQueue::select_locked(std::int64_t now_ns) {
+  // Aging pass: the oldest head request past its tenant's aging threshold
+  // wins outright (bounds worst-case queueing delay under skewed load).
+  int aged = -1;
+  std::int64_t aged_enqueue = 0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const Tenant& t = tenants_[i];
+    if (t.items.empty() || t.options.aging_ns <= 0) continue;
+    const std::int64_t enqueue = t.items.front().enqueue_ns;
+    if (now_ns - enqueue < t.options.aging_ns) continue;
+    if (aged < 0 || enqueue < aged_enqueue) {
+      aged = static_cast<int>(i);
+      aged_enqueue = enqueue;
+    }
+  }
+  if (aged >= 0) {
+    ++tenants_[static_cast<std::size_t>(aged)].counters.aged;
+    return aged;
+  }
+  // Weighted-fair pass: smallest normalized service among the backlogged.
+  int best = -1;
+  double best_ratio = 0.0;
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const Tenant& t = tenants_[i];
+    if (t.items.empty()) continue;
+    const double ratio = t.served / t.options.weight;
+    if (best < 0 || ratio < best_ratio) {
+      best = static_cast<int>(i);
+      best_ratio = ratio;
+    }
+  }
+  return best;
+}
+
+RequestQueue::PopResult FleetQueue::pop_for(Request* out, int* tenant,
+                                            std::int64_t timeout_ns) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(timeout_ns);
+  while (true) {
+    if (total_depth_ > 0) {
+      // Same steady clock Request::enqueue_ns was stamped with.
+      const int pick = select_locked(Stopwatch::now_ns());
+      Tenant& t = tenants_[static_cast<std::size_t>(pick)];
+      *out = std::move(t.items.front());
+      t.items.pop_front();
+      t.served += 1.0;
+      --total_depth_;
+      if (tenant != nullptr) *tenant = pick;
+      return RequestQueue::PopResult::kItem;
+    }
+    if (closed_) return RequestQueue::PopResult::kClosed;
+    if (not_empty_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        total_depth_ == 0) {
+      return closed_ ? RequestQueue::PopResult::kClosed
+                     : RequestQueue::PopResult::kTimeout;
+    }
+  }
+}
+
+RequestQueue::PopResult FleetQueue::pop_tenant_for(int tenant, Request* out,
+                                                   std::int64_t timeout_ns) {
+  std::unique_lock<std::mutex> lk(mu_);
+  RAMIEL_CHECK(tenant >= 0 && tenant < static_cast<int>(tenants_.size()),
+               "no such tenant");
+  Tenant& t = tenants_[static_cast<std::size_t>(tenant)];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(timeout_ns);
+  while (true) {
+    if (!t.items.empty()) {
+      *out = std::move(t.items.front());
+      t.items.pop_front();
+      t.served += 1.0;
+      --total_depth_;
+      return RequestQueue::PopResult::kItem;
+    }
+    if (closed_ || t.closed) return RequestQueue::PopResult::kClosed;
+    if (not_empty_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        t.items.empty()) {
+      return (closed_ || t.closed) ? RequestQueue::PopResult::kClosed
+                                   : RequestQueue::PopResult::kTimeout;
+    }
+  }
+}
+
+bool FleetQueue::try_pop_tenant(int tenant, Request* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  RAMIEL_CHECK(tenant >= 0 && tenant < static_cast<int>(tenants_.size()),
+               "no such tenant");
+  Tenant& t = tenants_[static_cast<std::size_t>(tenant)];
+  if (t.items.empty()) return false;
+  *out = std::move(t.items.front());
+  t.items.pop_front();
+  t.served += 1.0;
+  --total_depth_;
+  return true;
+}
+
+void FleetQueue::close_tenant(int tenant) {
+  std::lock_guard<std::mutex> lk(mu_);
+  RAMIEL_CHECK(tenant >= 0 && tenant < static_cast<int>(tenants_.size()),
+               "no such tenant");
+  tenants_[static_cast<std::size_t>(tenant)].closed = true;
+  not_empty_.notify_all();
+}
+
+void FleetQueue::close() {
+  std::lock_guard<std::mutex> lk(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+}
+
+bool FleetQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+std::size_t FleetQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return total_depth_;
+}
+
+std::size_t FleetQueue::tenant_depth(int tenant) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  RAMIEL_CHECK(tenant >= 0 && tenant < static_cast<int>(tenants_.size()),
+               "no such tenant");
+  return tenants_[static_cast<std::size_t>(tenant)].items.size();
+}
+
+TenantCounters FleetQueue::counters(int tenant) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  RAMIEL_CHECK(tenant >= 0 && tenant < static_cast<int>(tenants_.size()),
+               "no such tenant");
+  return tenants_[static_cast<std::size_t>(tenant)].counters;
+}
+
+}  // namespace ramiel::serve::fleet

@@ -1,0 +1,170 @@
+#include "serve/fleet/config.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "obs/json.h"
+#include "obs/json_read.h"
+#include "support/string_util.h"
+
+namespace ramiel::serve::fleet {
+namespace {
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+bool valid_slo_class(const std::string& s) {
+  return s == "interactive" || s == "standard" || s == "batch";
+}
+
+/// Reads an optional finite number member; false (with *error) on a
+/// present-but-not-a-number member.
+bool read_number(const obs::JsonValue& obj, const char* key, double* out,
+                 std::string* error) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is(obs::JsonValue::Kind::kNumber) || !std::isfinite(v->number)) {
+    return fail(error, str_cat("member '", key, "' must be a finite number"));
+  }
+  *out = v->number;
+  return true;
+}
+
+bool read_string(const obs::JsonValue& obj, const char* key, std::string* out,
+                 std::string* error) {
+  const obs::JsonValue* v = obj.find(key);
+  if (v == nullptr) return true;
+  if (!v->is(obs::JsonValue::Kind::kString)) {
+    return fail(error, str_cat("member '", key, "' must be a string"));
+  }
+  *out = v->str;
+  return true;
+}
+
+bool parse_model(const obs::JsonValue& entry, ModelConfig* out,
+                 std::string* error) {
+  if (!entry.is(obs::JsonValue::Kind::kObject)) {
+    return fail(error, "each models[] entry must be an object");
+  }
+  if (!read_string(entry, "name", &out->name, error)) return false;
+  if (out->name.empty()) {
+    return fail(error, "models[] entry needs a non-empty 'name'");
+  }
+  if (!read_string(entry, "model", &out->model, error)) return false;
+
+  double batch = static_cast<double>(out->batch);
+  double queue_depth = static_cast<double>(out->queue_depth);
+  double stages = static_cast<double>(out->pipeline_stages);
+  if (!read_number(entry, "batch", &batch, error) ||
+      !read_number(entry, "flush_timeout_ms", &out->flush_timeout_ms,
+                   error) ||
+      !read_number(entry, "quota_rps", &out->quota_rps, error) ||
+      !read_number(entry, "burst", &out->burst, error) ||
+      !read_number(entry, "weight", &out->weight, error) ||
+      !read_number(entry, "queue_depth", &queue_depth, error) ||
+      !read_number(entry, "pipeline_stages", &stages, error)) {
+    return false;
+  }
+  out->batch = static_cast<int>(batch);
+  out->queue_depth = static_cast<int>(queue_depth);
+  out->pipeline_stages = static_cast<int>(stages);
+  if (out->batch < 1) {
+    return fail(error, str_cat("model '", out->name, "': batch must be >= 1"));
+  }
+  if (out->queue_depth < 1) {
+    return fail(error,
+                str_cat("model '", out->name, "': queue_depth must be >= 1"));
+  }
+  if (out->pipeline_stages < 1) {
+    return fail(error, str_cat("model '", out->name,
+                               "': pipeline_stages must be >= 1"));
+  }
+  if (out->weight <= 0.0) {
+    return fail(error, str_cat("model '", out->name, "': weight must be > 0"));
+  }
+
+  if (!read_string(entry, "slo_class", &out->slo_class, error)) return false;
+  if (!valid_slo_class(out->slo_class)) {
+    return fail(error, str_cat("model '", out->name, "': slo_class '",
+                               out->slo_class,
+                               "' (want interactive|standard|batch)"));
+  }
+  std::string executor = to_string(out->executor);
+  if (!read_string(entry, "executor", &executor, error)) return false;
+  if (!parse_executor_kind(executor, &out->executor, /*allow_auto=*/true)) {
+    return fail(error, str_cat("model '", out->name, "': executor '",
+                               executor, "' (want static|steal|auto)"));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_fleet_config(std::string_view json, FleetConfig* out,
+                        std::string* error) {
+  obs::JsonValue doc;
+  std::string parse_error;
+  if (!obs::json_parse(json, &doc, &parse_error)) {
+    return fail(error, str_cat("fleet config: ", parse_error));
+  }
+  if (!doc.is(obs::JsonValue::Kind::kObject)) {
+    return fail(error, "fleet config must be a JSON object");
+  }
+  *out = FleetConfig{};
+  if (!read_string(doc, "pool", &out->pool, error)) return false;
+  if (out->pool != "shared" && out->pool != "partitioned") {
+    return fail(error, str_cat("pool '", out->pool,
+                               "' (want shared|partitioned)"));
+  }
+  if (!read_number(doc, "aging_ms", &out->aging_ms, error)) return false;
+  if (out->aging_ms <= 0.0) {
+    return fail(error, "aging_ms must be > 0");
+  }
+
+  const obs::JsonValue* models = doc.find("models");
+  if (models == nullptr || !models->is(obs::JsonValue::Kind::kArray) ||
+      models->array.empty()) {
+    return fail(error, "fleet config needs a non-empty 'models' array");
+  }
+  std::unordered_set<std::string> names;
+  for (const obs::JsonValue& entry : models->array) {
+    ModelConfig mc;
+    if (!parse_model(entry, &mc, error)) return false;
+    if (!names.insert(mc.name).second) {
+      return fail(error, str_cat("duplicate model name '", mc.name, "'"));
+    }
+    out->models.push_back(std::move(mc));
+  }
+  return true;
+}
+
+std::string to_json(const FleetConfig& config) {
+  using obs::json_number;
+  using obs::json_quote;
+  std::string out = "{";
+  out += "\"pool\":" + json_quote(config.pool);
+  out += ",\"aging_ms\":" + json_number(config.aging_ms);
+  out += ",\"models\":[";
+  for (std::size_t i = 0; i < config.models.size(); ++i) {
+    const ModelConfig& m = config.models[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":" + json_quote(m.name);
+    out += ",\"model\":" + json_quote(m.model);
+    out += ",\"batch\":" + std::to_string(m.batch);
+    out += ",\"flush_timeout_ms\":" + json_number(m.flush_timeout_ms);
+    out += ",\"slo_class\":" + json_quote(m.slo_class);
+    out += ",\"executor\":" + json_quote(to_string(m.executor));
+    out += ",\"quota_rps\":" + json_number(m.quota_rps);
+    out += ",\"burst\":" + json_number(m.burst);
+    out += ",\"weight\":" + json_number(m.weight);
+    out += ",\"queue_depth\":" + std::to_string(m.queue_depth);
+    out += ",\"pipeline_stages\":" + std::to_string(m.pipeline_stages);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ramiel::serve::fleet

@@ -1,0 +1,82 @@
+// Fleet configuration: which models one multi-tenant server hosts and how
+// much of the machine each tenant is entitled to.
+//
+// The JSON shape (tools/ramiel_fleet --config):
+//
+//   {
+//     "pool": "shared",            // or "partitioned"
+//     "aging_ms": 50.0,            // fairness aging threshold (admission.h)
+//     "models": [
+//       {"name": "squeezenet", "batch": 4, "flush_timeout_ms": 2.0,
+//        "slo_class": "interactive", "executor": "auto",
+//        "quota_rps": 200.0, "burst": 50.0, "weight": 2.0,
+//        "queue_depth": 64, "pipeline_stages": 1},
+//       ...
+//     ]
+//   }
+//
+// Parsing is strict RFC 8259 (obs/json_read.h) with typed validation:
+// unknown pool/executor/slo_class strings, non-positive batches and
+// duplicate tenant names are errors, not defaults. to_json() round-trips
+// losslessly (test-enforced), so a fleet's running config can be exported
+// and re-loaded.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/executor_kind.h"
+
+namespace ramiel::serve::fleet {
+
+/// Per-tenant model entry: artifact, batching policy, and machine share.
+struct ModelConfig {
+  /// Tenant name — the submit() key and the {model=...} metric label.
+  std::string name;
+  /// Zoo model spec to build ("" = same as name).
+  std::string model;
+  /// Serving batch size (the hyperclustering batch).
+  int batch = 4;
+  /// Dynamic-batching flush timeout (serve/batcher.h).
+  double flush_timeout_ms = 2.0;
+  /// SLO class: "interactive" | "standard" | "batch". Interactive tenants
+  /// age twice as fast toward the fairness boost; batch tenants never age.
+  std::string slo_class = "standard";
+  /// Runtime choice; kAuto resolves per model via cluster_cost_cv exactly
+  /// like a single-model Server (shared pools force the static runtime —
+  /// the whole point is one set of threads).
+  ExecutorKind executor = ExecutorKind::kAuto;
+  /// Token-bucket refill rate, requests/second. <= 0 = unlimited.
+  double quota_rps = 0.0;
+  /// Token-bucket depth. <= 0 defaults to max(1, quota_rps).
+  double burst = 0.0;
+  /// Weighted-fair share of dequeue bandwidth (relative to other tenants).
+  double weight = 1.0;
+  /// Bounded per-tenant queue depth (reject-on-full beyond it).
+  int queue_depth = 64;
+  /// > 1 splits the clustered program into this many cost-balanced stages
+  /// and double-buffers them for cross-batch pipelining (fleet/pipeline.h).
+  int pipeline_stages = 1;
+};
+
+struct FleetConfig {
+  std::vector<ModelConfig> models;
+  /// "shared" = one multi-program executor for every model;
+  /// "partitioned" = one executor per model (isolation baseline).
+  std::string pool = "shared";
+  /// Queueing delay after which a waiting head request outranks the
+  /// weighted-fair order (starvation bound; see admission.h).
+  double aging_ms = 50.0;
+};
+
+/// Parses a fleet config document. Returns false and fills *error (when
+/// non-null) on malformed JSON or invalid values; *out is unspecified then.
+bool parse_fleet_config(std::string_view json, FleetConfig* out,
+                        std::string* error = nullptr);
+
+/// Serializes a config as one JSON object; parse_fleet_config(to_json(c))
+/// reproduces c exactly.
+std::string to_json(const FleetConfig& config);
+
+}  // namespace ramiel::serve::fleet

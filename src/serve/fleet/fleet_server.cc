@@ -1,0 +1,656 @@
+#include "serve/fleet/fleet_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rt/steal/steal_executor.h"
+#include "support/check.h"
+#include "support/stopwatch.h"
+#include "support/string_util.h"
+
+namespace ramiel::serve::fleet {
+
+double jain_fairness(const std::vector<double>& allocations) {
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (allocations.empty() || sum_sq <= 0.0) return 0.0;
+  return sum * sum /
+         (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+TenantOptions FleetServer::admission_options(const ModelConfig& config,
+                                             double aging_ms) {
+  TenantOptions o;
+  o.quota_rps = config.quota_rps;
+  o.burst = config.burst;
+  o.weight = config.weight;
+  o.queue_depth = static_cast<std::size_t>(config.queue_depth);
+  // SLO class -> aging: interactive tenants reach the fairness boost twice
+  // as fast, batch tenants wait their fair turn forever.
+  if (config.slo_class == "interactive") {
+    o.aging_ns = static_cast<std::int64_t>(aging_ms / 2.0 * 1e6);
+  } else if (config.slo_class == "batch") {
+    o.aging_ns = 0;
+  } else {
+    o.aging_ns = static_cast<std::int64_t>(aging_ms * 1e6);
+  }
+  return o;
+}
+
+FleetServer::FleetServer(const FleetConfig& config, FleetOptions options,
+                         ModelRegistry::Loader loader)
+    : options_(options),
+      pool_(config.pool),
+      aging_ms_(config.aging_ms),
+      registry_(
+          [&] {
+            RegistryOptions r;
+            r.auto_steal_cv = options.auto_steal_cv;
+            r.mem_plan = options.mem_plan;
+            return r;
+          }(),
+          std::move(loader)) {
+  RAMIEL_CHECK(pool_ == "shared" || pool_ == "partitioned",
+               str_cat("unknown pool mode '", pool_, "'"));
+  RAMIEL_CHECK(!config.models.empty(), "fleet needs at least one model");
+  try {
+    for (const ModelConfig& mc : config.models) add_model(mc);
+  } catch (...) {
+    shutdown();  // join whatever partial fleet already started
+    throw;
+  }
+  if (pool_ == "shared") {
+    shared_dispatcher_ = std::thread([this] { shared_dispatch_loop(); });
+  }
+}
+
+FleetServer::~FleetServer() { shutdown(); }
+
+void FleetServer::ensure_completion_thread() {
+  // Caller holds tenants_mu_.
+  if (!completion_.joinable()) {
+    completion_ = std::thread([this] { completion_loop(); });
+  }
+}
+
+void FleetServer::install_runtime(Tenant& t,
+                                  std::shared_ptr<const ModelEntry> entry) {
+  // Caller holds tenants_mu_ (shared_exec_/completion_ access) and, for a
+  // published tenant, its exec_mu.
+  const ModelConfig& mc = entry->config;
+  const CompiledModel& cm = entry->compiled;
+  const mem::MemPlan* plan =
+      options_.mem_plan && !cm.mem_plan.empty() ? &cm.mem_plan : nullptr;
+  t.pipeline_stages = 1;
+  t.modeled_speedup = 1.0;
+  if (mc.pipeline_stages > 1) {
+    t.runner = std::make_unique<PipelinedRunner>(
+        &cm.graph, cm.clustering, CostModel{}, mc.pipeline_stages, mc.batch,
+        plan != nullptr, t.name);
+    t.pipeline_stages = t.runner->num_stages();
+    t.modeled_speedup = t.runner->cut().modeled_speedup();
+    ensure_completion_thread();
+  } else if (pool_ == "shared") {
+    if (!shared_exec_) {
+      std::vector<ExecutorProgram> programs;
+      programs.push_back(ExecutorProgram{&cm.graph, cm.hyperclusters, plan});
+      shared_exec_ = std::make_unique<ParallelExecutor>(std::move(programs));
+      t.program = 0;
+    } else {
+      t.program = shared_exec_->add_program(&cm.graph, cm.hyperclusters, plan);
+    }
+  } else {
+    t.executor = make_executor(entry->executor, &cm.graph, cm.hyperclusters,
+                               plan);
+  }
+  t.entry = std::move(entry);
+}
+
+void FleetServer::start_tenant_thread(Tenant& t) {
+  const int index = t.index;
+  t.dispatcher = std::thread([this, index] { tenant_dispatch_loop(index); });
+}
+
+void FleetServer::add_model(const ModelConfig& config) {
+  // Compile off to the side first: the fleet keeps serving while the
+  // replacement (or the new tenant) is built.
+  std::shared_ptr<const ModelEntry> entry = registry_.add(config);
+
+  Tenant* existing = find(config.name);
+  if (existing != nullptr) {
+    // Hot swap: the in-flight batch holds exec_mu and finishes on the old
+    // version; everything after this lock runs the new one.
+    std::lock_guard<std::mutex> run_lock(existing->exec_mu);
+    RAMIEL_CHECK(!existing->removed,
+                 str_cat("model '", config.name, "' was removed"));
+    std::shared_ptr<const ModelEntry> old = existing->entry;
+    std::lock_guard<std::mutex> lk(tenants_mu_);
+    existing->runner.reset();  // drains any in-pipe flights
+    existing->executor.reset();
+    if (existing->program >= 0) {
+      shared_exec_->remove_program(existing->program);
+      existing->program = -1;
+    }
+    install_runtime(*existing, std::move(entry));
+    queue_.update_tenant(existing->index,
+                         admission_options(config, aging_ms_),
+                         Stopwatch::now_ns());
+    // The shared executor's retired program still points at the old graph;
+    // keep the artifact alive for the fleet's lifetime.
+    retired_.push_back(std::move(old));
+    return;
+  }
+
+  auto t = std::make_unique<Tenant>();
+  t->name = config.name;
+  t->stats = std::make_unique<StatsCollector>();
+  const obs::Labels labels = {{"model", config.name}};
+  t->admitted = obs::registry().counter(
+      "ramiel_fleet_admitted_total", "Requests admitted past both gates",
+      labels);
+  t->rejected_quota = obs::registry().counter(
+      "ramiel_fleet_rejected_total", "Requests rejected at admission",
+      {{"model", config.name}, {"reason", "quota"}});
+  t->rejected_full = obs::registry().counter(
+      "ramiel_fleet_rejected_total", "Requests rejected at admission",
+      {{"model", config.name}, {"reason", "full"}});
+  t->aged = obs::registry().counter(
+      "ramiel_fleet_aged_total",
+      "Requests served via the aging fast path (fairness boost)", labels);
+
+  Tenant* published = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(tenants_mu_);
+    t->index = queue_.add_tenant(config.name,
+                                 admission_options(config, aging_ms_));
+    RAMIEL_CHECK(t->index == static_cast<int>(tenants_.size()),
+                 "tenant index drifted from the queue's");
+    install_runtime(*t, std::move(entry));
+    index_[config.name] = t->index;
+    tenants_.push_back(std::move(t));
+    published = tenants_.back().get();
+  }
+  if (pool_ == "partitioned") start_tenant_thread(*published);
+}
+
+bool FleetServer::remove_model(const std::string& model) {
+  Tenant* t = find(model);
+  if (t == nullptr) return false;
+  queue_.close_tenant(t->index);
+  if (t->dispatcher.joinable()) {
+    // Partitioned: the tenant's dispatcher drains the closed queue and
+    // exits on kClosed — joining it IS the drain.
+    t->dispatcher.join();
+  } else {
+    // Shared: the fair dispatcher keeps popping the closed tenant until
+    // its queue is empty.
+    while (queue_.tenant_depth(t->index) > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  {
+    // Waits out the in-flight batch, then retires the runtime.
+    std::lock_guard<std::mutex> run_lock(t->exec_mu);
+    if (t->removed) return true;
+    t->removed = true;
+    std::lock_guard<std::mutex> lk(tenants_mu_);
+    t->runner.reset();  // drains in-pipe flights
+    t->executor.reset();
+    if (t->program >= 0 && shared_exec_) {
+      shared_exec_->remove_program(t->program);
+      t->program = -1;
+    }
+    retired_.push_back(t->entry);
+    index_.erase(model);
+  }
+  registry_.remove(model);
+  {
+    std::lock_guard<std::mutex> lk(t->final_mu);
+    if (!t->final_valid) {
+      t->final_window = t->stats->window_snapshot();
+      t->final_valid = true;
+      t->stats->freeze();
+    }
+  }
+  return true;
+}
+
+std::future<Response> FleetServer::submit(const std::string& model,
+                                          TensorMap inputs) {
+  Request request;
+  request.inputs = std::move(inputs);
+  request.enqueue_ns = Stopwatch::now_ns();
+  std::future<Response> result = request.promise.get_future();
+
+  Tenant* t = find(model);
+  if (t == nullptr) {
+    Response rejection;
+    rejection.ok = false;
+    rejection.error = str_cat("unknown model '", model, "'");
+    request.promise.set_value(std::move(rejection));
+    return result;
+  }
+
+  t->stats->on_submit();
+  const std::int64_t now_ns = request.enqueue_ns;
+  const FleetQueue::Admit admit =
+      queue_.try_push(t->index, std::move(request), now_ns);
+  if (admit == FleetQueue::Admit::kOk) {
+    t->admitted->inc();
+    return result;
+  }
+  t->stats->on_reject();
+  Response rejection;
+  rejection.ok = false;
+  switch (admit) {
+    case FleetQueue::Admit::kQuota:
+      t->rejected_quota->inc();
+      rejection.error = str_cat("quota exceeded for model '", model, "'");
+      break;
+    case FleetQueue::Admit::kFull:
+      t->rejected_full->inc();
+      rejection.error = str_cat("queue full for model '", model, "'");
+      break;
+    default:
+      rejection.error = str_cat("model '", model, "' is shut down");
+      break;
+  }
+  request.promise.set_value(std::move(rejection));
+  return result;
+}
+
+void FleetServer::shared_dispatch_loop() {
+  const std::int64_t poll_ns =
+      static_cast<std::int64_t>(options_.poll_ms * 1e6);
+  while (true) {
+    Request first;
+    int index = -1;
+    const RequestQueue::PopResult r = queue_.pop_for(&first, &index, poll_ns);
+    if (r == RequestQueue::PopResult::kClosed) return;
+    if (r != RequestQueue::PopResult::kItem) continue;
+    serve_one(tenant(index), std::move(first));
+  }
+}
+
+void FleetServer::tenant_dispatch_loop(int index) {
+  Tenant& t = tenant(index);
+  const std::int64_t poll_ns =
+      static_cast<std::int64_t>(options_.poll_ms * 1e6);
+  while (true) {
+    Request first;
+    const RequestQueue::PopResult r =
+        queue_.pop_tenant_for(index, &first, poll_ns);
+    if (r == RequestQueue::PopResult::kClosed) return;
+    if (r != RequestQueue::PopResult::kItem) continue;
+    serve_one(t, std::move(first));
+  }
+}
+
+void FleetServer::serve_one(Tenant& t, Request first) {
+  std::lock_guard<std::mutex> run_lock(t.exec_mu);
+  if (t.removed) {
+    Response rejection;
+    rejection.ok = false;
+    rejection.error = str_cat("model '", t.name, "' was removed");
+    first.promise.set_value(std::move(rejection));
+    return;
+  }
+  const std::shared_ptr<const ModelEntry> entry = t.entry;
+  const int slots = entry->config.batch;
+
+  // Dynamic batch fill from this tenant only, bounded by its flush timeout
+  // (the Server's collect_batch policy, applied per tenant).
+  std::vector<Request> batch;
+  batch.reserve(static_cast<std::size_t>(slots));
+  batch.push_back(std::move(first));
+  const std::int64_t deadline =
+      Stopwatch::now_ns() +
+      static_cast<std::int64_t>(entry->config.flush_timeout_ms * 1e6);
+  while (static_cast<int>(batch.size()) < slots) {
+    const std::int64_t remaining = deadline - Stopwatch::now_ns();
+    if (remaining <= 0) break;
+    Request r;
+    if (queue_.pop_tenant_for(t.index, &r, remaining) !=
+        RequestQueue::PopResult::kItem) {
+      break;
+    }
+    batch.push_back(std::move(r));
+  }
+
+  const std::int64_t dispatch_ns = Stopwatch::now_ns();
+  if (t.runner) {
+    dispatch_pipelined(t, *entry, std::move(batch), dispatch_ns);
+  } else {
+    dispatch_sync(t, *entry, std::move(batch), dispatch_ns);
+  }
+  mirror_aged(t);
+}
+
+void FleetServer::dispatch_sync(Tenant& t, const ModelEntry& entry,
+                                std::vector<Request> batch,
+                                std::int64_t dispatch_ns) {
+  const int real = static_cast<int>(batch.size());
+  const int slots = entry.config.batch;
+  std::vector<TensorMap> inputs;
+  inputs.reserve(static_cast<std::size_t>(slots));
+  for (const Request& r : batch) inputs.push_back(r.inputs);
+  for (int i = real; i < slots; ++i) inputs.push_back(inputs[0]);
+
+  RunOptions run_opts;
+  run_opts.intra_op_threads = options_.intra_op_threads;
+
+  Profile profile;
+  try {
+    std::vector<TensorMap> outputs;
+    if (t.executor) {
+      outputs = t.executor->run(inputs, run_opts, &profile);
+    } else {
+      ParallelExecutor* pool;
+      {
+        std::lock_guard<std::mutex> lk(tenants_mu_);
+        pool = shared_exec_.get();
+      }
+      outputs = pool->run_program(t.program, inputs, run_opts, &profile);
+    }
+    t.stats->on_batch(real, slots, profile);
+    const std::int64_t done_ns = Stopwatch::now_ns();
+    for (int i = 0; i < real; ++i) {
+      Request& r = batch[static_cast<std::size_t>(i)];
+      Response resp;
+      resp.ok = true;
+      resp.outputs = std::move(outputs[static_cast<std::size_t>(i)]);
+      resp.latency_ms = static_cast<double>(done_ns - r.enqueue_ns) / 1e6;
+      resp.batch_slots = slots;
+      resp.batch_real = real;
+      t.stats->on_served(resp.latency_ms);
+      r.promise.set_value(std::move(resp));
+    }
+    record_span(t, dispatch_ns, done_ns, real, slots);
+  } catch (const std::exception& e) {
+    t.stats->on_batch(real, slots, profile);
+    const std::int64_t done_ns = Stopwatch::now_ns();
+    for (Request& r : batch) {
+      Response resp;
+      resp.ok = false;
+      resp.error = str_cat("execution failed: ", e.what());
+      resp.latency_ms = static_cast<double>(done_ns - r.enqueue_ns) / 1e6;
+      resp.batch_slots = slots;
+      resp.batch_real = real;
+      t.stats->on_failed();
+      r.promise.set_value(std::move(resp));
+    }
+  }
+}
+
+void FleetServer::dispatch_pipelined(Tenant& t, const ModelEntry& entry,
+                                     std::vector<Request> batch,
+                                     std::int64_t dispatch_ns) {
+  const int real = static_cast<int>(batch.size());
+  const int slots = entry.config.batch;
+  std::vector<TensorMap> inputs;
+  inputs.reserve(static_cast<std::size_t>(slots));
+  for (const Request& r : batch) inputs.push_back(r.inputs);
+  for (int i = real; i < slots; ++i) inputs.push_back(inputs[0]);
+
+  RunOptions run_opts;
+  run_opts.intra_op_threads = options_.intra_op_threads;
+
+  PendingFlight flight;
+  flight.tenant = t.index;
+  flight.requests = std::move(batch);
+  flight.slots = slots;
+  flight.dispatch_ns = dispatch_ns;
+  // May block on depth-2 backpressure — that is the pipeline's admission
+  // control, and exactly when the overlap with the draining flight happens.
+  flight.future = t.runner->submit(std::move(inputs), run_opts);
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    pending_.push_back(std::move(flight));
+  }
+  pending_cv_.notify_one();
+}
+
+void FleetServer::completion_loop() {
+  while (true) {
+    PendingFlight flight;
+    {
+      std::unique_lock<std::mutex> lk(pending_mu_);
+      pending_cv_.wait(lk,
+                       [&] { return pending_closed_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // closed and drained
+      flight = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    Tenant& t = tenant(flight.tenant);
+    const int real = static_cast<int>(flight.requests.size());
+    try {
+      std::vector<TensorMap> outputs = flight.future.get();
+      t.stats->on_batch(real, flight.slots, Profile{});
+      const std::int64_t done_ns = Stopwatch::now_ns();
+      for (int i = 0; i < real; ++i) {
+        Request& r = flight.requests[static_cast<std::size_t>(i)];
+        Response resp;
+        resp.ok = true;
+        resp.outputs = std::move(outputs[static_cast<std::size_t>(i)]);
+        resp.latency_ms = static_cast<double>(done_ns - r.enqueue_ns) / 1e6;
+        resp.batch_slots = flight.slots;
+        resp.batch_real = real;
+        t.stats->on_served(resp.latency_ms);
+        r.promise.set_value(std::move(resp));
+      }
+      record_span(t, flight.dispatch_ns, done_ns, real, flight.slots);
+    } catch (const std::exception& e) {
+      t.stats->on_batch(real, flight.slots, Profile{});
+      const std::int64_t done_ns = Stopwatch::now_ns();
+      for (Request& r : flight.requests) {
+        Response resp;
+        resp.ok = false;
+        resp.error = str_cat("execution failed: ", e.what());
+        resp.latency_ms = static_cast<double>(done_ns - r.enqueue_ns) / 1e6;
+        resp.batch_slots = flight.slots;
+        resp.batch_real = real;
+        t.stats->on_failed();
+        r.promise.set_value(std::move(resp));
+      }
+    }
+  }
+}
+
+void FleetServer::mirror_aged(Tenant& t) {
+  const TenantCounters c = queue_.counters(t.index);
+  if (c.aged > t.aged_seen) {
+    t.aged->inc(c.aged - t.aged_seen);
+    t.aged_seen = c.aged;
+  }
+}
+
+void FleetServer::record_span(Tenant& t, std::int64_t start_ns,
+                              std::int64_t end_ns, int real, int slots) {
+  if (!options_.trace) return;
+  std::lock_guard<std::mutex> lk(t.trace_mu);
+  t.spans.push_back(BatchSpan{start_ns, end_ns, real, slots});
+}
+
+void FleetServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    if (shutdown_done_) return;
+    shutdown_done_ = true;
+  }
+  queue_.close();
+  if (shared_dispatcher_.joinable()) shared_dispatcher_.join();
+
+  std::vector<Tenant*> all;
+  {
+    std::lock_guard<std::mutex> lk(tenants_mu_);
+    for (auto& t : tenants_) all.push_back(t.get());
+  }
+  // Joining the dispatchers IS the drain: pop loops keep serving admitted
+  // requests after close() and only see kClosed once empty.
+  for (Tenant* t : all) {
+    if (t->dispatcher.joinable()) t->dispatcher.join();
+  }
+  // Drain the pipelines (runner destructors wait for in-pipe flights), then
+  // let the completion thread finish the already-submitted futures.
+  for (Tenant* t : all) {
+    std::lock_guard<std::mutex> lk(t->exec_mu);
+    t->runner.reset();
+  }
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    pending_closed_ = true;
+  }
+  pending_cv_.notify_all();
+  if (completion_.joinable()) completion_.join();
+
+  for (Tenant* t : all) {
+    std::lock_guard<std::mutex> lk(t->final_mu);
+    if (!t->final_valid) {
+      t->final_window = t->stats->window_snapshot();
+      t->final_valid = true;
+      t->stats->freeze();
+    }
+  }
+}
+
+FleetServer::Tenant* FleetServer::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(tenants_mu_);
+  auto it = index_.find(name);
+  return it == index_.end()
+             ? nullptr
+             : tenants_[static_cast<std::size_t>(it->second)].get();
+}
+
+FleetServer::Tenant& FleetServer::tenant(int index) const {
+  std::lock_guard<std::mutex> lk(tenants_mu_);
+  return *tenants_[static_cast<std::size_t>(index)];
+}
+
+std::vector<std::string> FleetServer::models() const {
+  std::lock_guard<std::mutex> lk(tenants_mu_);
+  std::vector<std::string> names;
+  for (const auto& t : tenants_) {
+    if (index_.count(t->name) != 0) names.push_back(t->name);
+  }
+  return names;
+}
+
+int FleetServer::model_version(const std::string& model) const {
+  return registry_.version(model);
+}
+
+int FleetServer::num_tenants() const {
+  std::lock_guard<std::mutex> lk(tenants_mu_);
+  return static_cast<int>(index_.size());
+}
+
+TenantCounters FleetServer::tenant_counters(const std::string& model) const {
+  Tenant* t = find(model);
+  RAMIEL_CHECK(t != nullptr, str_cat("unknown model '", model, "'"));
+  return queue_.counters(t->index);
+}
+
+ServerStats FleetServer::tenant_stats(const std::string& model) const {
+  Tenant* t = find(model);
+  RAMIEL_CHECK(t != nullptr, str_cat("unknown model '", model, "'"));
+  return t->stats->snapshot();
+}
+
+ServerStats FleetServer::tenant_window_stats(const std::string& model) const {
+  Tenant* t = find(model);
+  RAMIEL_CHECK(t != nullptr, str_cat("unknown model '", model, "'"));
+  std::lock_guard<std::mutex> lk(t->final_mu);
+  if (t->final_valid) return t->final_window;
+  return t->stats->window_snapshot();
+}
+
+std::vector<TenantReport> FleetServer::report() {
+  std::vector<Tenant*> live;
+  {
+    std::lock_guard<std::mutex> lk(tenants_mu_);
+    for (const auto& t : tenants_) {
+      if (index_.count(t->name) != 0) live.push_back(t.get());
+    }
+  }
+  std::vector<TenantReport> out;
+  out.reserve(live.size());
+  for (Tenant* t : live) {
+    TenantReport r;
+    r.name = t->name;
+    {
+      std::lock_guard<std::mutex> lk(t->exec_mu);
+      r.version = t->entry->version;
+      r.executor = t->entry->executor;
+      r.pipeline_stages = t->pipeline_stages;
+      r.modeled_pipeline_speedup = t->modeled_speedup;
+    }
+    r.stats = t->stats->snapshot();
+    {
+      std::lock_guard<std::mutex> lk(t->final_mu);
+      r.window =
+          t->final_valid ? t->final_window : t->stats->window_snapshot();
+    }
+    r.admission = queue_.counters(t->index);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string FleetServer::stats_json() {
+  using obs::json_number;
+  using obs::json_quote;
+  std::string doc = "[";
+  const std::vector<TenantReport> reports = report();
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const TenantReport& r = reports[i];
+    if (i != 0) doc += ",";
+    doc += "{\"model\":" + json_quote(r.name);
+    doc += ",\"version\":" + std::to_string(r.version);
+    doc += ",\"executor\":" + json_quote(to_string(r.executor));
+    doc += ",\"pipeline_stages\":" + std::to_string(r.pipeline_stages);
+    doc += ",\"modeled_pipeline_speedup\":" +
+           json_number(r.modeled_pipeline_speedup);
+    doc += ",\"admitted\":" + std::to_string(r.admission.admitted);
+    doc += ",\"rejected_quota\":" + std::to_string(r.admission.rejected_quota);
+    doc += ",\"rejected_full\":" + std::to_string(r.admission.rejected_full);
+    doc += ",\"aged\":" + std::to_string(r.admission.aged);
+    doc += ",\"window_p50_ms\":" + json_number(r.window.window_latency.p50_ms);
+    doc += ",\"window_p95_ms\":" + json_number(r.window.window_latency.p95_ms);
+    doc += ",\"window_p99_ms\":" + json_number(r.window.window_latency.p99_ms);
+    doc += ",\"stats\":" + r.stats.to_json();
+    doc += "}";
+  }
+  doc += "]";
+  return doc;
+}
+
+void FleetServer::append_trace(obs::Timeline& timeline) const {
+  std::vector<Tenant*> all;
+  {
+    std::lock_guard<std::mutex> lk(tenants_mu_);
+    for (const auto& t : tenants_) all.push_back(t.get());
+  }
+  for (Tenant* t : all) {
+    const int pid = kTenantPidBase + t->index;
+    timeline.process_name(pid, str_cat("tenant:", t->name));
+    timeline.thread_name(pid, 0, "dispatch");
+    std::lock_guard<std::mutex> lk(t->trace_mu);
+    for (const BatchSpan& s : t->spans) {
+      timeline.span(
+          "batch", "dispatch", pid, 0, s.start_ns, s.end_ns,
+          {obs::Timeline::Arg{"real", s.real},
+           obs::Timeline::Arg{"slots", s.slots},
+           obs::Timeline::Arg{"fill", static_cast<double>(s.real) /
+                                          static_cast<double>(s.slots)}});
+    }
+  }
+}
+
+}  // namespace ramiel::serve::fleet

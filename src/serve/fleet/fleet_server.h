@@ -1,0 +1,272 @@
+// Multi-tenant fleet server: N models, one admission door, one machine.
+//
+// Composition of the fleet subsystem (see the sibling headers for each
+// part's contract):
+//
+//   submit(model, sample)
+//        │ per-tenant token bucket + bounded queue     (fleet/admission.h)
+//        ▼
+//   FleetQueue ── weighted-fair + aging dequeue ──▶ dispatch
+//        │                                             │
+//        │   shared pool: ONE multi-program            │ pipeline_stages>1:
+//        │   ParallelExecutor hosts every tenant's     │ the tenant's
+//        │   hyperclustered program on one set of      │ PipelinedRunner
+//        │   worker threads (rt/executor.h)            │ (fleet/pipeline.h)
+//        ▼                                             ▼
+//   promises fulfilled, per-tenant StatsCollector + fleet counters updated
+//
+// Pool modes:
+//   - "shared": one dispatcher thread runs the fair dequeue and drives one
+//     ParallelExecutor that hosts all tenants' programs — tenants
+//     time-slice a single persistent worker pool instead of oversubscribing
+//     the machine with per-model thread sets. Dispatches are serialized by
+//     the executor, which is exactly why admission order (fair + aging) is
+//     the thing that decides who waits. A shared pool forces the static
+//     runtime for its tenants: the pool's threads are pinned one-per-
+//     hypercluster-worker, and that static placement is what makes one pool
+//     reusable across programs. Tenants whose auto policy resolved to
+//     `steal` keep that choice in `partitioned` mode.
+//   - "partitioned": the isolation baseline — each tenant gets its own
+//     dispatcher thread and its own executor (static or steal per the
+//     model's resolved kind). Admission and quotas are shared; the machine
+//     is not.
+//
+// Pipelined tenants (pipeline_stages > 1) own a PipelinedRunner whose stage
+// threads double-buffer the program; the dispatcher submits flights
+// asynchronously (depth-2 backpressure) and one fleet-wide completion
+// thread fulfils their promises in dispatch order, so consecutive batches
+// of the same tenant overlap across stages.
+//
+// Hot add/remove: add_model() on a new name registers + starts serving it;
+// on an existing name it compiles the replacement off to the side (a
+// bumped-version ModelEntry) and swaps it in under the tenant's dispatch
+// lock — the in-flight batch finishes on the old version, the next batch
+// runs the new one, and the old artifact stays alive until the fleet drops
+// it. remove_model() closes the tenant's admission, waits for its queue to
+// drain, then retires the program.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/fleet/admission.h"
+#include "serve/fleet/config.h"
+#include "serve/fleet/pipeline.h"
+#include "serve/fleet/registry.h"
+#include "serve/server.h"
+
+namespace ramiel::obs {
+class Timeline;
+}  // namespace ramiel::obs
+
+namespace ramiel::serve::fleet {
+
+/// First Perfetto pid of the per-tenant tracks (tenant i gets pid
+/// kTenantPidBase + i, above the runtime/compiler/server tracks 0..2).
+inline constexpr int kTenantPidBase = 3;
+
+/// Jain's fairness index over per-tenant allocations: (Σx)² / (n·Σx²).
+/// 1.0 = perfectly even, 1/n = one tenant has everything. Empty or all-zero
+/// input yields 0.
+double jain_fairness(const std::vector<double>& allocations);
+
+struct FleetOptions {
+  /// Kernel threads per worker, every tenant (RunOptions.intra_op_threads).
+  int intra_op_threads = 1;
+  /// Back intermediates with each model's static memory plan.
+  bool mem_plan = true;
+  /// kAuto threshold on cluster_cost_cv (registry resolution).
+  double auto_steal_cv = 0.35;
+  /// Record per-tenant batch-dispatch spans for append_trace().
+  bool trace = false;
+  /// Idle poll granularity of the dispatcher loops.
+  double poll_ms = 2.0;
+};
+
+/// One tenant's externally visible state, as returned by report().
+struct TenantReport {
+  std::string name;
+  int version = 0;
+  ExecutorKind executor = ExecutorKind::kStatic;
+  int pipeline_stages = 1;
+  /// StageCut::modeled_speedup() for pipelined tenants, 1.0 otherwise.
+  double modeled_pipeline_speedup = 1.0;
+  ServerStats stats;          // full-lifetime snapshot
+  ServerStats window;         // exact-reservoir window since last report()
+  TenantCounters admission;   // token-bucket / bounded-queue accounting
+};
+
+class FleetServer {
+ public:
+  /// Compiles and starts serving every model in `config`. A non-default
+  /// `loader` replaces the zoo builder (tests). Throws on invalid configs
+  /// or unknown model specs.
+  explicit FleetServer(const FleetConfig& config, FleetOptions options = {},
+                       ModelRegistry::Loader loader = {});
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Submits one sample to tenant `model`. Never blocks: quota, full-queue,
+  /// unknown-model and shutdown rejections resolve the future immediately
+  /// with !ok and a reason; admitted requests resolve when their batch
+  /// completes.
+  std::future<Response> submit(const std::string& model, TensorMap inputs);
+
+  /// Hot add (new name) or hot swap (existing name). Compilation happens on
+  /// the caller's thread; the running fleet is only paused for the pointer
+  /// swap. Swap also applies the new admission options (quota, weight,
+  /// aging) atomically with the artifact.
+  void add_model(const ModelConfig& config);
+
+  /// Closes `model`'s admission, drains its queued requests, retires its
+  /// program. Returns false when no such tenant. Idempotent per name.
+  bool remove_model(const std::string& model);
+
+  /// Stops admission everywhere, serves every already-admitted request,
+  /// joins all fleet threads, freezes per-tenant stats. Idempotent; called
+  /// by the destructor.
+  void shutdown();
+
+  /// Currently registered tenant names (insertion order, minus removed).
+  std::vector<std::string> models() const;
+
+  /// Registry version of `model` (0 when absent).
+  int model_version(const std::string& model) const;
+
+  /// Current artifact handle (nullptr when absent). Load drivers use the
+  /// compiled graph to synthesize matching input payloads.
+  std::shared_ptr<const ModelEntry> model_entry(const std::string& model) const {
+    return registry_.lookup(model);
+  }
+
+  TenantCounters tenant_counters(const std::string& model) const;
+  ServerStats tenant_stats(const std::string& model) const;
+  /// Exact-percentile window since the previous tenant_window_stats() call
+  /// for this tenant (PR-6 reservoir semantics; final window after
+  /// shutdown).
+  ServerStats tenant_window_stats(const std::string& model) const;
+
+  /// Per-tenant reports, one per live tenant (window percentiles reset).
+  std::vector<TenantReport> report();
+
+  /// Strict-JSON array of per-tenant stats objects (round-trips through
+  /// obs::json_parse; the ramiel_fleet --stats-out document).
+  std::string stats_json();
+
+  /// Per-tenant batch-dispatch tracks (trace mode): tenant i's spans land
+  /// on pid kTenantPidBase + i named "tenant:<name>".
+  void append_trace(obs::Timeline& timeline) const;
+
+  const std::string& pool() const { return pool_; }
+  int num_tenants() const;
+
+ private:
+  struct PendingFlight {
+    int tenant = -1;
+    std::vector<Request> requests;  // the real (non-padding) riders
+    int slots = 0;
+    std::int64_t dispatch_ns = 0;
+    std::future<std::vector<TensorMap>> future;
+  };
+
+  struct BatchSpan {
+    std::int64_t start_ns = 0;
+    std::int64_t end_ns = 0;
+    int real = 0;
+    int slots = 0;
+  };
+
+  struct Tenant {
+    std::string name;
+    int index = -1;  // FleetQueue tenant index == tenants_ index
+    /// Guarded by exec_mu: the artifact handle and its runtime binding.
+    std::shared_ptr<const ModelEntry> entry;
+    int program = -1;                       // shared pool program id
+    std::unique_ptr<Executor> executor;     // partitioned pool
+    std::unique_ptr<PipelinedRunner> runner;  // pipeline_stages > 1
+    /// Cached from the runner's cut (survives shutdown's runner teardown).
+    int pipeline_stages = 1;
+    double modeled_speedup = 1.0;
+    std::unique_ptr<StatsCollector> stats;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected_quota = nullptr;
+    obs::Counter* rejected_full = nullptr;
+    obs::Counter* aged = nullptr;
+    std::uint64_t aged_seen = 0;  // last mirrored FleetQueue aged count
+    /// Serializes dispatch against hot swap/remove: a swap waits here for
+    /// the in-flight batch, which is the "finish on the old version" rule.
+    std::mutex exec_mu;
+    bool removed = false;  // guarded by exec_mu
+    std::thread dispatcher;  // partitioned mode only
+    std::mutex trace_mu;
+    std::vector<BatchSpan> spans;
+    /// Final exact-latency window, flushed at shutdown/remove so the last
+    /// partial window is reported instead of an empty one (PR-7 Server
+    /// semantics, per tenant).
+    mutable std::mutex final_mu;
+    ServerStats final_window;
+    bool final_valid = false;
+  };
+
+  static TenantOptions admission_options(const ModelConfig& config,
+                                         double aging_ms);
+
+  Tenant* find(const std::string& name) const;
+  Tenant& tenant(int index) const;
+  void install_runtime(Tenant& t, std::shared_ptr<const ModelEntry> entry);
+  void start_tenant_thread(Tenant& t);
+  /// Fills a batch for `first`'s tenant, dispatches it, fulfils promises
+  /// (directly, or via the completion thread for pipelined tenants).
+  void serve_one(Tenant& t, Request first);
+  void dispatch_sync(Tenant& t, const ModelEntry& entry,
+                     std::vector<Request> batch, std::int64_t dispatch_ns);
+  void dispatch_pipelined(Tenant& t, const ModelEntry& entry,
+                          std::vector<Request> batch,
+                          std::int64_t dispatch_ns);
+  void shared_dispatch_loop();
+  void tenant_dispatch_loop(int index);
+  void completion_loop();
+  void ensure_completion_thread();
+  void mirror_aged(Tenant& t);
+  void record_span(Tenant& t, std::int64_t start_ns, std::int64_t end_ns,
+                   int real, int slots);
+
+  FleetOptions options_;
+  std::string pool_;
+  double aging_ms_ = 50.0;
+  ModelRegistry registry_;
+  FleetQueue queue_;
+
+  mutable std::mutex tenants_mu_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;  // grows only
+  std::unordered_map<std::string, int> index_;    // live names only
+  /// Swapped-out and removed artifacts, kept alive for the fleet's life:
+  /// the shared executor retains raw graph pointers of retired programs.
+  std::vector<std::shared_ptr<const ModelEntry>> retired_;
+
+  /// Shared pool. Constructed lazily on the first non-pipelined tenant
+  /// (a fleet of only pipelined tenants needs no extra pool).
+  std::unique_ptr<ParallelExecutor> shared_exec_;
+
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  std::deque<PendingFlight> pending_;
+  bool pending_closed_ = false;
+  std::thread completion_;
+
+  std::thread shared_dispatcher_;
+  bool shutdown_done_ = false;
+  std::mutex shutdown_mu_;
+};
+
+}  // namespace ramiel::serve::fleet

@@ -1,0 +1,83 @@
+#include "serve/fleet/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "models/zoo.h"
+#include "support/check.h"
+
+namespace ramiel::serve::fleet {
+
+ModelRegistry::ModelRegistry(RegistryOptions options, Loader loader)
+    : options_(options), loader_(std::move(loader)) {
+  if (!loader_) {
+    loader_ = [](const std::string& spec) { return models::build(spec); };
+  }
+}
+
+std::shared_ptr<const ModelEntry> ModelRegistry::add(
+    const ModelConfig& config) {
+  RAMIEL_CHECK(!config.name.empty(), "model config needs a name");
+  RAMIEL_CHECK(config.batch >= 1, "model batch must be >= 1");
+
+  // Compile outside the lock: a hot add must not stall lookups (the
+  // dispatcher resolves handles on every batch).
+  const std::string spec = config.model.empty() ? config.name : config.model;
+  PipelineOptions pipeline;
+  pipeline.batch = config.batch;
+  pipeline.generate_code = false;
+  pipeline.mem_planning = options_.mem_plan;
+
+  auto entry = std::make_shared<ModelEntry>();
+  entry->config = config;
+  entry->compiled = compile_model(loader_(spec), pipeline);
+  entry->executor = config.executor;
+  if (entry->executor == ExecutorKind::kAuto) {
+    entry->executor = entry->compiled.cluster_cost_cv > options_.auto_steal_cv
+                          ? ExecutorKind::kSteal
+                          : ExecutorKind::kStatic;
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(config.name);
+  if (it != entries_.end()) {
+    entry->version = it->second->version + 1;  // hot swap
+    it->second = entry;
+  } else {
+    entries_.emplace(config.name, entry);
+    order_.push_back(config.name);
+  }
+  return entry;
+}
+
+bool ModelRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (entries_.erase(name) == 0) return false;
+  order_.erase(std::remove(order_.begin(), order_.end(), name), order_.end());
+  return true;
+}
+
+std::shared_ptr<const ModelEntry> ModelRegistry::lookup(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+int ModelRegistry::version(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second->version;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return order_;
+}
+
+int ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(entries_.size());
+}
+
+}  // namespace ramiel::serve::fleet

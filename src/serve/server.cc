@@ -68,7 +68,26 @@ std::future<Response> Server::submit(TensorMap inputs) {
 
 void Server::shutdown() {
   queue_.close();
+  // Joining the batcher IS the drain: collect_batch keeps delivering
+  // already-accepted requests after close() and only reports closed once
+  // the queue is empty, so no accepted request is dropped.
   if (batcher_.joinable()) batcher_.join();
+  std::lock_guard<std::mutex> lk(final_mu_);
+  if (!final_window_valid_) {
+    // Flush the last (partial) stats window now, while its requests are
+    // still in the reservoir, and pin uptime — otherwise the final window's
+    // requests never appear in any window report and post-shutdown
+    // snapshots keep diluting throughput_rps with dead time.
+    final_window_ = stats_.window_snapshot();
+    final_window_valid_ = true;
+    stats_.freeze();
+  }
+}
+
+ServerStats Server::window_stats() const {
+  std::lock_guard<std::mutex> lk(final_mu_);
+  if (final_window_valid_) return final_window_;
+  return stats_.window_snapshot();
 }
 
 Profile Server::slowest_batch_profile() const {

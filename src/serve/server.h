@@ -111,8 +111,11 @@ class Server {
   /// stats() plus a reset of the exact-latency window: window_latency in
   /// the result covers the interval since the previous window_stats() call.
   /// Used by the metrics emitter so each JSONL line reports an exact
-  /// per-interval p99 instead of a histogram-quantized one.
-  ServerStats window_stats() const { return stats_.window_snapshot(); }
+  /// per-interval p99 instead of a histogram-quantized one. After
+  /// shutdown() this returns the final window flushed during the drain, so
+  /// an emitter stopping after the server still reports the last partial
+  /// window instead of an empty one.
+  ServerStats window_stats() const;
 
   /// Profile of the slowest batch observed so far (empty Profile until the
   /// first batch completes). Only populated when ServeOptions.trace is on —
@@ -161,6 +164,10 @@ class Server {
   std::unique_ptr<Executor> executor_;
   RequestQueue queue_;
   StatsCollector stats_;
+
+  mutable std::mutex final_mu_;
+  ServerStats final_window_;  // flushed by shutdown() after the drain
+  bool final_window_valid_ = false;
 
   mutable std::mutex trace_mu_;
   Profile slowest_;  // trace mode: profile of the slowest batch so far

@@ -211,6 +211,11 @@ void StatsCollector::on_batch(int real, int slots, const Profile& profile) {
 
 ServerStats StatsCollector::snapshot() const { return snapshot_impl(false); }
 
+void StatsCollector::freeze() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (end_ns_ == 0) end_ns_ = Stopwatch::now_ns();
+}
+
 ServerStats StatsCollector::window_snapshot() const {
   return snapshot_impl(true);
 }
@@ -229,9 +234,11 @@ ServerStats StatsCollector::snapshot_impl(bool reset_window) const {
   out.worker_busy_ms = worker_busy_ms_->value();
   out.worker_slack_ms = worker_slack_ms_->value();
   out.num_workers = static_cast<int>(num_workers_->value());
-  out.uptime_ms =
-      static_cast<double>(Stopwatch::now_ns() - start_ns_) / 1e6;
   std::lock_guard<std::mutex> lk(mu_);
+  out.uptime_ms = static_cast<double>((end_ns_ != 0 ? end_ns_
+                                                    : Stopwatch::now_ns()) -
+                                      start_ns_) /
+                  1e6;
   out.latency = summarize(latencies_);
   out.window_latency = summarize(window_);
   out.window_served = window_count_;

@@ -102,6 +102,12 @@ class StatsCollector {
   /// call reports the interval starting now. The metrics emitter's tick.
   ServerStats window_snapshot() const;
 
+  /// Pins uptime at the current instant (idempotent: the first call wins).
+  /// Called by Server::shutdown() after the drain — without it every
+  /// post-shutdown snapshot keeps growing uptime_ms, silently decaying the
+  /// reported throughput_rps of a finished run.
+  void freeze();
+
   /// The instance label value of this collector's registry series.
   const std::string& instance() const { return instance_; }
 
@@ -138,6 +144,7 @@ class StatsCollector {
   mutable std::vector<double> window_;  // ring once kWindowCap is reached
   mutable std::uint64_t window_count_ = 0;
   std::int64_t start_ns_ = 0;
+  std::int64_t end_ns_ = 0;  // 0 = still running; set once by freeze()
 
  public:
   /// Gauge mirroring the server's request-queue depth (set by the server

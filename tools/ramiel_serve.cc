@@ -20,6 +20,9 @@
 //                      per hypercluster, 'steal' runs the work-stealing
 //                      runtime, 'auto' picks steal when the compiled model's
 //                      cluster-cost variation exceeds $RAMIEL_AUTO_STEAL_CV
+//     --arrival A      'closed' (default): C closed-loop clients;
+//                      'poisson:RATE': open-loop Poisson arrivals at RATE
+//                      req/s for as long as N requests would take at RATE
 //     --requests N     total requests to serve (default 200)
 //     --clients C      concurrent closed-loop clients (default 8)
 //     --think-us U     per-client think time between requests (default 0)
@@ -66,6 +69,7 @@ int usage() {
                "                    [--threads N] [--queue-depth N]"
                " [--flush-ms X] [--mem-plan off|arena]\n"
                "                    [--executor static|steal|auto]\n"
+               "                    [--arrival closed|poisson:RATE]\n"
                "                    [--requests N] [--clients C]"
                " [--think-us U]\n"
                "                    [--trace-out FILE] [--metrics-out FILE]"
@@ -99,6 +103,7 @@ int main(int argc, char** argv) {
   serve::LoadOptions load;
   load.clients = 8;
   load.requests = 200;
+  serve::ArrivalSpec arrival;
   std::string trace_out;
   std::string profile_out;
   serve::MetricsEmitterOptions emitter_opts;
@@ -139,6 +144,12 @@ int main(int argc, char** argv) {
                                /*allow_auto=*/true)) {
         std::fprintf(stderr,
                      "--executor expects 'static', 'steal' or 'auto'\n");
+        return usage();
+      }
+    } else if (arg == "--arrival" && i + 1 < argc) {
+      std::string error;
+      if (!serve::parse_arrival(argv[++i], &arrival, &error)) {
+        std::fprintf(stderr, "--arrival: %s\n", error.c_str());
         return usage();
       }
     } else if (arg == "--requests" && i + 1 < argc) {
@@ -190,7 +201,18 @@ int main(int argc, char** argv) {
       emitter = std::make_unique<serve::MetricsEmitter>(&server, emitter_opts);
     }
 
-    serve::LoadReport report = serve::run_closed_loop(server, load);
+    serve::LoadReport report;
+    if (arrival.open_loop) {
+      serve::OpenLoopOptions open;
+      open.rate_rps = arrival.rate_rps;
+      open.duration_ms =
+          static_cast<double>(load.requests) / arrival.rate_rps * 1e3;
+      std::printf("open loop: poisson arrivals at %.1f req/s for %.1f s\n",
+                  open.rate_rps, open.duration_ms / 1e3);
+      report = serve::run_open_loop(server, open);
+    } else {
+      report = serve::run_closed_loop(server, load);
+    }
     server.shutdown();
     if (emitter) {
       emitter->stop();
