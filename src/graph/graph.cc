@@ -207,6 +207,42 @@ void Graph::validate() const {
           str_cat("graph output '", v.name, "' has no live producer"));
     }
   }
+  // Consumer-list hygiene: every value's consumers list must be exactly the
+  // multiset of live-node input references. A pass that rewrites
+  // Node::inputs without maintaining the list (use replace_node_input /
+  // replace_value_uses) leaves stale entries that keep dead initializers
+  // live in liveness analysis and memory planning.
+  std::vector<int> expected(values_.size(), 0);
+  for (const Node& n : nodes_) {
+    if (n.dead) continue;
+    for (ValueId in : n.inputs) ++expected[static_cast<std::size_t>(in)];
+  }
+  for (const Value& v : values_) {
+    for (NodeId c : v.consumers) {
+      RAMIEL_CHECK(c >= 0 && c < static_cast<NodeId>(nodes_.size()),
+                   str_cat("value '", v.name, "' has invalid consumer id"));
+      const Node& n = nodes_[static_cast<std::size_t>(c)];
+      if (n.dead) {
+        throw ValidationError(str_cat("value '", v.name,
+                                      "' lists dead node '", n.name,
+                                      "' as a consumer"));
+      }
+      if (std::count(n.inputs.begin(), n.inputs.end(), v.id) <
+          std::count(v.consumers.begin(), v.consumers.end(), c)) {
+        throw ValidationError(str_cat("value '", v.name,
+                                      "' has a stale consumer entry for node '",
+                                      n.name, "'"));
+      }
+    }
+    if (static_cast<int>(v.consumers.size()) !=
+        expected[static_cast<std::size_t>(v.id)]) {
+      throw ValidationError(
+          str_cat("value '", v.name, "' has ", v.consumers.size(),
+                  " consumer entries but ",
+                  expected[static_cast<std::size_t>(v.id)],
+                  " live-node input references"));
+    }
+  }
   (void)topo_order();  // throws on cycles
 }
 
@@ -225,6 +261,31 @@ void Graph::replace_value_uses(ValueId from, ValueId to) {
   for (ValueId& out : outputs_) {
     if (out == from) out = to;
   }
+}
+
+void Graph::replace_node_input(NodeId id, std::size_t index, ValueId v) {
+  Node& n = node(id);
+  RAMIEL_CHECK(index < n.inputs.size(),
+               str_cat("replace_node_input: node '", n.name,
+                       "' has no input slot ", index));
+  const ValueId old = n.inputs[index];
+  if (old == v) return;
+  Value& ov = value(old);
+  auto it = std::find(ov.consumers.begin(), ov.consumers.end(), id);
+  RAMIEL_CHECK(it != ov.consumers.end(),
+               str_cat("replace_node_input: value '", ov.name,
+                       "' is missing consumer entry for node '", n.name, "'"));
+  ov.consumers.erase(it);
+  n.inputs[index] = v;
+  value(v).consumers.push_back(id);
+}
+
+void Graph::append_node_input(NodeId id, ValueId v) {
+  Node& n = node(id);
+  RAMIEL_CHECK(v >= 0 && v < static_cast<ValueId>(values_.size()),
+               str_cat("append_node_input: invalid value id ", v));
+  n.inputs.push_back(v);
+  value(v).consumers.push_back(id);
 }
 
 void Graph::kill_node(NodeId id) {

@@ -125,6 +125,17 @@ class Graph {
   /// transfers graph-output status.
   void replace_value_uses(ValueId from, ValueId to);
 
+  /// Rewrites input slot `index` of node `id` to read `v`, keeping both
+  /// values' consumer lists consistent (removes one entry from the old
+  /// value, appends one to the new). Passes must use this — or
+  /// replace_value_uses — instead of writing Node::inputs directly, or
+  /// validate() will reject the stale consumer entries left behind.
+  void replace_node_input(NodeId id, std::size_t index, ValueId v);
+
+  /// Appends a new input slot reading `v` to node `id`, registering the
+  /// consumer entry.
+  void append_node_input(NodeId id, ValueId v);
+
   /// Tombstones a node and detaches it from its values' consumer lists.
   void kill_node(NodeId id);
 

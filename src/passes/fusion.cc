@@ -1,156 +1,28 @@
 #include "passes/fusion.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "support/check.h"
-#include "support/string_util.h"
+#include "passes/patterns/driver.h"
+#include "passes/patterns/registry.h"
 
 namespace ramiel {
+namespace {
+
+/// Runs exactly one registered pattern to its fixed point.
+int run_single_pattern(Graph& graph, const char* name) {
+  patterns::PatternRunOptions options;
+  for (const std::string& n : patterns::pattern_registry().names()) {
+    options.enable[n] = n == name;
+  }
+  return patterns::run_patterns(graph, options).count(name);
+}
+
+}  // namespace
 
 int fold_batch_norms(Graph& graph) {
-  int folded = 0;
-  // Snapshot candidate ids: we add initializer values while iterating.
-  std::vector<NodeId> bns;
-  for (const Node& n : graph.nodes()) {
-    if (!n.dead && n.kind == OpKind::kBatchNorm) bns.push_back(n.id);
-  }
-
-  for (NodeId bn_id : bns) {
-    const Node& bn = graph.node(bn_id);
-    if (bn.dead || bn.inputs.size() != 5) continue;
-
-    // BN statistics must be constants.
-    const Value& scale_v = graph.value(bn.inputs[1]);
-    const Value& bias_v = graph.value(bn.inputs[2]);
-    const Value& mean_v = graph.value(bn.inputs[3]);
-    const Value& var_v = graph.value(bn.inputs[4]);
-    if (!scale_v.is_constant() || !bias_v.is_constant() ||
-        !mean_v.is_constant() || !var_v.is_constant()) {
-      continue;
-    }
-
-    // Producer must be a Conv with constant weights whose *only* consumer is
-    // this BN (otherwise other consumers would see the folded activations).
-    const Value& x = graph.value(bn.inputs[0]);
-    if (x.producer == kNoNode || x.consumers.size() != 1) continue;
-    const NodeId conv_id = x.producer;  // x dangles once values are added
-    Node& conv = graph.node(conv_id);
-    if (conv.dead || conv.kind != OpKind::kConv2d) continue;
-    const Value& w_v = graph.value(conv.inputs[1]);
-    if (!w_v.is_constant()) continue;
-    const bool has_bias = conv.inputs.size() == 3;
-    if (has_bias && !graph.value(conv.inputs[2]).is_constant()) continue;
-
-    const Tensor& w = *w_v.const_data;
-    const std::int64_t K = w.shape().dim(0);
-    if (scale_v.const_data->numel() != K) continue;
-
-    const float eps =
-        static_cast<float>(bn.attrs.get_float("epsilon", 1e-5));
-    auto s = scale_v.const_data->data();
-    auto b = bias_v.const_data->data();
-    auto m = mean_v.const_data->data();
-    auto v = var_v.const_data->data();
-
-    // Scaled weights.
-    Tensor new_w(w.shape());
-    {
-      auto src = w.data();
-      auto dst = new_w.mutable_data();
-      const std::int64_t per_k = w.numel() / K;
-      for (std::int64_t k = 0; k < K; ++k) {
-        const float a = s[static_cast<std::size_t>(k)] /
-                        std::sqrt(v[static_cast<std::size_t>(k)] + eps);
-        for (std::int64_t i = 0; i < per_k; ++i) {
-          dst[static_cast<std::size_t>(k * per_k + i)] =
-              src[static_cast<std::size_t>(k * per_k + i)] * a;
-        }
-      }
-    }
-    // Folded bias.
-    Tensor new_b(Shape{K});
-    {
-      auto dst = new_b.mutable_data();
-      const float* old_bias =
-          has_bias ? graph.value(conv.inputs[2]).const_data->data().data()
-                   : nullptr;
-      for (std::int64_t k = 0; k < K; ++k) {
-        const float a = s[static_cast<std::size_t>(k)] /
-                        std::sqrt(v[static_cast<std::size_t>(k)] + eps);
-        const float base = old_bias ? old_bias[k] : 0.0f;
-        dst[static_cast<std::size_t>(k)] =
-            (base - m[static_cast<std::size_t>(k)]) * a +
-            b[static_cast<std::size_t>(k)];
-      }
-    }
-
-    // Install fresh initializers (the originals may be shared).
-    ValueId wn = graph.add_initializer(
-        str_cat(conv.name, "_bnfold_w", folded), std::move(new_w));
-    ValueId bw = graph.add_initializer(
-        str_cat(conv.name, "_bnfold_b", folded), std::move(new_b));
-    Node& conv_again = graph.node(conv_id);
-    conv_again.inputs[1] = wn;
-    graph.value(wn).consumers.push_back(conv_again.id);
-    if (has_bias) {
-      conv_again.inputs[2] = bw;
-    } else {
-      conv_again.inputs.push_back(bw);
-    }
-    graph.value(bw).consumers.push_back(conv_again.id);
-
-    // The conv output replaces the BN output everywhere, then BN dies.
-    graph.replace_value_uses(graph.node(bn_id).outputs[0],
-                             conv_again.outputs[0]);
-    graph.kill_node(bn_id);
-    ++folded;
-  }
-  if (folded > 0) graph.validate();
-  return folded;
+  return run_single_pattern(graph, "fold-batch-norms");
 }
 
 int fuse_activations(Graph& graph) {
-  int fused = 0;
-  std::vector<NodeId> acts;
-  for (const Node& n : graph.nodes()) {
-    if (!n.dead && (n.kind == OpKind::kRelu || n.kind == OpKind::kSigmoid)) {
-      acts.push_back(n.id);
-    }
-  }
-
-  for (NodeId act_id : acts) {
-    const Node& act = graph.node(act_id);
-    if (act.dead || act.inputs.size() != 1) continue;
-
-    // A graph output must keep its value (and name): fusing would rebind
-    // the model's interface to the producer's output.
-    const ValueId act_out = act.outputs[0];
-    if (std::find(graph.outputs().begin(), graph.outputs().end(), act_out) !=
-        graph.outputs().end()) {
-      continue;
-    }
-
-    // The producer must be a Conv2d/Gemm feeding *only* this activation —
-    // another consumer would need the pre-activation tensor the fused
-    // kernel no longer produces.
-    const Value& x = graph.value(act.inputs[0]);
-    if (x.producer == kNoNode || x.consumers.size() != 1) continue;
-    Node& prod = graph.node(x.producer);
-    if (prod.dead ||
-        (prod.kind != OpKind::kConv2d && prod.kind != OpKind::kGemm)) {
-      continue;
-    }
-    if (prod.attrs.has("act")) continue;  // one epilogue per node
-
-    prod.attrs.set("act", act.kind == OpKind::kRelu ? std::string("relu")
-                                                    : std::string("sigmoid"));
-    graph.replace_value_uses(act_out, prod.outputs[0]);
-    graph.kill_node(act_id);
-    ++fused;
-  }
-  if (fused > 0) graph.validate();
-  return fused;
+  return run_single_pattern(graph, "fuse-activations");
 }
 
 }  // namespace ramiel

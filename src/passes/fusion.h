@@ -1,35 +1,26 @@
-// Conv+BatchNorm folding — the "more powerful optimizations for graph
-// reductions" the paper's conclusion leaves as future work (and the operator
-// fusion its introduction cites as the standard complementary technique).
-//
-// For an inference-mode BatchNormalization directly consuming a Conv whose
-// weights and BN statistics are all compile-time constants, the affine
-// transform folds into the convolution:
-//
-//     w' = w * scale / sqrt(var + eps)          (per output channel)
-//     b' = (b - mean) * scale / sqrt(var + eps) + bias
-//
-// The BN node disappears, shrinking the graph (fewer per-task dispatches and
-// potentially fewer cross-cluster messages) without changing outputs.
+// Legacy entry points for the two original hard-coded fusion rewrites,
+// now thin wrappers over the declarative pattern framework
+// (src/passes/patterns/): each runs exactly one registered pattern through
+// the fixed-point driver, which centrally enforces the graph-output,
+// single-consumer and consumer-list-hygiene guards the hand-rolled passes
+// used to (incompletely) re-implement.
 #pragma once
 
 #include "graph/graph.h"
 
 namespace ramiel {
 
-/// Folds every eligible Conv->BatchNorm pair in place. Returns the number
-/// of BatchNorm nodes eliminated.
+/// Runs the "fold-batch-norms" pattern: folds every eligible
+/// Conv->BatchNorm pair in place (BN statistics and conv weights constant,
+/// conv feeding only the BN, BN output not a graph output). Returns the
+/// number of BatchNorm nodes eliminated.
 int fold_batch_norms(Graph& graph);
 
-/// Folds a Relu/Sigmoid whose sole producer is a Conv2d or Gemm (and which
-/// is that producer's only consumer) into the producer's kernel epilogue:
-/// the producer gets attrs["act"] = "relu"|"sigmoid" — which the kernel
-/// backend applies during the GEMM/conv write-back, so the pre-activation
-/// tensor never materializes — and the activation node dies. Returns the
-/// number of activations fused. Activations whose output is a graph output
-/// are left alone (the output value's name is the model's interface). Runs
-/// after fold_batch_norms so a Conv->BN->Relu chain collapses into one
-/// fused conv.
+/// Runs the "fuse-activations" pattern: folds a Relu/Sigmoid whose sole
+/// producer is a Conv2d or Gemm (and which is that producer's only
+/// consumer) into the producer's kernel epilogue (attrs["act"]).
+/// Activations whose output is a graph output are left alone. Returns the
+/// number of activations fused.
 int fuse_activations(Graph& graph);
 
 }  // namespace ramiel

@@ -1,0 +1,74 @@
+// Constexpr propagation of shape/data-movement ops through constant
+// initializers: a Transpose/Reshape/Flatten/Squeeze/Unsqueeze whose inputs
+// are all constants evaluates at compile time. The node dies and its
+// output value carries the folded tensor (keeping its id and name, so the
+// graph interface is untouched even when the result is a model output).
+// Unlike the full --fold constant propagation this runs inside the pattern
+// fixed point, so it feeds the other rules: a transposed weight becomes a
+// plain constant the scale/bias rules can then fold into.
+#include "graph/op_eval.h"
+#include "passes/patterns/rules.h"
+
+namespace ramiel::patterns {
+namespace {
+
+class ConstexprShapeOps final : public Pattern {
+ public:
+  std::string_view name() const override { return "constexpr-shape-ops"; }
+  std::string_view description() const override {
+    return "evaluate Transpose/Reshape-family ops on constants at compile "
+           "time";
+  }
+
+  bool match(const Graph& g, NodeId root) const override {
+    const Node& n = g.node(root);
+    switch (n.kind) {
+      case OpKind::kTranspose:
+        if (!n.attrs.has("perm")) return false;
+        break;
+      case OpKind::kReshape:
+        if (!n.attrs.has("shape") && n.inputs.size() != 2) return false;
+        break;
+      case OpKind::kSqueeze:
+      case OpKind::kUnsqueeze:
+        if (!n.attrs.has("axes")) return false;
+        break;
+      case OpKind::kFlatten:
+        break;
+      default:
+        return false;
+    }
+    if (n.inputs.empty() || n.outputs.size() != 1) return false;
+    for (ValueId in : n.inputs) {
+      if (!g.value(in).is_constant()) return false;
+    }
+    return true;
+  }
+
+  // The output value survives (it becomes the folded constant), so nothing
+  // is removed from the graph interface.
+  std::vector<ValueId> replaced_values(const Graph&, NodeId) const override {
+    return {};
+  }
+
+  bool apply(Graph& g, NodeId root) override {
+    const Node& n = g.node(root);
+    std::vector<Tensor> inputs;
+    inputs.reserve(n.inputs.size());
+    for (ValueId in : n.inputs) inputs.push_back(*g.value(in).const_data);
+    std::vector<Tensor> outputs = eval_node(n, inputs);
+    Value& out = g.value(n.outputs[0]);
+    out.shape = outputs[0].shape();
+    out.const_data = std::move(outputs[0]);
+    g.kill_node(root);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pattern> make_constexpr_shape_ops() {
+  return std::make_unique<ConstexprShapeOps>();
+}
+
+}  // namespace ramiel::patterns

@@ -1,0 +1,36 @@
+// Identity elimination: an Identity node forwards its input unchanged, so
+// every consumer can read the input directly and the node dies. Identities
+// whose output is a graph output are left alone by the driver (the output
+// value's name is the model's interface).
+#include "passes/patterns/rules.h"
+
+namespace ramiel::patterns {
+namespace {
+
+class DropIdentity final : public Pattern {
+ public:
+  std::string_view name() const override { return "drop-identity"; }
+  std::string_view description() const override {
+    return "remove Identity nodes, rerouting consumers to the input";
+  }
+
+  bool match(const Graph& g, NodeId root) const override {
+    const Node& n = g.node(root);
+    return n.kind == OpKind::kIdentity && n.inputs.size() == 1;
+  }
+
+  bool apply(Graph& g, NodeId root) override {
+    const Node& n = g.node(root);
+    g.replace_value_uses(n.outputs[0], n.inputs[0]);
+    g.kill_node(root);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pattern> make_drop_identity() {
+  return std::make_unique<DropIdentity>();
+}
+
+}  // namespace ramiel::patterns

@@ -1,0 +1,137 @@
+// Conv+BatchNorm weight folding (ported from the hard-coded
+// fold_batch_norms pass — with the guards the old pass was missing). For an
+// inference-mode BatchNormalization directly consuming a Conv whose weights
+// and BN statistics are all compile-time constants, the affine transform
+// folds into the convolution:
+//
+//     w' = w * scale / sqrt(var + eps)          (per output channel)
+//     b' = (b - mean) * scale / sqrt(var + eps) + bias
+//
+// The BN node dies. The driver refuses the match when the BN output is a
+// graph output (folding would rebind the model's interface to the conv's
+// output value) and requires the conv output to have the BN as its sole
+// consumer; input rewiring goes through Graph::replace_node_input so the
+// conv does not linger in the superseded initializers' consumer lists.
+#include <cmath>
+
+#include "passes/patterns/rules.h"
+#include "support/string_util.h"
+
+namespace ramiel::patterns {
+namespace {
+
+class FoldBatchNorms final : public Pattern {
+ public:
+  std::string_view name() const override { return "fold-batch-norms"; }
+  std::string_view description() const override {
+    return "fold BatchNorm statistics into the preceding Conv2d's weights";
+  }
+
+  bool match(const Graph& g, NodeId root) const override {
+    const Node& bn = g.node(root);
+    if (bn.kind != OpKind::kBatchNorm || bn.inputs.size() != 5) return false;
+
+    // BN statistics must be constants.
+    for (int i = 1; i <= 4; ++i) {
+      if (!g.value(bn.inputs[static_cast<std::size_t>(i)]).is_constant()) {
+        return false;
+      }
+    }
+
+    const Value& x = g.value(bn.inputs[0]);
+    if (x.producer == kNoNode) return false;
+    const Node& conv = g.node(x.producer);
+    if (conv.kind != OpKind::kConv2d) return false;
+    const Value& w_v = g.value(conv.inputs[1]);
+    if (!w_v.is_constant()) return false;
+    const bool has_bias = conv.inputs.size() == 3;
+    if (has_bias && !g.value(conv.inputs[2]).is_constant()) return false;
+
+    const std::int64_t K = w_v.const_data->shape().dim(0);
+    return g.value(bn.inputs[1]).const_data->numel() == K;
+  }
+
+  std::vector<ValueId> exclusive_values(const Graph& g,
+                                        NodeId root) const override {
+    // Other consumers of the conv output would see folded activations.
+    return {g.node(root).inputs[0]};
+  }
+
+  bool apply(Graph& g, NodeId root) override {
+    const Node& bn = g.node(root);
+    const NodeId conv_id = g.value(bn.inputs[0]).producer;
+    const Value& scale_v = g.value(bn.inputs[1]);
+    const Value& bias_v = g.value(bn.inputs[2]);
+    const Value& mean_v = g.value(bn.inputs[3]);
+    const Value& var_v = g.value(bn.inputs[4]);
+    const float eps = static_cast<float>(bn.attrs.get_float("epsilon", 1e-5));
+    auto s = scale_v.const_data->data();
+    auto b = bias_v.const_data->data();
+    auto m = mean_v.const_data->data();
+    auto v = var_v.const_data->data();
+
+    const Node& conv = g.node(conv_id);
+    const Tensor& w = *g.value(conv.inputs[1]).const_data;
+    const bool has_bias = conv.inputs.size() == 3;
+    const std::int64_t K = w.shape().dim(0);
+
+    // Scaled weights.
+    Tensor new_w(w.shape());
+    {
+      auto src = w.data();
+      auto dst = new_w.mutable_data();
+      const std::int64_t per_k = w.numel() / K;
+      for (std::int64_t k = 0; k < K; ++k) {
+        const float a = s[static_cast<std::size_t>(k)] /
+                        std::sqrt(v[static_cast<std::size_t>(k)] + eps);
+        for (std::int64_t i = 0; i < per_k; ++i) {
+          dst[static_cast<std::size_t>(k * per_k + i)] =
+              src[static_cast<std::size_t>(k * per_k + i)] * a;
+        }
+      }
+    }
+    // Folded bias.
+    Tensor new_b(Shape{K});
+    {
+      auto dst = new_b.mutable_data();
+      const float* old_bias =
+          has_bias ? g.value(conv.inputs[2]).const_data->data().data()
+                   : nullptr;
+      for (std::int64_t k = 0; k < K; ++k) {
+        const float a = s[static_cast<std::size_t>(k)] /
+                        std::sqrt(v[static_cast<std::size_t>(k)] + eps);
+        const float base = old_bias ? old_bias[k] : 0.0f;
+        dst[static_cast<std::size_t>(k)] =
+            (base - m[static_cast<std::size_t>(k)]) * a +
+            b[static_cast<std::size_t>(k)];
+      }
+    }
+
+    // Install fresh initializers (the originals may be shared with other
+    // convs) and rewire through the hygiene-preserving helpers.
+    const ValueId wn = g.add_initializer(
+        str_cat(conv.name, "_bnfold_w", root), std::move(new_w));
+    const ValueId bw = g.add_initializer(
+        str_cat(conv.name, "_bnfold_b", root), std::move(new_b));
+    g.replace_node_input(conv_id, 1, wn);
+    if (has_bias) {
+      g.replace_node_input(conv_id, 2, bw);
+    } else {
+      g.append_node_input(conv_id, bw);
+    }
+
+    // The conv output replaces the BN output everywhere, then BN dies.
+    g.replace_value_uses(g.node(root).outputs[0],
+                         g.node(conv_id).outputs[0]);
+    g.kill_node(root);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pattern> make_fold_batch_norms() {
+  return std::make_unique<FoldBatchNorms>();
+}
+
+}  // namespace ramiel::patterns

@@ -1,0 +1,14 @@
+#include "passes/patterns/pattern.h"
+
+namespace ramiel::patterns {
+
+std::vector<ValueId> Pattern::replaced_values(const Graph& g,
+                                              NodeId root) const {
+  return g.node(root).outputs;
+}
+
+std::vector<ValueId> Pattern::exclusive_values(const Graph&, NodeId) const {
+  return {};
+}
+
+}  // namespace ramiel::patterns

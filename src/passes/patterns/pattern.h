@@ -1,0 +1,65 @@
+// Declarative pattern-rewrite framework (popart-style patterns registry).
+//
+// A Pattern is one small, independently-toggleable graph rewrite: match()
+// recognizes an eligible root node, apply() performs the rewrite at that
+// root. Patterns do NOT implement the shared safety guards themselves — the
+// fixed-point driver (driver.h) enforces them centrally so an individual
+// rule cannot forget one:
+//
+//   * graph-output preservation — a rewrite may not rebind the model's
+//     interface: any value listed in replaced_values() that is a graph
+//     output vetoes the match (the driver also verifies after apply() that
+//     the output id/name list is untouched);
+//   * single-consumer requirements — values listed in exclusive_values()
+//     must have exactly one consumer or the match is vetoed;
+//   * consumer-list hygiene — after every apply() the driver re-validates
+//     the graph, which rejects stale consumer entries (Graph::validate()).
+//
+// Rules therefore only describe the rewrite; the driver owns the contract.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ramiel::patterns {
+
+class Pattern {
+ public:
+  virtual ~Pattern() = default;
+
+  /// Stable kebab-case identifier ("fold-batch-norms"). Used for enable
+  /// flags (--no-pattern=NAME) and compile-report counts.
+  virtual std::string_view name() const = 0;
+
+  /// One-line human description for docs / --help output.
+  virtual std::string_view description() const = 0;
+
+  /// Whether the pattern runs when the stage is enabled and no per-pattern
+  /// override says otherwise.
+  virtual bool enabled_by_default() const { return true; }
+
+  /// True when the rewrite is applicable rooted at `root` (a live node).
+  /// Must be side-effect free and must NOT re-check the shared guards
+  /// above — the driver does.
+  virtual bool match(const Graph& g, NodeId root) const = 0;
+
+  /// Values the rewrite at `root` rebinds or removes from the dataflow
+  /// (their consumers get rerouted / the value loses its producer). The
+  /// driver vetoes the match when any of them is a graph output. Default:
+  /// all outputs of `root`.
+  virtual std::vector<ValueId> replaced_values(const Graph& g,
+                                               NodeId root) const;
+
+  /// Values the rewrite requires to be consumed by exactly one node
+  /// (typically the producer output being folded into). Default: none.
+  virtual std::vector<ValueId> exclusive_values(const Graph& g,
+                                                NodeId root) const;
+
+  /// Performs the rewrite at `root`. Only called after match() and the
+  /// driver guards passed. Returns true when the graph changed.
+  virtual bool apply(Graph& g, NodeId root) = 0;
+};
+
+}  // namespace ramiel::patterns

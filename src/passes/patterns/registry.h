@@ -1,0 +1,39 @@
+// Process-wide registry of rewrite rules. Iteration order is registration
+// order, which is deterministic (builtins register in the order rules.h
+// lists them) — the driver applies patterns in this order within a round,
+// and the compile report emits counts in this order.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "passes/patterns/pattern.h"
+
+namespace ramiel::patterns {
+
+class PatternRegistry {
+ public:
+  /// Registers a pattern. Names must be unique; throws Error otherwise.
+  void add(std::unique_ptr<Pattern> pattern);
+
+  /// Looks up a pattern by name; nullptr when absent.
+  Pattern* find(std::string_view name) const;
+
+  const std::vector<std::unique_ptr<Pattern>>& patterns() const {
+    return patterns_;
+  }
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<std::unique_ptr<Pattern>> patterns_;
+};
+
+/// The process-wide registry, pre-populated with the builtin rules
+/// (rules.h) on first use.
+PatternRegistry& pattern_registry();
+
+}  // namespace ramiel::patterns

@@ -5,6 +5,7 @@
 
 #include "graph/shape_inference.h"
 #include "mem/planner.h"
+#include "passes/patterns/registry.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -107,14 +108,30 @@ CompiledModel compile_model(Graph graph, const PipelineOptions& options) {
     graph = graph.compacted();
     t.done();
   }
-  if (options.fuse_batch_norms) {
-    PassTimer t("fusion", graph, cost, out.pass_reports);
-    out.batch_norms_folded = fold_batch_norms(graph);
-    t.done();
-  }
-  if (options.fuse_activations) {
-    PassTimer t("activation_fusion", graph, cost, out.pass_reports);
-    out.activations_fused = fuse_activations(graph);
+  // Pattern-rewrite stage. The legacy fuse_batch_norms / fuse_activations
+  // switches select just their pattern; pattern_rewrites enables the whole
+  // registry (default-enabled rules minus overrides), with the legacy
+  // switches force-enabling their rules on top.
+  const bool run_pattern_stage = options.pattern_rewrites ||
+                                 options.fuse_batch_norms ||
+                                 options.fuse_activations;
+  if (run_pattern_stage) {
+    patterns::PatternRunOptions popt;
+    popt.max_rounds = options.pattern_max_rounds;
+    if (!options.pattern_rewrites) {
+      for (const std::string& n : patterns::pattern_registry().names()) {
+        popt.enable[n] = false;
+      }
+    }
+    for (const auto& [name, on] : options.pattern_overrides) {
+      popt.enable[name] = on;
+    }
+    if (options.fuse_batch_norms) popt.enable["fold-batch-norms"] = true;
+    if (options.fuse_activations) popt.enable["fuse-activations"] = true;
+    PassTimer t("pattern_rewrite", graph, cost, out.pass_reports);
+    out.pattern_stats = patterns::run_patterns(graph, popt);
+    out.batch_norms_folded = out.pattern_stats.count("fold-batch-norms");
+    out.activations_fused = out.pattern_stats.count("fuse-activations");
     t.done();
   }
   if (options.cloning) {
@@ -201,6 +218,20 @@ std::string compile_report_json(const CompiledModel& cm) {
          std::to_string(cm.clone_stats.clones_created);
   out += ",\"batch_norms_folded\":" + std::to_string(cm.batch_norms_folded);
   out += ",\"activations_fused\":" + std::to_string(cm.activations_fused);
+  // Per-pattern applied counts from the pattern-rewrite stage (registry
+  // order; only patterns that were enabled appear). Empty "counts" when the
+  // stage did not run.
+  out += ",\"patterns\":{";
+  out += "\"rounds\":" + std::to_string(cm.pattern_stats.rounds);
+  out += ",\"total_applied\":" +
+         std::to_string(cm.pattern_stats.total_applied);
+  out += ",\"counts\":{";
+  for (std::size_t i = 0; i < cm.pattern_stats.applied.size(); ++i) {
+    if (i > 0) out += ",";
+    out += json_quote(cm.pattern_stats.applied[i].first) + ":" +
+           std::to_string(cm.pattern_stats.applied[i].second);
+  }
+  out += "}}";
   out += ",\"memory\":{";
   out += "\"planned\":" + std::string(cm.mem_plan.empty() ? "false" : "true");
   out += ",\"peak_bytes\":" + std::to_string(cm.mem_plan.peak_bytes);

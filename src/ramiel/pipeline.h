@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "codegen/python_codegen.h"
@@ -22,6 +23,7 @@
 #include "passes/fusion.h"
 #include "passes/hypercluster.h"
 #include "passes/linear_clustering.h"
+#include "passes/patterns/driver.h"
 
 namespace ramiel::obs {
 class Timeline;
@@ -38,11 +40,22 @@ struct PipelineOptions {
   /// Run restricted task cloning before clustering (§III-D).
   bool cloning = false;
   /// Fold Conv+BatchNorm pairs (extension: the conclusion's "more powerful
-  /// graph reductions").
+  /// graph reductions"). Legacy switch: equivalent to enabling only the
+  /// "fold-batch-norms" pattern (or force-enabling it when pattern_rewrites
+  /// is set).
   bool fuse_batch_norms = false;
   /// Fold Relu/Sigmoid into the preceding Conv2d/Gemm kernel epilogue so the
   /// activation runs during the GEMM write-back instead of as its own task.
+  /// Legacy switch for the "fuse-activations" pattern, like fuse_batch_norms.
   bool fuse_activations = false;
+  /// Run the declarative pattern-rewrite stage (src/passes/patterns/): every
+  /// registered rule, applied to a fixed point with driver-enforced guards.
+  bool pattern_rewrites = false;
+  /// Per-pattern enable overrides by name (true = force on, false = off);
+  /// consulted only when the stage runs. Unknown names raise Error.
+  std::unordered_map<std::string, bool> pattern_overrides;
+  /// Fixed-point bound for the pattern driver.
+  int pattern_max_rounds = 8;
   CloningOptions cloning_options;
   /// Inference batch size; > 1 triggers hyperclustering (§III-E).
   int batch = 1;
@@ -90,6 +103,10 @@ struct CompiledModel {
   CloningStats clone_stats;
   int batch_norms_folded = 0;
   int activations_fused = 0;
+  /// Per-pattern applied counts + rounds from the pattern-rewrite stage
+  /// (empty when the stage did not run). Also surfaced in the compile
+  /// report's "patterns" block.
+  patterns::PatternRunStats pattern_stats;
   /// Coefficient of variation (stddev/mean) of per-cluster summed node
   /// weight — the skew measure `--executor auto` compares against
   /// RAMIEL_AUTO_STEAL_CV to decide between the static and work-stealing

@@ -302,7 +302,7 @@ TEST(Profile, ChromeTraceEscapesHostileNodeNames) {
 PipelineOptions all_passes_options() {
   PipelineOptions opts;
   opts.constant_folding = true;
-  opts.fuse_batch_norms = true;
+  opts.pattern_rewrites = true;
   opts.cloning = true;
   opts.batch = 2;
   return opts;
@@ -314,7 +314,7 @@ TEST(CompileReport, RecordsEveryPipelineStageInOrder) {
   std::vector<std::string> names;
   for (const PassReport& p : cm.pass_reports) names.push_back(p.pass);
   EXPECT_EQ(names, (std::vector<std::string>{
-                       "constant_folding", "fusion", "cloning",
+                       "constant_folding", "pattern_rewrite", "cloning",
                        "shape_inference", "linear_clustering",
                        "cluster_merging", "hyperclustering", "mem_planning",
                        "codegen"}));

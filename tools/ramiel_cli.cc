@@ -60,11 +60,16 @@ int usage() {
                "  ramiel export <model> <out.rml|out.rmb>\n"
                "  ramiel analyze <model|file.rml>\n"
                "  ramiel compile <model|file.rml> [-o DIR] [--fold] [--clone]"
-               " [--fuse-bn] [--batch N] [--switched] [--report FILE]\n"
-               "  ramiel run <model|file.rml> [--fold] [--clone] [--batch N]"
+               " [--fuse-bn] [--fuse-act] [--patterns] [--no-pattern NAME]"
+               " [--batch N] [--switched] [--report FILE]\n"
+               "  ramiel run <model|file.rml> [--fold] [--clone] [--fuse-bn]"
+               " [--fuse-act] [--patterns] [--no-pattern NAME] [--batch N]"
                " [--threads N] [--executor static|steal]"
                " [--mem-plan off|arena] [--trace-out FILE]"
-               " [--profile FILE]\n");
+               " [--profile FILE]\n"
+               "  --patterns runs every registered rewrite rule"
+               " (src/passes/patterns/) to a fixed point; --no-pattern=NAME"
+               " disables one rule (repeatable).\n");
   return 2;
 }
 
@@ -122,6 +127,15 @@ bool parse_flags(int argc, char** argv, int start, Cli* cli) {
       cli->options.cloning = true;
     } else if (arg == "--fuse-bn") {
       cli->options.fuse_batch_norms = true;
+    } else if (arg == "--fuse-act") {
+      cli->options.fuse_activations = true;
+    } else if (arg == "--patterns") {
+      cli->options.pattern_rewrites = true;
+    } else if (arg == "--no-pattern" && i + 1 < argc) {
+      cli->options.pattern_overrides[argv[++i]] = false;
+    } else if (arg.rfind("--no-pattern=", 0) == 0) {
+      cli->options.pattern_overrides[arg.substr(
+          std::strlen("--no-pattern="))] = false;
     } else if (arg == "--switched") {
       cli->options.hyper_mode = HyperMode::kSwitched;
     } else if (arg == "--batch" && i + 1 < argc) {
@@ -215,6 +229,14 @@ int cmd_compile(const Cli& cli) {
       "%s: %d clusters, %d queue messages, batch %d, compile %.1f ms\n",
       cm.graph.name().c_str(), cm.clustering.size(), cm.code.num_messages,
       cm.hyperclusters.batch, cm.compile_seconds * 1e3);
+  if (cm.pattern_stats.rounds > 0) {
+    std::string counts;
+    for (const auto& [name, applied] : cm.pattern_stats.applied) {
+      counts += str_cat(counts.empty() ? "" : " ", name, "=", applied);
+    }
+    std::printf("patterns: %s (%d rounds, %d rewrites)\n", counts.c_str(),
+                cm.pattern_stats.rounds, cm.pattern_stats.total_applied);
+  }
   return 0;
 }
 
