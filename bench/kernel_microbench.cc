@@ -13,7 +13,9 @@
 // plus all standard --benchmark_* flags.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -137,6 +139,148 @@ void BM_ConvFusedBiasRelu(benchmark::State& state, kernels::Path path,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Dtype axis: the same GEMM / conv-zoo shapes with low-precision storage.
+// Compute stays fp32-accumulate; f16/bf16 convert on pack, i8 runs the
+// quantized GEMM (per-output-channel weight scales, dynamic activation
+// range). Each non-f32 row carries a `speedup_vs_f32` counter measured
+// against the fp32 vector path in the same process — that ratio is what the
+// bench-diff CI gate ratchets (absolute throughput on a shared CI box is
+// noise; the ratio is not). `gflops` / `eff_bandwidth` are deliberately
+// lowercase/custom so the differ records but does not gate them.
+// ---------------------------------------------------------------------------
+
+/// Seconds per call of `fn`, measured with a warmup call and a ~200 ms
+/// sampling window. Used for the in-process f32 baseline of the speedup
+/// counters.
+double seconds_per_call(const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm caches and the packing scratch
+  int iters = 0;
+  const auto t0 = clock::now();
+  clock::duration elapsed{};
+  do {
+    fn();
+    ++iters;
+    elapsed = clock::now() - t0;
+  } while (elapsed < std::chrono::milliseconds(200) && iters < 64);
+  return std::chrono::duration<double>(elapsed).count() / iters;
+}
+
+/// Low-precision operand storage for one dtype variant: f16/bf16 convert
+/// both operands (and the output) to half storage; i8 quantizes the weight
+/// per output channel and keeps activations f32 (quantized dynamically
+/// inside the kernel).
+Tensor storage_for(const Tensor& t, DType dt, int quant_axis) {
+  if (dt == DType::kF32) return t;
+  if (dt == DType::kI8) return t.quantize_per_channel(quant_axis);
+  return t.cast(dt);
+}
+
+void BM_SGEMMDtype(benchmark::State& state, DType dt, const ShapeArgs& shape) {
+  ScopedPath sp(kernels::Path::kVector);
+  const std::int64_t M = shape[0];
+  const std::int64_t N = shape[1];
+  const std::int64_t K = shape[2];
+  Rng rng(7);
+  Tensor a = Tensor::random(Shape{M, K}, rng);
+  Tensor b = Tensor::random(Shape{K, N}, rng);
+
+  const Tensor a2 = dt == DType::kI8 ? a : storage_for(a, dt, /*axis=*/0);
+  const Tensor b2 = storage_for(b, dt, /*axis=*/1);
+  const DType out_dt = dt == DType::kI8 ? DType::kF32 : dt;
+  const auto run = [&] {
+    benchmark::DoNotOptimize(matmul(a2, b2, OpContext::serial(), out_dt));
+  };
+
+  double f32_sec = 0.0;
+  if (dt != DType::kF32) {
+    f32_sec = seconds_per_call([&] { benchmark::DoNotOptimize(matmul(a, b)); });
+  }
+
+  for (auto _ : state) run();
+
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["gflops"] = benchmark::Counter(
+      static_cast<double>(2 * M * N * K) * iters * 1e-9,
+      benchmark::Counter::kIsRate);
+  const Tensor out = matmul(a2, b2, OpContext::serial(), out_dt);
+  state.counters["eff_bandwidth"] = benchmark::Counter(
+      static_cast<double>(a2.byte_size() + b2.byte_size() + out.byte_size()) *
+          iters,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1024);
+  if (dt != DType::kF32) {
+    // Rate counter trick: value / elapsed = f32_sec_per_iter / sec_per_iter.
+    state.counters["speedup_vs_f32"] =
+        benchmark::Counter(f32_sec * iters, benchmark::Counter::kIsRate);
+  }
+}
+
+void BM_ConvZooDtype(benchmark::State& state, DType dt,
+                     const ShapeArgs& shape) {
+  ScopedPath sp(kernels::Path::kVector);
+  const std::int64_t C = shape[0];
+  const std::int64_t K = shape[1];
+  const std::int64_t H = shape[2];
+  const int stride = static_cast<int>(shape[3]);
+  Rng rng(9);
+  Tensor x = Tensor::random(Shape{1, C, H, H}, rng);
+  Tensor w = Tensor::random(Shape{K, C, 3, 3}, rng);
+  Conv2dParams p;
+  p.pad_h = p.pad_w = 1;
+  p.stride_h = p.stride_w = stride;
+  const std::int64_t OH = (H + 2 - 3) / stride + 1;
+
+  const Tensor x2 = dt == DType::kI8 ? x : storage_for(x, dt, 0);
+  const Tensor w2 = storage_for(w, dt, /*axis=*/0);
+  Conv2dParams p2 = p;
+  if (dt == DType::kF16 || dt == DType::kBF16) p2.out_dtype = dt;
+  const auto run = [&] {
+    benchmark::DoNotOptimize(conv2d(x2, w2, std::nullopt, p2));
+  };
+
+  double f32_sec = 0.0;
+  if (dt != DType::kF32) {
+    f32_sec = seconds_per_call(
+        [&] { benchmark::DoNotOptimize(conv2d(x, w, std::nullopt, p)); });
+  }
+
+  for (auto _ : state) run();
+
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["gflops"] = benchmark::Counter(
+      static_cast<double>(2 * K * C * 9 * OH * OH) * iters * 1e-9,
+      benchmark::Counter::kIsRate);
+  const Tensor out = conv2d(x2, w2, std::nullopt, p2);
+  state.counters["eff_bandwidth"] = benchmark::Counter(
+      static_cast<double>(x2.byte_size() + w2.byte_size() + out.byte_size()) *
+          iters,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1024);
+  if (dt != DType::kF32) {
+    state.counters["speedup_vs_f32"] =
+        benchmark::Counter(f32_sec * iters, benchmark::Counter::kIsRate);
+  }
+}
+
+using DtypeBenchFn = void (*)(benchmark::State&, DType, const ShapeArgs&);
+
+/// Registers `fn` under `<name>/<shape...>/<dtype>` for every storage dtype.
+void register_dtypes(const char* name, DtypeBenchFn fn,
+                     const std::vector<ShapeArgs>& shape_args) {
+  constexpr DType kDtypes[] = {DType::kF32, DType::kF16, DType::kBF16,
+                               DType::kI8};
+  for (const DType dt : kDtypes) {
+    for (const ShapeArgs& shape : shape_args) {
+      std::string full = name;
+      for (std::int64_t d : shape) full += "/" + std::to_string(d);
+      full += std::string("/") + dtype_name(dt);
+      benchmark::RegisterBenchmark(
+          full.c_str(),
+          [fn, dt, shape](benchmark::State& state) { fn(state, dt, shape); });
+    }
+  }
+}
+
 void register_kernel_benchmarks() {
   register_paths("BM_SGEMM", BM_SGEMM,
                  {{256, 256, 256},     // blocked-vs-scalar acceptance shape
@@ -151,6 +295,16 @@ void register_kernel_benchmarks() {
                   {64, 128, 56, 2},    // ResNet downsample
                   {48, 192, 27, 1}});  // SqueezeNet expand3x3
   register_paths("BM_ConvFusedBiasRelu", BM_ConvFusedBiasRelu);
+  register_dtypes("BM_SGEMMDtype", BM_SGEMMDtype,
+                  {{256, 256, 256},     // i8-vs-f32 acceptance shape (>= 2x)
+                   {128, 768, 768},     // BERT-base QKV/output projection
+                   {128, 3072, 768},    // BERT-base FFN expand
+                   {128, 768, 3072}});  // BERT-base FFN contract
+  register_dtypes("BM_ConvZooDtype", BM_ConvZooDtype,
+                  {{64, 64, 56, 1},     // ResNet conv2_x
+                   {128, 128, 28, 1},   // ResNet conv3_x
+                   {256, 256, 14, 1},   // ResNet conv4_x
+                   {48, 192, 27, 1}});  // SqueezeNet expand3x3
 }
 
 // ---------------------------------------------------------------------------

@@ -1,17 +1,27 @@
 // Scenario: batch-1 CPU inference on a power-constrained device — the
-// paper's motivating use case (§I). Compares, per model, the simulated
-// latency of the sequential code against the LC-parallel code with each
-// optimization stage enabled, and reports the compile cost of each
-// configuration (cheap enough to run on-device, unlike search-based
-// compilers).
+// paper's motivating use case (§I). Two tables per model:
+//
+//   1. Simulated latency of the sequential code against the LC-parallel
+//      code with each optimization stage enabled, plus the compile cost of
+//      each configuration (cheap enough to run on-device, unlike
+//      search-based compilers).
+//   2. The low-precision storage menu (--dtype f16|bf16|i8): weight bytes,
+//      planned arena peak and measured output error against the f32
+//      reference — the footprint/accuracy trade an edge deployment picks
+//      from. Compute stays fp32 (i8 runs the quantized GEMM with fp32
+//      dequantization), so the error column is storage rounding only.
 //
 // Run:  ./build/examples/edge_inference [model]
+#include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "models/zoo.h"
 #include "ramiel/pipeline.h"
+#include "rt/executor.h"
+#include "rt/inputs.h"
 #include "sim/simulator.h"
+#include "support/dtype.h"
 
 namespace {
 
@@ -55,6 +65,47 @@ int main(int argc, char** argv) {
               .makespan_ms;
       std::printf("%-14s %10.1f %12.1f %9.2fx %12.1f\n", cfg.label, seq, par,
                   seq / par, cm.compile_seconds * 1e3);
+    }
+
+    // Storage-dtype menu: footprint and accuracy against the f32 run.
+    PipelineOptions f32_opts;
+    f32_opts.generate_code = false;
+    CompiledModel ref = compile_model(models::build(name), f32_opts);
+    Rng rng(1);
+    const auto inputs = make_example_inputs(ref.graph, 1, rng);
+    SequentialExecutor ref_exec(&ref.graph);
+    const auto want = ref_exec.run(inputs);
+
+    std::printf("%-6s %12s %12s %10s %12s\n", "dtype", "weights(KiB)",
+                "arena(KiB)", "demoted", "rel-L2 err");
+    for (const DType dt :
+         {DType::kF32, DType::kF16, DType::kBF16, DType::kI8}) {
+      PipelineOptions opts;
+      opts.generate_code = false;
+      opts.dtype = dt;
+      CompiledModel cm = compile_model(models::build(name), opts);
+      ParallelExecutor exec(&cm.graph, cm.hyperclusters, &cm.mem_plan);
+      const auto got = exec.run(inputs);
+      double num = 0.0, den = 0.0;
+      for (const auto& [key, value] : want[0]) {
+        const Tensor g = got[0].at(key).dtype() == DType::kF32
+                             ? got[0].at(key)
+                             : got[0].at(key).cast(DType::kF32);
+        for (std::int64_t i = 0; i < value.numel(); ++i) {
+          const double d = value.at(i) - g.at(i);
+          num += d * d;
+          den += static_cast<double>(value.at(i)) * value.at(i);
+        }
+      }
+      std::int64_t weight_bytes = 0;
+      for (const Value& v : cm.graph.values()) {
+        if (v.is_constant()) weight_bytes += v.const_data->byte_size();
+      }
+      std::printf("%-6s %12.1f %12.1f %10d %12.2e\n", dtype_name(dt),
+                  static_cast<double>(weight_bytes) / 1024.0,
+                  static_cast<double>(cm.mem_plan.peak_bytes) / 1024.0,
+                  cm.quant_stats.values_demoted,
+                  den > 0.0 ? std::sqrt(num / den) : 0.0);
     }
   }
   return 0;

@@ -23,6 +23,7 @@ ValueId Graph::add_value(const std::string& name, Shape shape) {
 
 ValueId Graph::add_initializer(const std::string& name, Tensor data) {
   ValueId id = add_value(name, data.shape());
+  values_[static_cast<std::size_t>(id)].dtype = data.dtype();
   values_[static_cast<std::size_t>(id)].const_data = std::move(data);
   return id;
 }
@@ -316,6 +317,7 @@ Graph Graph::compacted() const {
     if (!keep[static_cast<std::size_t>(v.id)]) continue;
     ValueId nv = out.add_value(v.name, v.shape);
     out.values()[static_cast<std::size_t>(nv)].const_data = v.const_data;
+    out.values()[static_cast<std::size_t>(nv)].dtype = v.dtype;
     value_map[static_cast<std::size_t>(v.id)] = nv;
   }
   for (const Node& n : nodes_) {

@@ -33,6 +33,9 @@ struct Value {
   NodeId producer = kNoNode;         // kNoNode for graph inputs/initializers
   std::vector<NodeId> consumers;     // nodes reading this value
   std::optional<Tensor> const_data;  // set for initializers / folded constants
+  /// Storage dtype of the value at runtime. kF32 unless the quantize pass
+  /// demotes the value (initializers carry their dtype in const_data too).
+  DType dtype = DType::kF32;
 
   bool is_constant() const { return const_data.has_value(); }
 };

@@ -39,10 +39,43 @@ std::vector<std::int64_t> ints_from_tensor(const Tensor& t) {
   return out;
 }
 
-}  // namespace
+/// Storage dtype the quantize pass assigned to this node's outputs ("sdtype"
+/// attribute; absent means f32).
+DType node_sdtype(const Node& n) {
+  if (!n.attrs.has("sdtype")) return DType::kF32;
+  const std::string& s = n.attrs.get_str("sdtype");
+  const std::optional<DType> d = parse_dtype(s);
+  RAMIEL_CHECK(d.has_value(), str_cat("node '", n.name,
+                                      "' has unknown sdtype '", s, "'"));
+  return *d;
+}
 
-std::vector<Tensor> eval_node(const Node& n, const std::vector<Tensor>& in,
-                              const OpContext& ctx) {
+/// Calibrated activation absmax recorded by the calibration tool
+/// ("aq_scale" attribute); negative means measure dynamically per call.
+float node_aq_scale(const Node& n) {
+  return n.attrs.has("aq_scale")
+             ? static_cast<float>(n.attrs.get_float("aq_scale"))
+             : -1.0f;
+}
+
+/// Ops that forward their input storage unchanged (dtype-polymorphic by
+/// construction — they only touch shape metadata).
+bool is_alias_kind(OpKind k) {
+  switch (k) {
+    case OpKind::kIdentity:
+    case OpKind::kReshape:
+    case OpKind::kFlatten:
+    case OpKind::kSqueeze:
+    case OpKind::kUnsqueeze:
+    case OpKind::kShape:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<Tensor> eval_node_base(const Node& n, const std::vector<Tensor>& in,
+                                   const OpContext& ctx) {
   switch (n.kind) {
     case OpKind::kConstant:
       RAMIEL_UNREACHABLE(
@@ -57,6 +90,8 @@ std::vector<Tensor> eval_node(const Node& n, const std::vector<Tensor>& in,
           static_cast<int>(n.attrs.get_int("dilation", 1));
       p.groups = static_cast<int>(n.attrs.get_int("groups", 1));
       p.act = fused_activation(n);
+      p.out_dtype = node_sdtype(n);
+      p.act_absmax = node_aq_scale(n);
       std::optional<Tensor> bias;
       if (in.size() == 3) bias = in[2];
       return {conv2d(in[0], in[1], bias, p, ctx)};
@@ -82,14 +117,14 @@ std::vector<Tensor> eval_node(const Node& n, const std::vector<Tensor>& in,
                              ctx)};
     case OpKind::kMatMul:
       expect_arity(n, in.size(), 2, 2);
-      return {matmul(in[0], in[1], ctx)};
+      return {matmul(in[0], in[1], ctx, node_sdtype(n), node_aq_scale(n))};
     case OpKind::kGemm: {
       expect_arity(n, in.size(), 2, 3);
       std::optional<Tensor> bias;
       if (in.size() == 3) bias = in[2];
       return {gemm(in[0], in[1], bias, n.attrs.get_int("trans_a", 0) != 0,
                    n.attrs.get_int("trans_b", 0) != 0, fused_activation(n),
-                   ctx)};
+                   ctx, node_sdtype(n), node_aq_scale(n))};
     }
     case OpKind::kRelu:
       expect_arity(n, in.size(), 1, 1);
@@ -227,6 +262,55 @@ std::vector<Tensor> eval_node(const Node& n, const std::vector<Tensor>& in,
       return {embedding(in[0], in[1])};
   }
   RAMIEL_UNREACHABLE("unhandled op kind in eval_node");
+}
+
+}  // namespace
+
+// Storage-dtype boundary around the op implementations. Three classes of
+// nodes:
+//   - Conv2d/Gemm/MatMul consume f16/bf16/i8 storage natively (convert-on-
+//     pack / quantized GEMM) and write their "sdtype" directly — pass
+//     through untouched;
+//   - alias ops only move shape metadata and forward any storage (the
+//     quantize pass keeps alias chains dtype-uniform);
+//   - everything else computes in fp32: low-precision inputs widen first
+//     (with the alloc sink bypassed so temporaries never claim a planned
+//     slot) and f32 outputs narrow to the node's sdtype afterwards — that
+//     cast runs *inside* the executor's sink scope, so it lands in the
+//     value's planned arena slot.
+std::vector<Tensor> eval_node(const Node& n, const std::vector<Tensor>& in,
+                              const OpContext& ctx) {
+  if (n.kind == OpKind::kConv2d || n.kind == OpKind::kGemm ||
+      n.kind == OpKind::kMatMul || is_alias_kind(n.kind)) {
+    return eval_node_base(n, in, ctx);
+  }
+  const DType sd = node_sdtype(n);
+  bool any_lowp = false;
+  for (const Tensor& t : in) any_lowp |= t.dtype() != DType::kF32;
+  if (!any_lowp && sd == DType::kF32) return eval_node_base(n, in, ctx);
+
+  std::vector<Tensor> widened;
+  if (any_lowp) {
+    widened.reserve(in.size());
+    AllocSink* prev = set_thread_alloc_sink(nullptr);
+    for (const Tensor& t : in) {
+      if (t.dtype() == DType::kF32) {
+        widened.push_back(t);
+      } else if (t.dtype() == DType::kI8) {
+        widened.push_back(t.dequantize());
+      } else {
+        widened.push_back(t.cast(DType::kF32));
+      }
+    }
+    set_thread_alloc_sink(prev);
+  }
+  std::vector<Tensor> out = eval_node_base(n, any_lowp ? widened : in, ctx);
+  if (sd != DType::kF32) {
+    for (Tensor& t : out) {
+      if (t.dtype() == DType::kF32) t = t.cast(sd);
+    }
+  }
+  return out;
 }
 
 }  // namespace ramiel

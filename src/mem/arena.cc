@@ -105,14 +105,16 @@ void SlotSink::release_scratch(float* ptr, std::size_t numel) {
   }
 }
 
-float* SlotSink::take(std::size_t numel) {
+float* SlotSink::take(std::size_t numel, DType dtype) {
   const int alloc_index = allocs_seen_++;
   for (Slot& s : slots_) {
-    if (s.used || s.numel != numel) continue;
+    // Matching requires the planned dtype too: an f32 temporary allocated
+    // mid-kernel must never land in a slot sized for a half-width output.
+    if (s.used || s.numel != numel || s.dtype != dtype) continue;
     if (s.in_place && alloc_index != 0) continue;
     s.used = true;
     ++taken_;
-    if (!s.in_place) std::memset(s.ptr, 0, numel * sizeof(float));
+    if (!s.in_place) std::memset(s.ptr, 0, numel * dtype_size(dtype));
     return s.ptr;
   }
   return nullptr;

@@ -59,7 +59,8 @@ class MemArena {
 };
 
 /// AllocSink primed with one node's planned output slots. Matching is by
-/// exact element count; each slot satisfies at most one allocation. Slots
+/// exact element count and dtype; each slot satisfies at most one
+/// allocation. Slots
 /// not marked in-place are zero-filled on take (the heap path hands out
 /// zero-initialized vectors, and matmul/conv accumulate into their output),
 /// while in-place slots still hold the dying input the kernel is about to
@@ -74,8 +75,8 @@ class SlotSink final : public AllocSink {
     scratch_off_ = 0;
   }
 
-  void add(float* ptr, std::size_t numel, bool in_place) {
-    slots_.push_back(Slot{ptr, numel, in_place, false});
+  void add(float* ptr, std::size_t numel, DType dtype, bool in_place) {
+    slots_.push_back(Slot{ptr, numel, dtype, in_place, false});
   }
 
   bool empty() const { return slots_.empty(); }
@@ -83,7 +84,7 @@ class SlotSink final : public AllocSink {
   /// Number of allocations served from the arena since the last clear().
   int taken() const { return taken_; }
 
-  float* take(std::size_t numel) override;
+  float* take(std::size_t numel, DType dtype) override;
 
   /// Binds the arena whose scratch block serves take_scratch(). Unbound
   /// (the default), every scratch request declines to the heap.
@@ -100,6 +101,7 @@ class SlotSink final : public AllocSink {
   struct Slot {
     float* ptr;
     std::size_t numel;
+    DType dtype;
     bool in_place;
     bool used;
   };

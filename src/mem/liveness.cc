@@ -123,7 +123,8 @@ StreamLiveness analyze_stream(const Graph& g, const Hyperclustering& hc,
       ValueInterval iv;
       iv.value = ov;
       iv.numel = val.shape.numel();
-      iv.bytes = iv.numel * static_cast<std::int64_t>(sizeof(float));
+      iv.dtype = val.dtype;
+      iv.bytes = iv.numel * static_cast<std::int64_t>(dtype_size(val.dtype));
       iv.def_step = step;
       iv.last_step = step;
       iv.heap = is_graph_output(g, ov) || iv.bytes <= 0;
@@ -137,15 +138,15 @@ StreamLiveness analyze_stream(const Graph& g, const Hyperclustering& hc,
   }
 
   // Multi-output guard: the runtime's slot sink matches allocations by
-  // element count, so two outputs of one node with equal numel could swap
-  // slots if a kernel allocated them out of order. Unify their lifetimes so
-  // a swap cannot shorten either slot's validity.
+  // element count and dtype, so two outputs of one node with equal numel
+  // and storage could swap slots if a kernel allocated them out of order.
+  // Unify their lifetimes so a swap cannot shorten either slot's validity.
   for (std::size_t i = 0; i < lv.intervals.size(); ++i) {
     for (std::size_t j = i + 1; j < lv.intervals.size(); ++j) {
       ValueInterval& a = lv.intervals[i];
       ValueInterval& b = lv.intervals[j];
       if (a.def_step != b.def_step) break;  // intervals are def-ordered
-      if (a.numel != b.numel) continue;
+      if (a.numel != b.numel || a.dtype != b.dtype) continue;
       const int last = std::max(a.last_step, b.last_step);
       a.last_step = last;
       b.last_step = last;

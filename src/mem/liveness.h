@@ -26,7 +26,8 @@ namespace ramiel::mem {
 struct ValueInterval {
   ValueId value = -1;       // class root: the value the kernel allocates
   std::int64_t numel = 0;   // element count of the allocation
-  std::int64_t bytes = 0;   // payload bytes (numel * sizeof(float))
+  std::int64_t bytes = 0;   // payload bytes (numel * dtype element size)
+  DType dtype = DType::kF32;  // storage dtype (set by the quantize pass)
   int def_step = 0;
   int last_step = 0;        // kStepForever when sent cross-worker
   bool heap = false;        // excluded from the arena (escapes the run)

@@ -52,6 +52,7 @@ struct ValueSlot {
   std::int64_t offset = 0;   // bytes from the stream region base (aligned)
   std::int64_t bytes = 0;    // aligned capacity of the slot
   std::int64_t numel = 0;    // exact element count (what the kernel asks for)
+  DType dtype = DType::kF32; // storage dtype (slot matching is numel+dtype)
   int def_step = 0;          // stream step producing the value
   int last_step = 0;         // last step reading it; kStepForever when sent
   bool in_place = false;     // inherited the slot of an input dying at def

@@ -103,6 +103,7 @@ StreamPlan plan_stream(const Graph& g, const Hyperclustering& hc, int worker,
     ValueSlot slot;
     slot.value = iv.value;
     slot.numel = iv.numel;
+    slot.dtype = iv.dtype;
     slot.bytes = aligned_size(iv.bytes);
     slot.def_step = iv.def_step;
     slot.last_step = iv.last_step;
@@ -121,7 +122,7 @@ StreamPlan plan_stream(const Graph& g, const Hyperclustering& hc, int worker,
         const ValueInterval& src =
             lv.intervals[static_cast<std::size_t>(lv.interval_of.at(root))];
         if (src.heap || src.last_step != iv.def_step ||
-            src.numel != iv.numel) {
+            src.numel != iv.numel || src.dtype != iv.dtype) {
           continue;
         }
         auto sit = sp.slot_of.find(root);

@@ -40,6 +40,11 @@ Direction kernel_metric_direction(std::string_view key) {
       key == "bytes_per_second") {
     return Direction::kHigher;
   }
+  // Low-precision dtype rows gate on their ratio to the f32 baseline
+  // measured in the same process (speedup_vs_f32); their absolute
+  // throughput counters ("gflops", "eff_bandwidth") are host-dependent and
+  // deliberately left uncompared.
+  if (key.substr(0, 7) == "speedup") return Direction::kHigher;
   return Direction::kSkip;  // name, iterations, time_unit, run_type, ...
 }
 

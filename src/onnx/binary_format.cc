@@ -44,8 +44,15 @@ void put_shape(std::ostream& os, const Shape& s) {
 }
 
 void put_tensor(std::ostream& os, const Tensor& t) {
-  put_shape(os, t.shape());
-  auto d = t.data();
+  // The v1 payload is f32-only; low-precision storage (a graph saved after
+  // the quantize pass) widens back to fp32 on export. Quantization is a
+  // compile-time decision (`--dtype`), not a serialized property — reload
+  // and re-quantize to get compact weights back.
+  const Tensor wide = t.dtype() == DType::kI8
+                          ? t.dequantize()
+                          : (t.dtype() == DType::kF32 ? t : t.cast(DType::kF32));
+  put_shape(os, wide.shape());
+  auto d = wide.data();
   os.write(reinterpret_cast<const char*>(d.data()),
            static_cast<std::streamsize>(d.size() * sizeof(float)));
 }

@@ -36,4 +36,10 @@ std::unique_ptr<Pattern> make_absorb_bias_add();
 /// (attrs["act"]); the activation node dies.
 std::unique_ptr<Pattern> make_fuse_activations();
 
+/// Conv/Gemm/MatMul weight initializers rewrite to a low-precision storage
+/// dtype (f16/bf16 cast or per-channel i8 quantization). Default-disabled;
+/// inert unless driven by the quantize_weights pass (passes/quantize.h),
+/// which installs the target dtype for the duration of its run.
+std::unique_ptr<Pattern> make_quantize_weights();
+
 }  // namespace ramiel::patterns

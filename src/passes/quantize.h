@@ -1,0 +1,48 @@
+// Low-precision lowering pass: rewrites Conv2d/Gemm/MatMul weight
+// initializers to a compact storage dtype and demotes eligible activation
+// values, driving the runtime's fp16/bf16 storage and int8 quantized GEMM
+// paths. Compute stays fp32 throughout — this pass only changes how tensors
+// are *stored* between ops (and, for i8 weights, attaches per-output-channel
+// scales consumed by the quantized kernels).
+//
+// Target semantics:
+//   f16/bf16  weights cast to the target; eligible activations demoted to
+//             the target (node attr "sdtype" + Value::dtype).
+//   i8        weights quantized per output channel (QuantMeta rides the
+//             initializer tensor); activations demoted to f16 — an i8
+//             activation chain would need per-tensor requantization at every
+//             edge and accumulates error past the documented tolerance.
+//
+// The weight rewrite itself is registered as a pattern ("quantize-weights",
+// default-disabled) so it is visible in the pattern registry and counted in
+// compile reports; this pass runs the driver with only that rule enabled,
+// then performs the whole-graph activation-demotion analysis the per-node
+// pattern contract cannot express.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "graph/graph.h"
+#include "support/dtype.h"
+
+namespace ramiel {
+
+struct QuantizeStats {
+  int weights_quantized = 0;  // initializers rewritten to the target dtype
+  int values_demoted = 0;     // activation values given low-precision storage
+  int nodes_calibrated = 0;   // consumers stamped with a calibrated absmax
+  std::int64_t weight_bytes_before = 0;  // bytes of the rewritten weights...
+  std::int64_t weight_bytes_after = 0;   // ...before and after conversion
+};
+
+/// Lowers `g` to the target storage dtype. No-op for kF32. `calibration`
+/// maps value names to recorded absmax ranges (tools/ramiel_calibrate);
+/// i8-weight consumers whose activation input has an entry get an
+/// "aq_scale" attribute so the kernel skips its per-call dynamic-range scan.
+QuantizeStats quantize_weights(
+    Graph& g, DType dtype,
+    const std::unordered_map<std::string, float>& calibration = {});
+
+}  // namespace ramiel

@@ -1,6 +1,8 @@
 #include "ramiel/pipeline.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <utility>
 
 #include "graph/shape_inference.h"
@@ -9,7 +11,9 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "support/check.h"
 #include "support/stopwatch.h"
+#include "support/string_util.h"
 
 namespace ramiel {
 namespace {
@@ -139,6 +143,12 @@ CompiledModel compile_model(Graph graph, const PipelineOptions& options) {
     out.clone_stats = clone_tasks(graph, cost, options.cloning_options);
     t.done();
   }
+  if (options.dtype != DType::kF32) {
+    PassTimer t("quantize_weights", graph, cost, out.pass_reports);
+    out.quant_stats = quantize_weights(graph, options.dtype,
+                                       options.calibration);
+    t.done();
+  }
   {
     PassTimer t("shape_inference", graph, cost, out.pass_reports);
     infer_shapes(graph);
@@ -196,6 +206,24 @@ CompiledModel compile_model(Graph graph, const PipelineOptions& options) {
   return out;
 }
 
+std::unordered_map<std::string, float> load_calibration(
+    const std::string& path) {
+  std::ifstream is(path);
+  RAMIEL_CHECK(is.good(),
+               str_cat("cannot read calibration file '", path, "'"));
+  std::unordered_map<std::string, float> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t tab = line.rfind('\t');
+    if (tab == std::string::npos || tab == 0) continue;
+    char* end = nullptr;
+    const float v = std::strtof(line.c_str() + tab + 1, &end);
+    if (end == line.c_str() + tab + 1) continue;
+    out[line.substr(0, tab)] = v;
+  }
+  return out;
+}
+
 std::string compile_report_json(const CompiledModel& cm) {
   using obs::json_number;
   using obs::json_quote;
@@ -232,6 +260,17 @@ std::string compile_report_json(const CompiledModel& cm) {
            std::to_string(cm.pattern_stats.applied[i].second);
   }
   out += "}}";
+  out += ",\"quantize\":{";
+  out += "\"weights_quantized\":" +
+         std::to_string(cm.quant_stats.weights_quantized);
+  out += ",\"values_demoted\":" + std::to_string(cm.quant_stats.values_demoted);
+  out += ",\"nodes_calibrated\":" +
+         std::to_string(cm.quant_stats.nodes_calibrated);
+  out += ",\"weight_bytes_before\":" +
+         std::to_string(cm.quant_stats.weight_bytes_before);
+  out += ",\"weight_bytes_after\":" +
+         std::to_string(cm.quant_stats.weight_bytes_after);
+  out += "}";
   out += ",\"memory\":{";
   out += "\"planned\":" + std::string(cm.mem_plan.empty() ? "false" : "true");
   out += ",\"peak_bytes\":" + std::to_string(cm.mem_plan.peak_bytes);

@@ -24,6 +24,8 @@
 #include "passes/hypercluster.h"
 #include "passes/linear_clustering.h"
 #include "passes/patterns/driver.h"
+#include "passes/quantize.h"
+#include "support/dtype.h"
 
 namespace ramiel::obs {
 class Timeline;
@@ -57,6 +59,14 @@ struct PipelineOptions {
   /// Fixed-point bound for the pattern driver.
   int pattern_max_rounds = 8;
   CloningOptions cloning_options;
+  /// Storage dtype the model is lowered to (kF32 = no lowering): weights
+  /// rewritten by the quantize_weights pass, eligible activations demoted,
+  /// the memory plan sized in actual element bytes. Compute stays fp32.
+  DType dtype = DType::kF32;
+  /// Calibrated per-value absmax ranges (value name -> absmax) recorded by
+  /// `ramiel calibrate`; consulted by the i8 lowering to stamp static
+  /// activation scales on quantized Conv/Gemm/MatMul nodes.
+  std::unordered_map<std::string, float> calibration;
   /// Inference batch size; > 1 triggers hyperclustering (§III-E).
   int batch = 1;
   HyperMode hyper_mode = HyperMode::kPlain;
@@ -107,6 +117,8 @@ struct CompiledModel {
   /// (empty when the stage did not run). Also surfaced in the compile
   /// report's "patterns" block.
   patterns::PatternRunStats pattern_stats;
+  /// Low-precision lowering counters (all zero when options.dtype == kF32).
+  QuantizeStats quant_stats;
   /// Coefficient of variation (stddev/mean) of per-cluster summed node
   /// weight — the skew measure `--executor auto` compares against
   /// RAMIEL_AUTO_STEAL_CV to decide between the static and work-stealing
@@ -118,6 +130,12 @@ struct CompiledModel {
 
 /// Runs the pipeline on `graph` (consumed).
 CompiledModel compile_model(Graph graph, const PipelineOptions& options = {});
+
+/// Parses a calibration file written by ramiel_calibrate — one
+/// "name<TAB>absmax" line per value — into PipelineOptions::calibration.
+/// Throws Error when the file cannot be read; malformed lines are skipped.
+std::unordered_map<std::string, float> load_calibration(
+    const std::string& path);
 
 /// Serializes the per-pass compile report as one JSON object
 /// (`ramiel compile --report=FILE` writes exactly this).

@@ -24,9 +24,7 @@ using rt::is_graph_output;
 namespace {
 
 /// Payload size of one message/activation (dense float32 tensors).
-std::int64_t tensor_bytes(const Tensor& t) {
-  return t.numel() * static_cast<std::int64_t>(sizeof(float));
-}
+std::int64_t tensor_bytes(const Tensor& t) { return t.byte_size(); }
 
 /// Process-wide runtime counters, resolved once. Bumped per run() (not per
 /// task) so the hot path only touches the per-run WorkerProfile.
@@ -246,7 +244,7 @@ int ParallelExecutor::add_program_locked(ExecutorProgram program) {
               PlannedOut{slot.value,
                          static_cast<std::size_t>(base + slot.offset) /
                              sizeof(float),
-                         slot.numel, slot.in_place});
+                         slot.numel, slot.dtype, slot.in_place});
         }
       }
       obs::registry()
@@ -520,7 +518,7 @@ void ParallelExecutor::execute_tasks(int me, Program& prog, RunState& st,
       if (planned_outs != nullptr) {
         for (const PlannedOut& po : *planned_outs) {
           sink.add(arena_base + po.offset_floats,
-                   static_cast<std::size_t>(po.numel), po.in_place);
+                   static_cast<std::size_t>(po.numel), po.dtype, po.in_place);
         }
       }
       mem::ScopedAllocSink guard(&sink);

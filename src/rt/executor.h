@@ -205,8 +205,11 @@ class ParallelExecutor final : public Executor {
   /// should put the kernel's allocation for it.
   struct PlannedOut {
     ValueId value;
-    std::size_t offset_floats;  // from the worker arena base
+    std::size_t offset_floats;  // from the worker arena base (slots stay
+                                // 64-byte aligned, so float units are exact
+                                // for every dtype)
     std::int64_t numel;
+    DType dtype;  // storage dtype the sink matches alongside numel
     bool in_place;
   };
 

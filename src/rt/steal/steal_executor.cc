@@ -87,7 +87,7 @@ StealExecutor::StealExecutor(const Graph* graph, Hyperclustering hc,
               PlannedOut{slot.value,
                          static_cast<std::size_t>(base + slot.offset) /
                              sizeof(float),
-                         slot.numel, slot.in_place});
+                         slot.numel, slot.dtype, slot.in_place});
         }
       }
     }
@@ -293,7 +293,7 @@ void StealExecutor::execute_task(int me, std::int32_t t, bool stolen,
             arenas_[static_cast<std::size_t>(task.home)].data();
         for (const PlannedOut& po : *planned_outs) {
           sink.add(arena_base + po.offset_floats,
-                   static_cast<std::size_t>(po.numel), po.in_place);
+                   static_cast<std::size_t>(po.numel), po.dtype, po.in_place);
         }
       }
       mem::ScopedAllocSink guard(&sink);

@@ -93,6 +93,7 @@ class StealExecutor final : public Executor {
     ValueId value;
     std::size_t offset_floats;  // from the home worker's arena base
     std::int64_t numel;
+    DType dtype;  // storage dtype the sink matches alongside numel
     bool in_place;
   };
 

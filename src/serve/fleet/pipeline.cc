@@ -160,7 +160,7 @@ PipelinedRunner::PipelinedRunner(const Graph* graph,
               PlannedOut{slot.value,
                          static_cast<std::size_t>(base + slot.offset) /
                              sizeof(float),
-                         slot.numel, slot.in_place});
+                         slot.numel, slot.dtype, slot.in_place});
         }
       }
     }
@@ -386,7 +386,7 @@ void PipelinedRunner::execute_stage(int stage, Flight& flight,
         if (planned_outs != nullptr) {
           for (const PlannedOut& po : *planned_outs) {
             sink.add(arena_base + po.offset_floats,
-                     static_cast<std::size_t>(po.numel), po.in_place);
+                     static_cast<std::size_t>(po.numel), po.dtype, po.in_place);
           }
         }
         mem::ScopedAllocSink guard(&sink);

@@ -135,6 +135,7 @@ class PipelinedRunner {
     ValueId value;
     std::size_t offset_floats;
     std::int64_t numel;
+    DType dtype;
     bool in_place;
   };
   std::vector<std::vector<std::unordered_map<NodeId, std::vector<PlannedOut>>>>

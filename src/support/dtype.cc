@@ -1,0 +1,160 @@
+#include "support/dtype.h"
+
+#include <cstring>
+
+#include "support/check.h"
+
+namespace ramiel {
+namespace {
+
+inline std::uint32_t f32_bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+inline float bits_f32(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+const char* dtype_name(DType d) {
+  switch (d) {
+    case DType::kF32:
+      return "f32";
+    case DType::kF16:
+      return "f16";
+    case DType::kBF16:
+      return "bf16";
+    case DType::kI8:
+      return "i8";
+  }
+  return "f32";
+}
+
+std::optional<DType> parse_dtype(const std::string& text) {
+  if (text == "f32" || text == "fp32" || text == "float32") return DType::kF32;
+  if (text == "f16" || text == "fp16" || text == "float16") return DType::kF16;
+  if (text == "bf16" || text == "bfloat16") return DType::kBF16;
+  if (text == "i8" || text == "int8") return DType::kI8;
+  return std::nullopt;
+}
+
+std::uint16_t f32_to_f16(float value) {
+  const std::uint32_t x = f32_bits(value);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::uint32_t exp32 = (x >> 23) & 0xffu;
+  std::uint32_t mant = x & 0x7fffffu;
+
+  if (exp32 == 0xffu) {  // Inf / NaN: keep the class, quiet any NaN payload.
+    return static_cast<std::uint16_t>(sign | 0x7c00u | (mant != 0 ? 0x200u : 0));
+  }
+  const int exp = static_cast<int>(exp32) - 127 + 15;
+  if (exp >= 31) {  // overflow -> Inf
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (exp <= 0) {  // subnormal half (or zero)
+    if (exp < -10) return static_cast<std::uint16_t>(sign);  // underflows to 0
+    mant |= 0x800000u;  // implicit leading 1
+    const int shift = 14 - exp;  // in [14, 24]
+    std::uint32_t sub = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t half = 1u << (shift - 1);
+    if (rem > half || (rem == half && (sub & 1u))) ++sub;
+    return static_cast<std::uint16_t>(sign | sub);
+  }
+  // Normal: drop 13 mantissa bits with round-to-nearest-even. A mantissa
+  // carry bumps the exponent field, which is exactly the right answer.
+  std::uint32_t out =
+      (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1fffu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out;
+  return static_cast<std::uint16_t>(sign | out);
+}
+
+float f16_to_f32(std::uint16_t bits) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(bits & 0x8000u) << 16;
+  const std::uint32_t exp = (bits >> 10) & 0x1fu;
+  std::uint32_t mant = bits & 0x3ffu;
+  if (exp == 0) {
+    if (mant == 0) return bits_f32(sign);  // signed zero
+    // Subnormal: normalize by shifting the mantissa up to the implicit bit.
+    int e = -1;
+    do {
+      mant <<= 1;
+      ++e;
+    } while ((mant & 0x400u) == 0);
+    const std::uint32_t exp32 = static_cast<std::uint32_t>(127 - 15 - e);
+    return bits_f32(sign | (exp32 << 23) | ((mant & 0x3ffu) << 13));
+  }
+  if (exp == 31) {  // Inf / NaN
+    return bits_f32(sign | 0x7f800000u | (mant << 13));
+  }
+  return bits_f32(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+std::uint16_t f32_to_bf16(float value) {
+  std::uint32_t x = f32_bits(value);
+  if ((x & 0x7fffffffu) > 0x7f800000u) {  // NaN: quiet, keep high payload bit
+    return static_cast<std::uint16_t>((x >> 16) | 0x0040u);
+  }
+  // Round-to-nearest-even on the dropped 16 bits; Inf survives unchanged
+  // because its low mantissa bits are zero.
+  x += 0x7fffu + ((x >> 16) & 1u);
+  return static_cast<std::uint16_t>(x >> 16);
+}
+
+float bf16_to_f32(std::uint16_t bits) {
+  return bits_f32(static_cast<std::uint32_t>(bits) << 16);
+}
+
+void convert_f32_to_storage(const float* src, void* dst, DType dt,
+                            std::size_t n) {
+  switch (dt) {
+    case DType::kF32:
+      std::memcpy(dst, src, n * sizeof(float));
+      return;
+    case DType::kF16: {
+      auto* d = static_cast<std::uint16_t*>(dst);
+      for (std::size_t i = 0; i < n; ++i) d[i] = f32_to_f16(src[i]);
+      return;
+    }
+    case DType::kBF16: {
+      auto* d = static_cast<std::uint16_t*>(dst);
+      for (std::size_t i = 0; i < n; ++i) d[i] = f32_to_bf16(src[i]);
+      return;
+    }
+    case DType::kI8:
+      RAMIEL_CHECK(false,
+                   "i8 storage requires quantization scales; use "
+                   "Tensor::quantize_per_channel");
+  }
+}
+
+void convert_storage_to_f32(const void* src, DType dt, float* dst,
+                            std::size_t n) {
+  switch (dt) {
+    case DType::kF32:
+      std::memcpy(dst, src, n * sizeof(float));
+      return;
+    case DType::kF16: {
+      const auto* s = static_cast<const std::uint16_t*>(src);
+      for (std::size_t i = 0; i < n; ++i) dst[i] = f16_to_f32(s[i]);
+      return;
+    }
+    case DType::kBF16: {
+      const auto* s = static_cast<const std::uint16_t*>(src);
+      for (std::size_t i = 0; i < n; ++i) dst[i] = bf16_to_f32(s[i]);
+      return;
+    }
+    case DType::kI8:
+      RAMIEL_CHECK(false,
+                   "i8 storage requires quantization scales; use "
+                   "Tensor::dequantize");
+  }
+}
+
+}  // namespace ramiel

@@ -1,0 +1,71 @@
+// Storage element types for tensors.
+//
+// The runtime computes in fp32 everywhere (accumulation, epilogues,
+// elementwise math); DType describes only how a tensor's elements are
+// *stored*. f16/bf16 are storage-only formats converted at the kernel
+// boundary (pack/convert on read, convert on write-back); i8 is a
+// per-output-channel symmetric weight quantization consumed natively by the
+// quantized GEMM path. This is the onnx-mlir lowering discipline: ops stay
+// generic over storage type, compute stays fp32-accumulate.
+//
+// The enum lives in support/ (not tensor/) so leaf libraries — env knobs,
+// tools, the memory planner — can name dtypes without depending on Tensor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ramiel {
+
+enum class DType : std::uint8_t {
+  kF32 = 0,
+  kF16 = 1,
+  kBF16 = 2,
+  kI8 = 3,
+};
+
+/// Element width in bytes.
+constexpr std::size_t dtype_size(DType d) {
+  switch (d) {
+    case DType::kF32:
+      return 4;
+    case DType::kF16:
+    case DType::kBF16:
+      return 2;
+    case DType::kI8:
+      return 1;
+  }
+  return 4;
+}
+
+/// Canonical lowercase name ("f32", "f16", "bf16", "i8").
+const char* dtype_name(DType d);
+
+/// Parses a canonical name; nullopt on anything else (including "").
+std::optional<DType> parse_dtype(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Scalar conversions. Round-to-nearest-even on narrowing, NaN/Inf preserved
+// (NaNs are quieted). Subnormal f16 values are produced and consumed
+// exactly; f32 subnormals flush through the same rounding rules.
+// ---------------------------------------------------------------------------
+
+std::uint16_t f32_to_f16(float value);
+float f16_to_f32(std::uint16_t bits);
+std::uint16_t f32_to_bf16(float value);
+float bf16_to_f32(std::uint16_t bits);
+
+// ---------------------------------------------------------------------------
+// Bulk conversions between f32 and a storage format. `dt` must be kF16 or
+// kBF16 — i8 carries quantization scales and converts through
+// Tensor::dequantize instead.
+// ---------------------------------------------------------------------------
+
+void convert_f32_to_storage(const float* src, void* dst, DType dt,
+                            std::size_t n);
+void convert_storage_to_f32(const void* src, DType dt, float* dst,
+                            std::size_t n);
+
+}  // namespace ramiel

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 namespace ramiel {
@@ -71,6 +72,13 @@ std::int64_t env_parallel_threshold(std::int64_t fallback) {
   const long long parsed = std::strtoll(v, &end, 10);
   if (end == v || *end != '\0' || parsed < 0) return fallback;
   return static_cast<std::int64_t>(parsed);
+}
+
+DType env_dtype(DType fallback) {
+  const char* v = std::getenv("RAMIEL_DTYPE");
+  if (v == nullptr) return fallback;
+  const std::optional<DType> parsed = parse_dtype(v);
+  return parsed ? *parsed : fallback;
 }
 
 double env_auto_steal_cv(double fallback) {

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "support/dtype.h"
+
 namespace ramiel {
 
 /// Reads an integer environment variable; returns `fallback` when unset or
@@ -50,6 +52,11 @@ std::string env_kernel_path(const std::string& fallback);
 /// pool. Zero is valid (always parallelize); negative or unparseable
 /// values fall back.
 std::int64_t env_parallel_threshold(std::int64_t fallback);
+
+/// RAMIEL_DTYPE — default storage dtype for compiled models ("f32", "f16",
+/// "bf16", "i8"); the `--dtype` CLI flag overrides it. Unset or unparseable
+/// values fall back.
+DType env_dtype(DType fallback);
 
 /// RAMIEL_AUTO_STEAL_CV — cluster-cost coefficient-of-variation threshold
 /// above which `--executor auto` picks the work-stealing runtime. Negative

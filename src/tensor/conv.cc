@@ -111,12 +111,14 @@ void im2col(const ConvDims& d, const Conv2dParams& p, const float* in,
 }
 
 // Implicit GEMM: out[n, k, :] = act(W[k, :] * im2col(x_n) + bias[k]).
-// A = weights [K x Cg*R*S] (already row-major contiguous), B = the im2col
-// panel, C = the output image plane; the per-channel bias and activation
-// ride the GEMM epilogue, so the pre-activation tensor never materializes.
+// A = weights [K x Cg*R*S] (already row-major contiguous; f32/f16/bf16
+// widen in the panel packers, i8 routes through the quantized GEMM with the
+// weights as the signed left operand), B = the im2col panel, C = the output
+// image plane; the per-channel bias and activation ride the GEMM epilogue,
+// so the pre-activation tensor never materializes.
 void conv2d_im2col(const ConvDims& d, const Conv2dParams& p, const float* in,
-                   const float* wt, const float* bptr, float* dst,
-                   const OpContext& ctx) {
+                   const Tensor& weight, const float* bptr, void* dst,
+                   float act_absmax, const OpContext& ctx) {
   const std::int64_t rows = d.Cg * d.R * d.S;
   const std::int64_t cols = d.OH * d.OW;
   conv_metrics().im2col_bytes->inc(
@@ -129,10 +131,22 @@ void conv2d_im2col(const ConvDims& d, const Conv2dParams& p, const float* in,
     ep.bias = bptr;
     ep.bias_stride_m = 1;  // per output channel == per GEMM row
   }
+  const std::size_t c_esz = dtype_size(p.out_dtype);
+  auto* db = static_cast<std::uint8_t*>(dst);
+  const QuantMeta* q = weight.quant();
   for (std::int64_t n = 0; n < d.N; ++n) {
     im2col(d, p, in, n, /*c0=*/0, col.data(), ctx);
-    kernels::sgemm(d.K, cols, rows, wt, rows, 1, col.data(), cols, 1,
-                   dst + n * d.K * cols, cols, ep, ctx);
+    std::uint8_t* dstn = db + n * d.K * cols * c_esz;
+    if (weight.dtype() == DType::kI8) {
+      kernels::qgemm(d.K, cols, rows, weight.raw(), DType::kI8, rows, 1,
+                     col.data(), DType::kF32, cols, 1, q->scales.data(),
+                     q->sums.data(), dstn, p.out_dtype, cols, act_absmax, ep,
+                     ctx);
+    } else {
+      kernels::sgemm_dt(d.K, cols, rows, weight.raw(), weight.dtype(), rows,
+                        1, col.data(), DType::kF32, cols, 1, dstn, p.out_dtype,
+                        cols, ep, ctx);
+    }
   }
 }
 
@@ -163,21 +177,76 @@ Tensor conv2d(const Tensor& input, const Tensor& weight,
   d.OW = (d.W + 2 * p.pad_w - p.dilation_w * (d.S - 1) - 1) / p.stride_w + 1;
   RAMIEL_CHECK(d.OH > 0 && d.OW > 0, "conv2d output would be empty");
 
-  Tensor out(Shape{d.N, d.K, d.OH, d.OW});
-  const float* in = input.data().data();
-  const float* wt = weight.data().data();
-  float* dst = out.mutable_data().data();
+  Tensor out(Shape{d.N, d.K, d.OH, d.OW}, p.out_dtype);
   const float* bptr = bias ? bias->data().data() : nullptr;
+
+  // A non-f32 input widens once up front: both paths read fp32 activations
+  // (the im2col panel is fp32 regardless of input storage).
+  RAMIEL_CHECK(input.dtype() != DType::kI8, "conv2d input cannot be i8");
+  std::vector<float> in_up;
+  const float* in;
+  if (input.dtype() == DType::kF32) {
+    in = input.data().data();
+  } else {
+    in_up.resize(static_cast<std::size_t>(input.numel()));
+    convert_storage_to_f32(input.raw(), input.dtype(), in_up.data(),
+                           in_up.size());
+    in = in_up.data();
+  }
+
+  const bool quantized = weight.dtype() == DType::kI8;
+  if (quantized) {
+    const QuantMeta* q = weight.quant();
+    RAMIEL_CHECK(q != nullptr && q->axis == 0 &&
+                     static_cast<std::int64_t>(q->scales.size()) == d.K,
+                 "conv2d: i8 weights need per-output-channel scales (axis 0)");
+  }
 
   // Grouped/depthwise convs keep the direct loops (their im2col panels are
   // too skinny to amortize packing); dense convs lower to implicit GEMM on
   // the vector path.
   if (p.groups == 1 && kernels::active_path() == kernels::Path::kVector) {
     conv_metrics().vector->inc();
-    conv2d_im2col(d, p, in, wt, bptr, dst, ctx);
+    float act_absmax = p.act_absmax;
+    if (quantized && act_absmax < 0.0f) {
+      // im2col panels hold input values and padding zeros, so the input's
+      // range bounds every panel — one scan keeps the dynamic scale stable
+      // across the batch.
+      act_absmax = kernels::absmax(input.raw(), input.dtype(),
+                                   static_cast<std::size_t>(input.numel()));
+    }
+    conv2d_im2col(d, p, in, weight, bptr, out.raw_mut(), act_absmax, ctx);
+    return out;
+  }
+
+  conv_metrics().scalar->inc();
+  // The direct path is the fp32 reference: widen/dequantize the weights and
+  // stage a non-f32 output through an fp32 buffer. The alloc sink is
+  // bypassed for the fp32 temporaries so they can never claim a planned
+  // output slot.
+  std::vector<float> wt_up;
+  Tensor wt_f32;
+  const float* wt;
+  if (weight.dtype() == DType::kF32) {
+    wt = weight.data().data();
+  } else if (quantized) {
+    AllocSink* prev = set_thread_alloc_sink(nullptr);
+    wt_f32 = weight.dequantize();
+    set_thread_alloc_sink(prev);
+    wt = wt_f32.data().data();
   } else {
-    conv_metrics().scalar->inc();
-    conv2d_direct(d, p, in, wt, bptr, dst, ctx);
+    wt_up.resize(static_cast<std::size_t>(weight.numel()));
+    convert_storage_to_f32(weight.raw(), weight.dtype(), wt_up.data(),
+                           wt_up.size());
+    wt = wt_up.data();
+  }
+  if (p.out_dtype == DType::kF32) {
+    conv2d_direct(d, p, in, wt, bptr, out.mutable_data().data(), ctx);
+  } else {
+    std::vector<float> dst_f32(static_cast<std::size_t>(out.numel()));
+    conv2d_direct(d, p, in, wt, bptr, dst_f32.data(), ctx);
+    convert_f32_to_storage(dst_f32.data(), out.raw_mut(), p.out_dtype,
+                           dst_f32.size());
   }
   return out;
 }

@@ -1,0 +1,72 @@
+// F16C bulk f16<->f32 row converters (vcvtph2ps / vcvtps2ph).
+//
+// The scalar f16 conversions in support/dtype.cc are correct but branchy
+// (subnormal loops, NaN quieting) and cost ~1 ms per GEMM-256 when the pack
+// paths widen every element through them. The hardware instructions compute
+// the same function: f16 -> f32 is an exact embedding, and vcvtps2ph with
+// an explicit round-to-nearest-even override matches the software RNE
+// narrowing bit-for-bit, subnormals included. This TU is compiled with
+// -mavx -mf16c (see src/tensor/CMakeLists.txt) and only reached after the
+// dispatcher's CPUID probe for f16c.
+#include "tensor/kernels/microkernel.h"
+
+#if defined(__x86_64__) && defined(__AVX__) && defined(__F16C__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace ramiel::kernels {
+namespace {
+
+void f16_row_to_f32(const std::uint16_t* src, float* dst, std::int64_t n) {
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm256_storeu_ps(dst + i, _mm256_cvtph_ps(h));
+  }
+  if (i < n) {
+    alignas(16) std::uint16_t hb[8] = {};
+    alignas(32) float fb[8];
+    std::memcpy(hb, src + i, static_cast<std::size_t>(n - i) * sizeof(*src));
+    _mm256_store_ps(
+        fb, _mm256_cvtph_ps(_mm_load_si128(reinterpret_cast<__m128i*>(hb))));
+    std::memcpy(dst + i, fb, static_cast<std::size_t>(n - i) * sizeof(*dst));
+  }
+}
+
+void f32_row_to_f16(const float* src, std::uint16_t* dst, std::int64_t n) {
+  constexpr int kRne = _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC;
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i h = _mm256_cvtps_ph(_mm256_loadu_ps(src + i), kRne);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), h);
+  }
+  if (i < n) {
+    alignas(32) float fb[8] = {};
+    alignas(16) std::uint16_t hb[8];
+    std::memcpy(fb, src + i, static_cast<std::size_t>(n - i) * sizeof(*src));
+    _mm_store_si128(reinterpret_cast<__m128i*>(hb),
+                    _mm256_cvtps_ph(_mm256_load_ps(fb), kRne));
+    std::memcpy(dst + i, hb, static_cast<std::size_t>(n - i) * sizeof(*dst));
+  }
+}
+
+}  // namespace
+
+F16RowKernels f16c_f16_row_kernels() {
+  return F16RowKernels{&f16_row_to_f32, &f32_row_to_f16};
+}
+
+}  // namespace ramiel::kernels
+
+#else  // non-x86 target or compiler without F16C codegen
+
+namespace ramiel::kernels {
+
+F16RowKernels f16c_f16_row_kernels() { return F16RowKernels{}; }
+
+}  // namespace ramiel::kernels
+
+#endif

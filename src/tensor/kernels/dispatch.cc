@@ -1,5 +1,7 @@
 // Runtime kernel-path dispatch: RAMIEL_KERNEL env knob + CPUID probe.
+#include <algorithm>
 #include <atomic>
+#include <cstring>
 
 #include "support/env.h"
 #include "tensor/kernels/kernels.h"
@@ -23,8 +25,33 @@ bool cpu_has_avx2_fma() {
 #endif
 }
 
+bool cpu_has_avx512_vnni() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl") &&
+         __builtin_cpu_supports("avx512vnni");
+#else
+  return false;
+#endif
+}
+
+// Best i8 tier the hardware (and the compiled TUs) can actually run.
+I8Kernel best_i8_kernel() {
+  if (cpu_has_avx512_vnni() && vnni_i8_microkernels().au != nullptr) {
+    return I8Kernel::kVnni;
+  }
+  if (cpu_has_avx2_fma() && avx2_i8_microkernels().au != nullptr) {
+    return I8Kernel::kAvx2;
+  }
+  return I8Kernel::kScalar;
+}
+
 // -1 = follow the env default; otherwise a Path value pinned by tests.
 std::atomic<int> g_forced{-1};
+
+// -1 = automatic tier selection; otherwise an I8Kernel cap pinned by tests.
+std::atomic<int> g_forced_i8{-1};
 
 }  // namespace
 
@@ -43,6 +70,78 @@ bool vector_microkernel_available() {
 void force_kernel_path(std::optional<Path> path) {
   g_forced.store(path ? static_cast<int>(*path) : -1,
                  std::memory_order_relaxed);
+}
+
+I8Kernel active_i8_kernel() {
+  // RAMIEL_KERNEL=scalar pins *all* kernels to their portable loops so the
+  // knob keeps meaning "no SIMD anywhere".
+  if (active_path() == Path::kScalar) return I8Kernel::kScalar;
+  static const I8Kernel best = best_i8_kernel();
+  const int forced = g_forced_i8.load(std::memory_order_relaxed);
+  if (forced < 0) return best;
+  // The forced value is a cap: asking for VNNI on an AVX2-only host still
+  // runs AVX2 — tests exercise "at most this tier", never a kernel the CPU
+  // can't execute.
+  return std::min(static_cast<I8Kernel>(forced), best);
+}
+
+void force_i8_kernel(std::optional<I8Kernel> k) {
+  g_forced_i8.store(k ? static_cast<int>(*k) : -1, std::memory_order_relaxed);
+}
+
+namespace {
+
+bool cpu_has_f16c() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("f16c") && __builtin_cpu_supports("avx");
+#else
+  return false;
+#endif
+}
+
+// F16C conversions are bit-exact against the scalar ones, so this is a
+// pure speed decision and ignores RAMIEL_KERNEL forcing.
+const F16RowKernels& f16_row_kernels() {
+  static const F16RowKernels rk =
+      cpu_has_f16c() ? f16c_f16_row_kernels() : F16RowKernels{};
+  return rk;
+}
+
+}  // namespace
+
+void rows_to_f32(const void* src, DType dt, float* dst, std::size_t n) {
+  if (dt == DType::kF32) {
+    std::memcpy(dst, src, n * sizeof(float));
+    return;
+  }
+  if (dt == DType::kF16 && f16_row_kernels().to_f32 != nullptr) {
+    f16_row_kernels().to_f32(static_cast<const std::uint16_t*>(src), dst,
+                             static_cast<std::int64_t>(n));
+    return;
+  }
+  convert_storage_to_f32(src, dt, dst, n);
+}
+
+void rows_from_f32(const float* src, void* dst, DType dt, std::size_t n) {
+  if (dt == DType::kF32) {
+    std::memcpy(dst, src, n * sizeof(float));
+    return;
+  }
+  if (dt == DType::kF16 && f16_row_kernels().from_f32 != nullptr) {
+    f16_row_kernels().from_f32(src, static_cast<std::uint16_t*>(dst),
+                               static_cast<std::int64_t>(n));
+    return;
+  }
+  convert_f32_to_storage(src, dst, dt, n);
+}
+
+const char* i8_kernel_name(I8Kernel k) {
+  switch (k) {
+    case I8Kernel::kScalar: return "scalar";
+    case I8Kernel::kAvx2: return "avx2";
+    case I8Kernel::kVnni: return "vnni";
+  }
+  return "?";
 }
 
 }  // namespace ramiel::kernels

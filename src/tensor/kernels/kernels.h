@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "support/dtype.h"
 #include "tensor/thread_pool.h"
 
 namespace ramiel::kernels {
@@ -44,6 +45,23 @@ bool vector_microkernel_available();
 /// Test/bench hook: pin the path regardless of RAMIEL_KERNEL. Pass
 /// std::nullopt to return to env-based selection.
 void force_kernel_path(std::optional<Path> path);
+
+/// Microkernel tier for the quantized (i8) GEMM. All tiers share one fixed
+/// quantization scheme and exact i32 accumulation, so results are
+/// bit-identical across them — the tier only changes speed.
+enum class I8Kernel { kScalar, kAvx2, kVnni };
+
+/// Tier the next qgemm call will use: kScalar when the kernel path is
+/// scalar (RAMIEL_KERNEL=scalar or forced), otherwise the best of
+/// {VNNI, AVX2, scalar} the CPU supports, capped by force_i8_kernel().
+I8Kernel active_i8_kernel();
+
+/// Test/bench hook: cap the i8 tier (e.g. kAvx2 to measure maddubs on a
+/// VNNI host). Requests above what the CPU supports degrade to the best
+/// available tier. Pass std::nullopt to return to automatic selection.
+void force_i8_kernel(std::optional<I8Kernel> k);
+
+const char* i8_kernel_name(I8Kernel k);
 
 /// Activation folded into the kernel write-back.
 enum class Activation { kNone, kRelu, kSigmoid };
@@ -68,6 +86,55 @@ void sgemm(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
            std::int64_t rs_a, std::int64_t cs_a, const float* B,
            std::int64_t rs_b, std::int64_t cs_b, float* C, std::int64_t ldc,
            const Epilogue& ep, const OpContext& ctx);
+
+/// Storage-dtype-polymorphic sgemm: A/B may be stored f32/f16/bf16 (the
+/// panel packers convert to f32 on read), C may be f32/f16/bf16 (the
+/// write-back epilogue converts after the fp32 accumulation finishes, so
+/// precision of the *computation* never depends on storage width). i8
+/// operands go through qgemm instead.
+void sgemm_dt(std::int64_t M, std::int64_t N, std::int64_t K, const void* A,
+              DType a_dtype, std::int64_t rs_a, std::int64_t cs_a,
+              const void* B, DType b_dtype, std::int64_t rs_b,
+              std::int64_t cs_b, void* C, DType c_dtype, std::int64_t ldc,
+              const Epilogue& ep, const OpContext& ctx);
+
+/// Quantized GEMM: exactly one operand is i8 (statically quantized weights,
+/// symmetric per output channel), the other is f32/f16/bf16 activations
+/// quantized dynamically per call to u8 in [1,127] around zero point 64 —
+/// one fixed scheme shared by every microkernel tier so outputs are
+/// bit-identical across dispatch. Accumulation is exact i32; the merge step
+/// dequantizes and fuses bias/activation:
+///
+///   C[m,n] = act(s_dyn * ch_scales[ch] * (acc[m,n] - 64 * ch_sums[ch])
+///              + bias)
+///
+/// where ch = m when A is the i8 operand (conv: per-row = per-output-
+/// channel) and ch = n when B is (gemm/matmul: per-column). ch_sums are the
+/// per-channel sums of the quantized weights (QuantMeta::sums).
+///
+/// `dyn_absmax`: absmax of the dynamic operand. Pass a calibrated value to
+/// skip the per-call scan (values beyond it saturate at the u8 rails), or
+/// a negative value to have qgemm measure it. An absmax of 0 degenerates to
+/// C = act(bias).
+void qgemm(std::int64_t M, std::int64_t N, std::int64_t K, const void* A,
+           DType a_dtype, std::int64_t rs_a, std::int64_t cs_a, const void* B,
+           DType b_dtype, std::int64_t rs_b, std::int64_t cs_b,
+           const float* ch_scales, const std::int32_t* ch_sums, void* C,
+           DType c_dtype, std::int64_t ldc, float dyn_absmax,
+           const Epilogue& ep, const OpContext& ctx);
+
+/// absmax over n stored elements (f32/f16/bf16) — the dynamic-quantization
+/// range scan, shared by the ops layer and the calibration tool.
+float absmax(const void* data, DType dt, std::size_t n);
+
+/// Bulk widen/narrow between n contiguous stored elements and f32.
+/// Semantics match support's convert_storage_to_f32/convert_f32_to_storage
+/// (round-to-nearest-even on narrowing) and kF32 is a plain copy; the f16
+/// case runs the F16C converters when the host has them — bit-exact either
+/// way, so the choice never changes results. These are what the pack paths
+/// and write-back narrowing use for contiguous rows.
+void rows_to_f32(const void* src, DType dt, float* dst, std::size_t n);
+void rows_from_f32(const float* src, void* dst, DType dt, std::size_t n);
 
 /// Applies `act` in place over n values (used by the conv direct path so a
 /// fused activation behaves identically on every path).

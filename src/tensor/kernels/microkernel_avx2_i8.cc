@@ -1,0 +1,151 @@
+// Explicit AVX2 quantized microkernel: pmaddubsw (u8 x s8 pair-sum to i16)
+// + pmaddwd (i16 pair-sum to i32) + paddd, the classic maddubs/madd dot-4
+// chain. This TU is compiled with -mavx2 (see src/tensor/CMakeLists.txt)
+// and is only reached after the dispatcher's CPUID probe.
+//
+// Quantization headroom makes the chain exact: the unsigned operand is
+// capped at 127, so a pmaddubsw pair sum is bounded by 2*127*127 = 32258 <
+// 2^15 and never saturates — the i32 accumulators equal the scalar
+// reference bit-for-bit.
+#include "tensor/kernels/microkernel.h"
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace ramiel::kernels {
+namespace {
+
+inline __m256i bcast_u32(const void* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return _mm256_set1_epi32(static_cast<int>(v));
+}
+
+// 6x16 i32 tile; B k-groups are 64 bytes = two ymm of 8 columns x 4 k.
+// kAUnsigned selects which operand feeds pmaddubsw's unsigned slot.
+//
+// The tile is processed as two 8-column halves, one full K sweep each:
+// a whole-tile loop needs 12 accumulators + 2 B registers + 6 broadcasts
+// + the ones constant live at once (> 16 ymm), and GCC answers by
+// spilling every accumulator to the stack inside the hot loop — measured
+// at barely above fp32-FMA speed. Per half only 9 registers are live
+// (6 accumulators, B, ones, one broadcast), nothing spills, and the A
+// panel re-read is a handful of L1-resident lines per k-group.
+template <bool kAUnsigned>
+void ukr_avx2_i8(std::int64_t kg, const void* a_panel, const void* b_panel,
+                 std::int32_t* acc) {
+  const auto* a = static_cast<const std::uint8_t*>(a_panel);
+  const auto* b = static_cast<const std::uint8_t*>(b_panel);
+  const __m256i ones = _mm256_set1_epi16(1);
+
+  for (int h = 0; h < 2; ++h) {
+    __m256i c0 = _mm256_setzero_si256();
+    __m256i c1 = _mm256_setzero_si256();
+    __m256i c2 = _mm256_setzero_si256();
+    __m256i c3 = _mm256_setzero_si256();
+    __m256i c4 = _mm256_setzero_si256();
+    __m256i c5 = _mm256_setzero_si256();
+
+    const std::uint8_t* bh = b + h * 32;
+    for (std::int64_t g = 0; g < kg; ++g) {
+      const __m256i bv = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(bh + g * kNR * 4));
+      const std::uint8_t* ag = a + g * kMR * 4;
+      const auto fma_row = [&](int r, __m256i& c) {
+        const __m256i av = bcast_u32(ag + r * 4);
+        const __m256i p = kAUnsigned ? _mm256_maddubs_epi16(av, bv)
+                                     : _mm256_maddubs_epi16(bv, av);
+        c = _mm256_add_epi32(c, _mm256_madd_epi16(p, ones));
+      };
+      fma_row(0, c0);
+      fma_row(1, c1);
+      fma_row(2, c2);
+      fma_row(3, c3);
+      fma_row(4, c4);
+      fma_row(5, c5);
+    }
+
+    std::int32_t* out = acc + h * 8;
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 0 * kNR), c0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 1 * kNR), c1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 2 * kNR), c2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 3 * kNR), c3);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4 * kNR), c4);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 5 * kNR), c5);
+  }
+}
+
+float absmax_f32_avx2(const float* p, std::int64_t n) {
+  const __m256 sign_mask =
+      _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  __m256 acc = _mm256_setzero_ps();
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_max_ps(acc, _mm256_and_ps(sign_mask, _mm256_loadu_ps(p + i)));
+  }
+  const __m128 q =
+      _mm_max_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+  const __m128 d = _mm_max_ps(q, _mm_movehl_ps(q, q));
+  float m = _mm_cvtss_f32(_mm_max_ss(d, _mm_shuffle_ps(d, d, 1)));
+  for (; i < n; ++i) {
+    const float a = std::fabs(p[i]);
+    m = a > m ? a : m;
+  }
+  return m;
+}
+
+// Matches the scalar quantize_u8 in qgemm.cc exactly: the float product is
+// clamped to [-63, 63] *before* rounding (so wildly saturating inputs never
+// hit the undefined float->int overflow), and vcvtps2dq rounds to nearest-
+// even just like lrintf.
+void quantize_u8_row_avx2(const float* src, std::uint8_t* dst, std::int64_t n,
+                          float inv_sd) {
+  const __m256 vs = _mm256_set1_ps(inv_sd);
+  const __m256 lo = _mm256_set1_ps(-63.0f);
+  const __m256 hi = _mm256_set1_ps(63.0f);
+  const __m256i off = _mm256_set1_epi32(64);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 x = _mm256_mul_ps(_mm256_loadu_ps(src + i), vs);
+    x = _mm256_max_ps(_mm256_min_ps(x, hi), lo);
+    const __m256i q = _mm256_add_epi32(_mm256_cvtps_epi32(x), off);
+    const __m128i w = _mm_packs_epi32(_mm256_castsi256_si128(q),
+                                      _mm256_extracti128_si256(q, 1));
+    const __m128i b = _mm_packus_epi16(w, w);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(dst + i), b);
+  }
+  for (; i < n; ++i) {
+    float x = src[i] * inv_sd;
+    x = x > 63.0f ? 63.0f : (x < -63.0f ? -63.0f : x);
+    dst[i] = static_cast<std::uint8_t>(
+        static_cast<int>(std::lrintf(x)) + 64);
+  }
+}
+
+}  // namespace
+
+I8Microkernels avx2_i8_microkernels() {
+  return I8Microkernels{&ukr_avx2_i8<true>, &ukr_avx2_i8<false>};
+}
+
+LowpRowKernels avx2_lowp_row_kernels() {
+  return LowpRowKernels{&absmax_f32_avx2, &quantize_u8_row_avx2};
+}
+
+}  // namespace ramiel::kernels
+
+#else  // non-x86 target or compiler without AVX2 codegen
+
+namespace ramiel::kernels {
+
+I8Microkernels avx2_i8_microkernels() { return I8Microkernels{}; }
+
+LowpRowKernels avx2_lowp_row_kernels() { return LowpRowKernels{}; }
+
+}  // namespace ramiel::kernels
+
+#endif

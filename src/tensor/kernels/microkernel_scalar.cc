@@ -22,4 +22,47 @@ void microkernel_scalar(std::int64_t kc, const float* a_panel,
   }
 }
 
+namespace {
+
+// Shared scalar dot-4 tile: integer math is exact, so this is the reference
+// every SIMD tier must match bit-for-bit. AU treats the A panel as the
+// unsigned (activation) operand, the B panel as signed weights; the `as`
+// variant flips the signedness, matching the x86 dot-4 operand rules.
+template <typename AT, typename BT>
+void ukr_i8_scalar(std::int64_t kg, const void* a_panel, const void* b_panel,
+                   std::int32_t* acc) {
+  const AT* a = static_cast<const AT*>(a_panel);
+  const BT* b = static_cast<const BT*>(b_panel);
+  std::int32_t c[kMR][kNR] = {};
+  for (std::int64_t g = 0; g < kg; ++g) {
+    const AT* ag = a + g * kMR * 4;
+    const BT* bg = b + g * kNR * 4;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const AT* ar = ag + r * 4;
+      for (std::int64_t j = 0; j < kNR; ++j) {
+        const BT* bj = bg + j * 4;
+        c[r][j] += static_cast<std::int32_t>(ar[0]) * bj[0] +
+                   static_cast<std::int32_t>(ar[1]) * bj[1] +
+                   static_cast<std::int32_t>(ar[2]) * bj[2] +
+                   static_cast<std::int32_t>(ar[3]) * bj[3];
+      }
+    }
+  }
+  for (std::int64_t r = 0; r < kMR; ++r) {
+    for (std::int64_t j = 0; j < kNR; ++j) acc[r * kNR + j] = c[r][j];
+  }
+}
+
+}  // namespace
+
+void microkernel_i8_scalar_au(std::int64_t kg, const void* a_panel,
+                              const void* b_panel, std::int32_t* acc) {
+  ukr_i8_scalar<std::uint8_t, std::int8_t>(kg, a_panel, b_panel, acc);
+}
+
+void microkernel_i8_scalar_as(std::int64_t kg, const void* a_panel,
+                              const void* b_panel, std::int32_t* acc) {
+  ukr_i8_scalar<std::int8_t, std::uint8_t>(kg, a_panel, b_panel, acc);
+}
+
 }  // namespace ramiel::kernels

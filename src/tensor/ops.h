@@ -34,9 +34,17 @@ struct Conv2dParams {
   /// Activation fused into the conv write-back (set by the activation-fusion
   /// pass; applied identically on the implicit-GEMM and direct paths).
   kernels::Activation act = kernels::Activation::kNone;
+  /// Output storage dtype (f32/f16/bf16; compute stays fp32 regardless).
+  DType out_dtype = DType::kF32;
+  /// Calibrated absmax of the activation input, used by the i8-weight path
+  /// to skip the per-call dynamic-range scan. Negative: measure per call.
+  float act_absmax = -1.0f;
 };
 
 /// 2-D convolution: input [N,C,H,W], weight [K,C/g,R,S], optional bias [K].
+/// Input may be stored f32/f16/bf16; weight additionally may be i8 with
+/// per-output-channel QuantMeta (axis 0), which routes dense convs through
+/// the quantized GEMM.
 Tensor conv2d(const Tensor& input, const Tensor& weight,
               const std::optional<Tensor>& bias, const Conv2dParams& p,
               const OpContext& ctx = OpContext::serial());
@@ -69,16 +77,24 @@ Tensor resize_nearest(const Tensor& input, int scale,
 // ---------------------------------------------------------------------------
 
 /// Batched matmul with broadcasting over leading dims: [..,M,K] x [..,K,N].
+/// `a` may be stored f32/f16/bf16; rank-2 `b` additionally may be i8 with
+/// per-column QuantMeta (axis 1), which routes through the quantized GEMM.
+/// `out_dtype` selects the output storage (f32/f16/bf16); `act_absmax` is
+/// the calibrated dynamic range of `a` for the i8 path (negative: measure).
 Tensor matmul(const Tensor& a, const Tensor& b,
-              const OpContext& ctx = OpContext::serial());
+              const OpContext& ctx = OpContext::serial(),
+              DType out_dtype = DType::kF32, float act_absmax = -1.0f);
 
 /// GEMM: a [M,K] (optionally transposed), b [K,N] (optionally transposed),
 /// plus optional bias broadcast over rows, plus an optional activation fused
-/// into the write-back. Matches ONNX Gemm (with act == kNone).
+/// into the write-back. Matches ONNX Gemm (with act == kNone). Storage
+/// dtypes as in matmul (i8 `b` carries QuantMeta on its output-channel
+/// axis, i.e. axis 1, or 0 when trans_b).
 Tensor gemm(const Tensor& a, const Tensor& b, const std::optional<Tensor>& bias,
             bool trans_a = false, bool trans_b = false,
             kernels::Activation act = kernels::Activation::kNone,
-            const OpContext& ctx = OpContext::serial());
+            const OpContext& ctx = OpContext::serial(),
+            DType out_dtype = DType::kF32, float act_absmax = -1.0f);
 
 // ---------------------------------------------------------------------------
 // Elementwise

@@ -78,37 +78,41 @@ TEST(SlotSink, MatchesByExactNumelAndZeroFillsPlainSlots) {
   alignas(64) float buf[8];
   for (float& x : buf) x = 7.5f;
   SlotSink sink;
-  sink.add(buf, 8, /*in_place=*/false);
+  sink.add(buf, 8, DType::kF32, /*in_place=*/false);
 
-  EXPECT_EQ(sink.take(4), nullptr);  // wrong size: decline, heap fallback
-  float* got = sink.take(8);
+  // Wrong size or wrong dtype: decline, heap fallback.
+  EXPECT_EQ(sink.take(4, DType::kF32), nullptr);
+  EXPECT_EQ(sink.take(8, DType::kF16), nullptr);
+  float* got = sink.take(8, DType::kF32);
   ASSERT_EQ(got, buf);
   for (float x : buf) EXPECT_EQ(x, 0.0f);  // matches heap zero-init
-  EXPECT_EQ(sink.take(8), nullptr);        // each slot serves one allocation
+  // Each slot serves one allocation.
+  EXPECT_EQ(sink.take(8, DType::kF32), nullptr);
   EXPECT_EQ(sink.taken(), 1);
 }
 
 TEST(SlotSink, InPlaceSlotKeepsDataAndOnlyMatchesFirstAllocation) {
   alignas(64) float buf[4] = {1.0f, 2.0f, 3.0f, 4.0f};
   SlotSink sink;
-  sink.add(buf, 4, /*in_place=*/true);
-  float* got = sink.take(4);
+  sink.add(buf, 4, DType::kF32, /*in_place=*/true);
+  float* got = sink.take(4, DType::kF32);
   ASSERT_EQ(got, buf);
   EXPECT_EQ(buf[2], 3.0f);  // the dying input's bytes must survive the take
 
   // A temporary allocated before the output would corrupt the live input if
   // it got the slot; the sink must decline everything after alloc #0.
   sink.clear();
-  sink.add(buf, 4, /*in_place=*/true);
-  EXPECT_EQ(sink.take(2), nullptr);  // alloc #0 is some temp
-  EXPECT_EQ(sink.take(4), nullptr);  // output arrives second: heap fallback
+  sink.add(buf, 4, DType::kF32, /*in_place=*/true);
+  EXPECT_EQ(sink.take(2, DType::kF32), nullptr);  // alloc #0 is some temp
+  // Output arrives second: heap fallback.
+  EXPECT_EQ(sink.take(4, DType::kF32), nullptr);
   EXPECT_EQ(sink.taken(), 0);
 }
 
 TEST(SlotSink, TensorAdoptsSlotWhileScopedSinkInstalled) {
   alignas(64) float buf[16];
   SlotSink sink;
-  sink.add(buf, 16, /*in_place=*/false);
+  sink.add(buf, 16, DType::kF32, /*in_place=*/false);
   {
     mem::ScopedAllocSink guard(&sink);
     Tensor t{Shape{4, 4}};

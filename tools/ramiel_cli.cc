@@ -61,15 +61,20 @@ int usage() {
                "  ramiel analyze <model|file.rml>\n"
                "  ramiel compile <model|file.rml> [-o DIR] [--fold] [--clone]"
                " [--fuse-bn] [--fuse-act] [--patterns] [--no-pattern NAME]"
+               " [--dtype f32|f16|bf16|i8] [--calib FILE]"
                " [--batch N] [--switched] [--report FILE]\n"
                "  ramiel run <model|file.rml> [--fold] [--clone] [--fuse-bn]"
-               " [--fuse-act] [--patterns] [--no-pattern NAME] [--batch N]"
+               " [--fuse-act] [--patterns] [--no-pattern NAME]"
+               " [--dtype f32|f16|bf16|i8] [--calib FILE] [--batch N]"
                " [--threads N] [--executor static|steal]"
                " [--mem-plan off|arena] [--trace-out FILE]"
                " [--profile FILE]\n"
                "  --patterns runs every registered rewrite rule"
                " (src/passes/patterns/) to a fixed point; --no-pattern=NAME"
-               " disables one rule (repeatable).\n");
+               " disables one rule (repeatable).\n"
+               "  --dtype lowers storage to f16/bf16 or per-channel i8"
+               " weights (env RAMIEL_DTYPE); --calib supplies activation"
+               " ranges recorded by ramiel_calibrate.\n");
   return 2;
 }
 
@@ -95,7 +100,20 @@ struct Cli {
   int threads = 1;
   bool mem_plan = env_mem_plan_default(true);
   ExecutorKind executor = env_executor_kind(ExecutorKind::kStatic);
+
+  Cli() { options.dtype = env_dtype(DType::kF32); }
 };
+
+bool parse_dtype_flag(const std::string& value, Cli* cli) {
+  const std::optional<DType> d = parse_dtype(value);
+  if (!d) {
+    std::fprintf(stderr, "--dtype expects f32|f16|bf16|i8, got '%s'\n",
+                 value.c_str());
+    return false;
+  }
+  cli->options.dtype = *d;
+  return true;
+}
 
 bool parse_executor(const std::string& value, Cli* cli) {
   if (parse_executor_kind(value, &cli->executor)) return true;
@@ -136,6 +154,17 @@ bool parse_flags(int argc, char** argv, int start, Cli* cli) {
     } else if (arg.rfind("--no-pattern=", 0) == 0) {
       cli->options.pattern_overrides[arg.substr(
           std::strlen("--no-pattern="))] = false;
+    } else if (arg == "--dtype" && i + 1 < argc) {
+      if (!parse_dtype_flag(argv[++i], cli)) return false;
+    } else if (arg.rfind("--dtype=", 0) == 0) {
+      if (!parse_dtype_flag(arg.substr(std::strlen("--dtype=")), cli)) {
+        return false;
+      }
+    } else if (arg == "--calib" && i + 1 < argc) {
+      cli->options.calibration = load_calibration(argv[++i]);
+    } else if (arg.rfind("--calib=", 0) == 0) {
+      cli->options.calibration =
+          load_calibration(arg.substr(std::strlen("--calib=")));
     } else if (arg == "--switched") {
       cli->options.hyper_mode = HyperMode::kSwitched;
     } else if (arg == "--batch" && i + 1 < argc) {
@@ -237,6 +266,15 @@ int cmd_compile(const Cli& cli) {
     std::printf("patterns: %s (%d rounds, %d rewrites)\n", counts.c_str(),
                 cm.pattern_stats.rounds, cm.pattern_stats.total_applied);
   }
+  if (cli.options.dtype != DType::kF32) {
+    std::printf(
+        "dtype: %s (%d weights rewritten, %lld -> %lld KiB, %d values"
+        " demoted, %d calibrated)\n",
+        dtype_name(cli.options.dtype), cm.quant_stats.weights_quantized,
+        static_cast<long long>(cm.quant_stats.weight_bytes_before / 1024),
+        static_cast<long long>(cm.quant_stats.weight_bytes_after / 1024),
+        cm.quant_stats.values_demoted, cm.quant_stats.nodes_calibrated);
+  }
   return 0;
 }
 
@@ -288,6 +326,13 @@ int cmd_run(const Cli& cli) {
     }
   }
   std::printf("outputs match : %s\n", match ? "yes" : "NO");
+  if (opts.dtype != DType::kF32) {
+    std::printf("dtype         : %s (%d weights rewritten, %d values demoted,"
+                " %d calibrated)\n",
+                dtype_name(opts.dtype), cm.quant_stats.weights_quantized,
+                cm.quant_stats.values_demoted,
+                cm.quant_stats.nodes_calibrated);
+  }
   if (par->kind() == ExecutorKind::kSteal) {
     int stolen = 0, tasks = 0;
     for (const WorkerProfile& w : pp.workers) {

@@ -10,6 +10,9 @@
 //     --clone          task cloning before clustering
 //     --threads N      intra-op threads per worker (default
 //                      $RAMIEL_INTRA_OP_THREADS or 1)
+//     --dtype D        storage dtype f32|f16|bf16|i8 (default $RAMIEL_DTYPE
+//                      or f32); non-f32 runs the quantize_weights stage
+//     --calib FILE     calibration ranges for --dtype i8 (ramiel_calibrate)
 //     --queue-depth N  admission-control bound (default
 //                      $RAMIEL_SERVE_QUEUE_DEPTH or 256)
 //     --flush-ms X     dynamic-batching flush timeout (default 2.0)
@@ -56,6 +59,7 @@
 #include "serve/loadgen.h"
 #include "serve/metrics_emitter.h"
 #include "serve/server.h"
+#include "support/env.h"
 #include "support/string_util.h"
 
 namespace {
@@ -66,6 +70,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: ramiel_serve <model|file.rml> [--batch N] [--switched]"
                " [--fold] [--clone]\n"
+               "                    [--dtype f32|f16|bf16|i8] [--calib FILE]\n"
                "                    [--threads N] [--queue-depth N]"
                " [--flush-ms X] [--mem-plan off|arena]\n"
                "                    [--executor static|steal|auto]\n"
@@ -99,6 +104,7 @@ int main(int argc, char** argv) {
   PipelineOptions pipeline;
   pipeline.batch = 4;
   pipeline.generate_code = false;
+  pipeline.dtype = env_dtype(DType::kF32);
   serve::ServeOptions serve_opts;
   serve::LoadOptions load;
   load.clients = 8;
@@ -118,6 +124,21 @@ int main(int argc, char** argv) {
       pipeline.cloning = true;
     } else if (arg == "--batch" && i + 1 < argc) {
       pipeline.batch = std::atoi(argv[++i]);
+    } else if ((arg == "--dtype" && i + 1 < argc) ||
+               arg.rfind("--dtype=", 0) == 0) {
+      const std::string value =
+          arg == "--dtype" ? argv[++i] : arg.substr(arg.find('=') + 1);
+      const auto dt = parse_dtype(value);
+      if (!dt) {
+        std::fprintf(stderr, "--dtype expects f32, f16, bf16 or i8\n");
+        return usage();
+      }
+      pipeline.dtype = *dt;
+    } else if ((arg == "--calib" && i + 1 < argc) ||
+               arg.rfind("--calib=", 0) == 0) {
+      const std::string value =
+          arg == "--calib" ? argv[++i] : arg.substr(arg.find('=') + 1);
+      pipeline.calibration = load_calibration(value);
     } else if (arg == "--threads" && i + 1 < argc) {
       serve_opts.intra_op_threads = std::atoi(argv[++i]);
     } else if (arg == "--queue-depth" && i + 1 < argc) {
@@ -176,10 +197,11 @@ int main(int argc, char** argv) {
   }
 
   try {
-    std::printf("compiling %s (batch %d, %s hyperclustering)...\n",
+    std::printf("compiling %s (batch %d, %s hyperclustering, dtype %s)...\n",
                 spec.c_str(), pipeline.batch,
                 pipeline.hyper_mode == HyperMode::kSwitched ? "switched"
-                                                            : "plain");
+                                                            : "plain",
+                dtype_name(pipeline.dtype));
     CompiledModel cm = compile_model(load_any(spec), pipeline);
     std::printf("%s: %d clusters, compile %.1f ms\n", cm.graph.name().c_str(),
                 cm.clustering.size(), cm.compile_seconds * 1e3);
